@@ -1,0 +1,55 @@
+// Command orbit-pretrain pre-trains ORBIT models on the synthetic
+// CMIP6-like corpus. With -sweep it runs the paper's Fig. 8
+// model-size comparison; otherwise it trains a single model and can
+// save a checkpoint.
+//
+// Usage:
+//
+//	orbit-pretrain -sweep -scale full
+//	orbit-pretrain -steps 200 -embed 32 -save model.orbt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	orbit "orbit"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "run the Fig. 8 model-size sweep")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	steps := flag.Int("steps", 100, "optimizer steps (single-model mode)")
+	embed := flag.Int("embed", 32, "embedding dimension (single-model mode)")
+	save := flag.String("save", "", "checkpoint path (single-model mode)")
+	flag.Parse()
+
+	if *sweep {
+		sc := orbit.QuickScale()
+		if *scale == "full" {
+			sc = orbit.FullScale()
+		}
+		fmt.Println(orbit.FormatFig8(orbit.Fig8(sc)))
+		return
+	}
+
+	vars := orbit.RegistrySmall()
+	corpus := orbit.NewPretrainCorpus(vars, 16, 32, 256, 4)
+	cfg := orbit.TinyConfig(len(vars), 16, 32)
+	cfg.EmbedDim = *embed
+	tc := orbit.DefaultTrainConfig()
+	tc.TotalSteps = *steps
+	m, curve, err := orbit.Pretrain(cfg, tc, corpus, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-trained %s: %d params, %d samples\n", cfg.Name, m.NumParams(), curve[len(curve)-1].Samples)
+	fmt.Printf("loss: %.4f -> %.4f\n", curve[0].Loss, curve[len(curve)-1].Loss)
+	if *save != "" {
+		if err := orbit.SaveModel(*save, m, true); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s (bf16)\n", *save)
+	}
+}

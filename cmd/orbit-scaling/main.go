@@ -1,0 +1,56 @@
+// Command orbit-scaling regenerates the ORBIT paper's Frontier-scale
+// results from the calibrated analytical model: Fig. 5 (maximal model
+// size per parallelism), Table I (optimization ablation), Fig. 6
+// (parallelism-configuration sweep) and Fig. 7 (strong scaling to
+// 49,152 GPUs).
+//
+// Usage:
+//
+//	orbit-scaling -all
+//	orbit-scaling -fig 5
+//	orbit-scaling -fig 7 -channels 91
+//	orbit-scaling -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	orbit "orbit"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (5, 6 or 7)")
+	table := flag.Int("table", 0, "table to regenerate (1)")
+	channels := flag.Int("channels", 48, "input channels for Fig. 7 (48 or 91)")
+	all := flag.Bool("all", false, "regenerate every scaling table and figure")
+	flag.Parse()
+
+	ran := false
+	if *all || *fig == 5 {
+		fmt.Println(orbit.FormatFig5(orbit.Fig5()))
+		ran = true
+	}
+	if *all || *table == 1 {
+		fmt.Println(orbit.FormatTableI(orbit.TableI()))
+		ran = true
+	}
+	if *all || *fig == 6 {
+		fmt.Println(orbit.FormatFig6(orbit.Fig6()))
+		ran = true
+	}
+	if *all || *fig == 7 {
+		if *all {
+			fmt.Println(orbit.FormatFig7(orbit.Fig7(48)))
+			fmt.Println(orbit.FormatFig7(orbit.Fig7(91)))
+		} else {
+			fmt.Println(orbit.FormatFig7(orbit.Fig7(*channels)))
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

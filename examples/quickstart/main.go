@@ -1,0 +1,61 @@
+// Quickstart: build a small ORBIT model, pre-train it on the
+// synthetic CMIP6-like corpus, fine-tune it to forecast four key
+// variables on ERA5-like data, and score it against climatology.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orbit "orbit"
+)
+
+func main() {
+	// The reduced 8-variable registry keeps the example fast; the same
+	// code runs with orbit.Registry91() at the paper's channel count.
+	vars := orbit.RegistrySmall()
+	const height, width = 16, 32
+
+	fmt.Println("== 1. pre-train on the 10-source CMIP6-like corpus ==")
+	corpus := orbit.NewPretrainCorpus(vars, height, width, 128, 4)
+	cfg := orbit.TinyConfig(len(vars), height, width)
+	tc := orbit.DefaultTrainConfig()
+	tc.TotalSteps = 60
+	model, curve, err := orbit.Pretrain(cfg, tc, corpus, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d parameters; pre-training wMSE %.4f -> %.4f\n",
+		model.NumParams(), curve[0].Loss, curve[len(curve)-1].Loss)
+
+	fmt.Println("\n== 2. fine-tune to predict z500, t850, t2m, u10 at 1 day ==")
+	// Indices of the paper's four output variables in the registry.
+	chans := []int{4, 7, 1, 2}
+	ft, err := orbit.FinetuneModel(model, len(chans), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ftc := orbit.DefaultTrainConfig()
+	ftc.TotalSteps = 120
+	ftc.ResidualChans = chans // predict the state change (tendency)
+	trainer := orbit.NewTrainer(ft, ftc)
+	ds := orbit.NewERA5Dataset(vars, height, width, 0, 512, 4)
+	ds.OutputChans = chans
+	trainer.Run(ds, 120)
+
+	fmt.Println("\n== 3. evaluate wACC on held-out data ==")
+	test := orbit.NewERA5Dataset(vars, height, width, 800, 64, 4)
+	test.OutputChans = chans
+	accs := orbit.EvalACC(trainer.Forecaster(), test, chans, 8)
+	for i, name := range []string{"z500", "t850", "t2m", "u10"} {
+		fmt.Printf("  %-5s wACC = %+.3f (0 = climatology, 1 = perfect)\n", name, accs[i])
+	}
+
+	fmt.Println("\n== 4. save a bf16 checkpoint ==")
+	if err := orbit.SaveModel("orbit-quickstart.orbt", ft, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote orbit-quickstart.orbt")
+}

@@ -1,0 +1,39 @@
+// Scaling: interrogate the calibrated Frontier performance model the
+// way a capacity planner would — which parallelism lets me train a
+// target model size, what does a training epoch cost, and how do the
+// Sec. III-B optimizations change the answer.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	orbit "orbit"
+)
+
+func main() {
+	fmt.Println("== what fits where (Fig. 5 question) ==")
+	for _, n := range []int{8, 64, 512} {
+		fmt.Printf("%4d GPUs: FSDP caps at %5.1fB, tensor-parallel at %5.1fB, Hybrid-STOP at %6.1fB\n",
+			n,
+			float64(orbit.MaxModelSize(orbit.FSDPOnly, n))/1e9,
+			float64(orbit.MaxModelSize(orbit.TPOnly, n))/1e9,
+			float64(orbit.MaxModelSize(orbit.HybridSTOP, n))/1e9)
+	}
+
+	fmt.Println("\n== time to train one epoch (1.2M samples) of each paper model ==")
+	for _, cfg := range []orbit.ModelConfig{orbit.ORBIT115M, orbit.ORBIT1B, orbit.ORBIT10B, orbit.ORBIT113B} {
+		fmt.Printf("%-12s (%6.1fB params):", cfg.Name, float64(orbit.ParamCount(cfg))/1e9)
+		for _, n := range []int{512, 4096, 49152} {
+			perSample := orbit.TimePerSample(cfg, n)
+			hours := perSample * 1.2e6 / 3600
+			fmt.Printf("  %6d GPUs: %6.2f h", n, hours)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper reference: the 113B model's epoch takes 0.8 h on 49,152 GPUs")
+
+	fmt.Println("\n== the cost of skipping each optimization (Table I question) ==")
+	fmt.Println(orbit.FormatTableI(orbit.TableI()))
+}

@@ -1,0 +1,132 @@
+package afno
+
+import (
+	"math"
+	"testing"
+
+	"orbit/internal/climate"
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+)
+
+func TestSpectralLayerGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewSpectralLayer("t", 2, 4, 8, rng)
+	x := tensor.Randn(rng, 1, 2, 4, 8)
+	g := tensor.Randn(rng, 1, 2, 4, 8)
+	y := l.Forward(x)
+	if !y.SameShape(x) {
+		t.Fatalf("spectral output shape %v", y.Shape())
+	}
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	dx := l.Backward(g)
+
+	lossAt := func() float64 { return tensor.Dot(l.Forward(x), g) }
+	const eps = 1e-3
+	// Input gradient.
+	for i := 0; i < x.Len(); i += x.Len()/12 + 1 {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := lossAt()
+		x.Data()[i] = orig - eps
+		lm := lossAt()
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data()[i])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("spectral input grad[%d]: %v vs %v", i, num, dx.Data()[i])
+		}
+	}
+	// Complex multiplier gradients (both real and imaginary parts).
+	for _, p := range l.Params() {
+		for i := 0; i < p.W.Len(); i += p.W.Len()/8 + 1 {
+			orig := p.W.Data()[i]
+			p.W.Data()[i] = orig + eps
+			lp := lossAt()
+			p.W.Data()[i] = orig - eps
+			lm := lossAt()
+			p.W.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := float64(p.Grad.Data()[i])
+			if math.Abs(num-got) > 1e-3*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: %v vs %v", p.Name, i, num, got)
+			}
+		}
+	}
+}
+
+func TestIdentityMultiplierIsIdentity(t *testing.T) {
+	// With W = 1+0i exactly, the spectral layer is the identity map.
+	rng := tensor.NewRNG(2)
+	l := NewSpectralLayer("t", 1, 8, 8, rng)
+	l.WRe.W.Fill(1)
+	l.WIm.W.Fill(0)
+	x := tensor.Randn(rng, 1, 1, 8, 8)
+	y := l.Forward(x)
+	if !tensor.AllClose(y, x, 1e-6, 1e-6) {
+		t.Errorf("identity multiplier altered the field (max diff %g)", tensor.MaxDiff(y, x))
+	}
+}
+
+func TestModelForwardShape(t *testing.T) {
+	m := New(Tiny(5, 8, 16), 3)
+	rng := tensor.NewRNG(4)
+	x := tensor.Randn(rng, 1, 5, 8, 16)
+	y := m.Forward(x)
+	if !y.SameShape(x) {
+		t.Fatalf("AFNO output shape %v", y.Shape())
+	}
+	if y.HasNaNOrInf() {
+		t.Fatal("AFNO forward produced NaN")
+	}
+}
+
+func TestPixelsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	x := tensor.Randn(rng, 1, 3, 4, 8)
+	back := tensorToPixels(pixelsToTensor(x), 4, 8)
+	if !tensor.AllClose(back, x, 0, 0) {
+		t.Error("pixel reshape round trip failed")
+	}
+}
+
+func TestAFNOTrainsOnClimateStep(t *testing.T) {
+	// The AFNO forecaster must learn the 6-hour transition of the
+	// synthetic climate better than an untrained one.
+	vars := climate.RegistrySmall()
+	w := climate.NewWorld(vars, 8, 16, climate.ERA5Source())
+	stats := w.EstimateStats(4)
+	ds := climate.NewDataset(w, stats, 0, 64, 1) // 6-hour lead
+
+	m := New(Tiny(len(vars), 8, 16), 6)
+	opt := m.NewOptimizer(0)
+	var first, last float64
+	for step := 0; step < 60; step++ {
+		s := ds.At(step % ds.Len())
+		pred := m.Forward(s.Input)
+		loss, grad := metrics.WeightedMSE(pred, s.Target)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		m.ZeroGrads()
+		m.Backward(grad)
+		opt.Step(2e-3)
+	}
+	if last >= first {
+		t.Errorf("AFNO training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestRolloutAppliesRepeatedly(t *testing.T) {
+	m := New(Tiny(2, 8, 8), 7)
+	rng := tensor.NewRNG(8)
+	x := tensor.Randn(rng, 1, 2, 8, 8)
+	one := m.Forward(x)
+	two := m.Rollout(x, 2)
+	want := m.Forward(one)
+	if !tensor.AllClose(two, want, 1e-5, 1e-6) {
+		t.Error("Rollout(2) != Forward(Forward(x))")
+	}
+}

@@ -1,0 +1,151 @@
+// Package baselines provides the non-learned forecast comparators for
+// the paper's Fig. 9 evaluation: persistence, climatology, and an
+// IFS-like numerical surrogate. The real IFS (ECMWF's Integrated
+// Forecasting System) is a closed operational spectral dynamical
+// model; the surrogate reproduces its role in the comparison — a
+// physics-based forecaster that is strong at short leads and loses
+// skill as unpredictable variability accumulates — by estimating
+// per-variable anomaly advection and damping from training data and
+// integrating them forward, with no access to the generator's
+// internals.
+package baselines
+
+import (
+	"math"
+
+	"orbit/internal/climate"
+	"orbit/internal/tensor"
+)
+
+// Forecaster maps a normalized state [C, H, W] and a lead (in 6-hour
+// steps) to a predicted normalized state.
+type Forecaster interface {
+	Predict(state *tensor.Tensor, leadSteps int) *tensor.Tensor
+}
+
+// Persistence predicts no change: tomorrow equals today. The
+// strongest trivial baseline at short leads.
+type Persistence struct{}
+
+// Predict returns the input state unchanged.
+func (Persistence) Predict(state *tensor.Tensor, _ int) *tensor.Tensor { return state.Clone() }
+
+// Climatology predicts the long-term mean state; wACC against it is
+// identically zero by construction, anchoring the skill scale.
+type Climatology struct {
+	Clim *tensor.Tensor
+}
+
+// Predict returns the climatology regardless of the input.
+func (c Climatology) Predict(*tensor.Tensor, int) *tensor.Tensor { return c.Clim.Clone() }
+
+// IFSSurrogate is the numerical-model stand-in: per variable it
+// estimates (a) a zonal phase speed by maximizing lag correlation of
+// anomalies over training pairs and (b) an e-folding damping rate,
+// then forecasts by rotating the anomaly field zonally and relaxing it
+// toward climatology.
+type IFSSurrogate struct {
+	Clim *tensor.Tensor
+	// ShiftPerStep is the fitted zonal grid shift per 6-hour step
+	// (fractional, per channel).
+	ShiftPerStep []float64
+	// Damping is the per-step anomaly retention factor per channel.
+	Damping []float64
+}
+
+// FitIFS estimates the surrogate's dynamics from `pairs` training
+// samples of the dataset (which must have LeadSteps ≥ 1), using only
+// data a real modeling center could observe.
+func FitIFS(ds *climate.Dataset, pairs int) *IFSSurrogate {
+	clim := ds.NormalizedClimatology(nil)
+	c, h, w := clim.Dim(0), clim.Dim(1), clim.Dim(2)
+	lead := ds.LeadSteps
+	s := &IFSSurrogate{
+		Clim:         clim,
+		ShiftPerStep: make([]float64, c),
+		Damping:      make([]float64, c),
+	}
+	if pairs > ds.Len() {
+		pairs = ds.Len()
+	}
+	stride := ds.Len() / pairs
+	if stride < 1 {
+		stride = 1
+	}
+	// Candidate shifts: up to ±3 columns per lead.
+	maxShift := 3 * lead
+	if maxShift > w/2 {
+		maxShift = w / 2
+	}
+	hw := h * w
+	for ci := 0; ci < c; ci++ {
+		bestCorr := math.Inf(-1)
+		bestShift := 0
+		for shift := -maxShift; shift <= maxShift; shift++ {
+			var num, denA, denB float64
+			for p := 0; p < pairs; p++ {
+				sample := ds.At(p * stride)
+				a := sample.Input.Data()[ci*hw : (ci+1)*hw]
+				b := sample.Target.Data()[ci*hw : (ci+1)*hw]
+				cd := clim.Data()[ci*hw : (ci+1)*hw]
+				for r := 0; r < h; r++ {
+					for col := 0; col < w; col++ {
+						src := r*w + (col-shift+w*8)%w
+						av := float64(a[src] - cd[src])
+						bv := float64(b[r*w+col] - cd[r*w+col])
+						num += av * bv
+						denA += av * av
+						denB += bv * bv
+					}
+				}
+			}
+			if denA == 0 || denB == 0 {
+				continue
+			}
+			corr := num / math.Sqrt(denA*denB)
+			if corr > bestCorr {
+				bestCorr = corr
+				bestShift = shift
+			}
+		}
+		s.ShiftPerStep[ci] = float64(bestShift) / float64(lead)
+		// Anomaly retention: the best correlation is the fraction of
+		// variance the advected anomaly explains at this lead; per
+		// step that decays with the lead-th root.
+		if bestCorr <= 0 {
+			s.Damping[ci] = 0
+		} else {
+			s.Damping[ci] = math.Pow(bestCorr, 1/float64(lead))
+		}
+	}
+	return s
+}
+
+// Predict advects and damps the anomaly field.
+func (s *IFSSurrogate) Predict(state *tensor.Tensor, leadSteps int) *tensor.Tensor {
+	c, h, w := state.Dim(0), state.Dim(1), state.Dim(2)
+	out := tensor.New(c, h, w)
+	hw := h * w
+	for ci := 0; ci < c; ci++ {
+		shift := s.ShiftPerStep[ci] * float64(leadSteps)
+		damp := math.Pow(s.Damping[ci], float64(leadSteps))
+		base := int(math.Floor(shift))
+		frac := shift - float64(base)
+		sd := state.Data()[ci*hw : (ci+1)*hw]
+		cd := s.Clim.Data()[ci*hw : (ci+1)*hw]
+		od := out.Data()[ci*hw : (ci+1)*hw]
+		for r := 0; r < h; r++ {
+			for col := 0; col < w; col++ {
+				// Linear interpolation between the two source columns
+				// (periodic in longitude).
+				src0 := (col - base + w*16) % w
+				src1 := (src0 - 1 + w) % w
+				a0 := float64(sd[r*w+src0] - cd[r*w+src0])
+				a1 := float64(sd[r*w+src1] - cd[r*w+src1])
+				anom := (1-frac)*a0 + frac*a1
+				od[r*w+col] = cd[r*w+col] + float32(damp*anom)
+			}
+		}
+	}
+	return out
+}

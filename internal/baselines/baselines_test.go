@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"testing"
+
+	"orbit/internal/climate"
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+)
+
+func testData(t *testing.T, lead int) *climate.Dataset {
+	t.Helper()
+	vars := climate.RegistrySmall()
+	w := climate.NewWorld(vars, 8, 16, climate.ERA5Source())
+	stats := w.EstimateStats(4)
+	return climate.NewDataset(w, stats, 0, 64, lead)
+}
+
+// evalACC scores a forecaster's mean wACC over the dataset.
+func evalACC(ds *climate.Dataset, f Forecaster, n int) float64 {
+	clim := ds.NormalizedClimatology(nil)
+	var total float64
+	for i := 0; i < n; i++ {
+		s := ds.At(i * (ds.Len() / n))
+		pred := f.Predict(s.Input, ds.LeadSteps)
+		total += metrics.MeanACC(metrics.WeightedACC(pred, s.Target, clim))
+	}
+	return total / float64(n)
+}
+
+func TestPersistencePredictsInput(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 2, 4, 4)
+	y := Persistence{}.Predict(x, 4)
+	if !tensor.AllClose(y, x, 0, 0) {
+		t.Error("persistence should return the input")
+	}
+	y.Set(99, 0, 0, 0)
+	if x.At(0, 0, 0) == 99 {
+		t.Error("persistence must not alias the input")
+	}
+}
+
+func TestClimatologyHasZeroACC(t *testing.T) {
+	ds := testData(t, 4)
+	clim := ds.NormalizedClimatology(nil)
+	acc := evalACC(ds, Climatology{Clim: clim}, 8)
+	if acc < -0.05 || acc > 0.05 {
+		t.Errorf("climatology wACC = %v, want ≈0", acc)
+	}
+}
+
+func TestPersistenceSkillfulAtShortLead(t *testing.T) {
+	ds := testData(t, 1) // 6-hour lead
+	acc := evalACC(ds, Persistence{}, 8)
+	if acc < 0.5 {
+		t.Errorf("6-hour persistence wACC = %v, want > 0.5", acc)
+	}
+}
+
+func TestPersistenceDecaysWithLead(t *testing.T) {
+	short := evalACC(testData(t, 1), Persistence{}, 8)
+	long := evalACC(testData(t, 60), Persistence{}, 8) // 15 days
+	if long >= short {
+		t.Errorf("persistence skill should decay: %v at 6h vs %v at 15d", short, long)
+	}
+}
+
+func TestIFSFitRecoversDynamics(t *testing.T) {
+	ds := testData(t, 4) // 1-day lead
+	ifs := FitIFS(ds, 8)
+	// Damping factors are valid retention fractions.
+	for ci, d := range ifs.Damping {
+		if d < 0 || d > 1.001 {
+			t.Fatalf("channel %d damping %v out of range", ci, d)
+		}
+	}
+	// Dynamic channels should retain most anomaly at 1 day.
+	if ifs.Damping[1] < 0.5 { // t2m
+		t.Errorf("t2m damping %v suspiciously low", ifs.Damping[1])
+	}
+}
+
+func TestIFSBeatsPersistenceAtMediumLead(t *testing.T) {
+	// The point of a numerical model: at multi-day leads, advecting
+	// the anomaly beats holding it still.
+	lead := 20 // 5 days
+	fit := testData(t, lead)
+	ifs := FitIFS(fit, 10)
+	eval := testData(t, lead)
+	ifsACC := evalACC(eval, ifs, 8)
+	persACC := evalACC(eval, Persistence{}, 8)
+	if ifsACC <= persACC {
+		t.Errorf("IFS surrogate (%v) should beat persistence (%v) at 5-day lead", ifsACC, persACC)
+	}
+	if ifsACC < 0.2 {
+		t.Errorf("IFS surrogate wACC %v too weak at 5 days", ifsACC)
+	}
+}
+
+func TestIFSPredictShapes(t *testing.T) {
+	ds := testData(t, 4)
+	ifs := FitIFS(ds, 4)
+	s := ds.At(0)
+	pred := ifs.Predict(s.Input, 4)
+	if !pred.SameShape(s.Input) {
+		t.Fatalf("IFS prediction shape %v", pred.Shape())
+	}
+	if pred.HasNaNOrInf() {
+		t.Fatal("IFS produced NaN")
+	}
+}
+
+func TestIFSLongLeadApproachesClimatology(t *testing.T) {
+	ds := testData(t, 4)
+	ifs := FitIFS(ds, 8)
+	s := ds.At(0)
+	// At a very long lead the damped anomaly vanishes.
+	pred := ifs.Predict(s.Input, 4000)
+	clim := ds.NormalizedClimatology(nil)
+	if tensor.MaxDiff(pred, clim) > 0.15 {
+		t.Errorf("long-lead IFS should relax to climatology (max diff %v)", tensor.MaxDiff(pred, clim))
+	}
+}

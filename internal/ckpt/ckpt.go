@@ -1,0 +1,211 @@
+// Package ckpt serializes ORBIT model checkpoints to a compact binary
+// format: a JSON-encoded model configuration followed by raw parameter
+// tensors, optionally stored in bfloat16 to halve checkpoint size the
+// way bf16 training checkpoints do.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"orbit/internal/bf16"
+	"orbit/internal/nn"
+	"orbit/internal/vit"
+)
+
+const magic = "ORBT"
+const version = uint32(1)
+
+// dtype flags for stored tensors.
+const (
+	dtypeF32  = uint8(0)
+	dtypeBF16 = uint8(1)
+)
+
+// Save writes the model's configuration and parameters to path.
+// With half=true, weights are stored as bfloat16.
+func Save(path string, m *vit.Model, half bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := write(w, m, half); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func write(w io.Writer, m *vit.Model, half bool) error {
+	if _, err := w.Write([]byte(magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, version); err != nil {
+		return err
+	}
+	cfgJSON, err := json.Marshal(m.Config)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(cfgJSON))); err != nil {
+		return err
+	}
+	if _, err := w.Write(cfgJSON); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeParam(w, p, half); err != nil {
+			return fmt.Errorf("ckpt: writing %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func writeParam(w io.Writer, p *nn.Param, half bool) error {
+	name := []byte(p.Name)
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := w.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Len())); err != nil {
+		return err
+	}
+	dt := dtypeF32
+	if half {
+		dt = dtypeBF16
+	}
+	if err := binary.Write(w, binary.LittleEndian, dt); err != nil {
+		return err
+	}
+	data := p.W.Data()
+	if half {
+		buf := make([]byte, 2*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint16(buf[2*i:], uint16(bf16.FromFloat32(v)))
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Load reconstructs a model from a checkpoint file.
+func Load(path string) (*vit.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(bufio.NewReader(f))
+}
+
+func read(r io.Reader) (*vit.Model, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", head)
+	}
+	var ver uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", ver)
+	}
+	var cfgLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
+		return nil, err
+	}
+	cfgJSON := make([]byte, cfgLen)
+	if _, err := io.ReadFull(r, cfgJSON); err != nil {
+		return nil, err
+	}
+	var cfg vit.Config
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, err
+	}
+	m, err := vit.New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if int(count) != len(params) {
+		return nil, fmt.Errorf("ckpt: %d stored params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		if err := readParam(r, p); err != nil {
+			return nil, fmt.Errorf("ckpt: reading %s: %w", p.Name, err)
+		}
+	}
+	return m, nil
+}
+
+func readParam(r io.Reader, p *nn.Param) error {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return err
+	}
+	if string(name) != p.Name {
+		return fmt.Errorf("parameter order mismatch: stored %q, expected %q", name, p.Name)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != p.W.Len() {
+		return fmt.Errorf("size mismatch: stored %d, expected %d", n, p.W.Len())
+	}
+	var dt uint8
+	if err := binary.Read(r, binary.LittleEndian, &dt); err != nil {
+		return err
+	}
+	data := p.W.Data()
+	switch dt {
+	case dtypeBF16:
+		buf := make([]byte, 2*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range data {
+			data[i] = bf16.BF16(binary.LittleEndian.Uint16(buf[2*i:])).Float32()
+		}
+	case dtypeF32:
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	default:
+		return fmt.Errorf("unknown dtype %d", dt)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orbit/internal/tensor"
+	"orbit/internal/vit"
+)
+
+func TestSaveLoadRoundTripF32(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.orbt")
+	m, err := vit.New(vit.Tiny(3, 8, 16), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, m, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != m.Config {
+		t.Fatalf("config mismatch: %+v vs %+v", back.Config, m.Config)
+	}
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 1, 3, 8, 16)
+	if !tensor.AllClose(back.Forward(x, 24), m.Forward(x, 24), 0, 0) {
+		t.Error("fp32 round trip should be bit exact")
+	}
+}
+
+func TestSaveLoadRoundTripBF16(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.orbt")
+	m, _ := vit.New(vit.Tiny(2, 8, 8), 1)
+	if err := Save(path, m, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	x := tensor.Randn(rng, 1, 2, 8, 8)
+	// bf16 storage loses ≤ 2^-8 relative precision per weight.
+	if !tensor.AllClose(back.Forward(x, 24), m.Forward(x, 24), 0.05, 0.05) {
+		t.Error("bf16 round trip drifted too far")
+	}
+}
+
+func TestBF16CheckpointHalvesSize(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := vit.New(vit.Tiny(2, 8, 8), 1)
+	full := filepath.Join(dir, "full.orbt")
+	half := filepath.Join(dir, "half.orbt")
+	if err := Save(full, m, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(half, m, true); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(full)
+	hi, _ := os.Stat(half)
+	ratio := float64(hi.Size()) / float64(fi.Size())
+	if ratio > 0.6 {
+		t.Errorf("bf16 checkpoint ratio %v, want ≈0.5", ratio)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.orbt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("expected error for garbage file")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path.orbt"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,290 @@
+package climate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orbit/internal/tensor"
+)
+
+func TestRegistrySizes(t *testing.T) {
+	if n := len(Registry91()); n != 91 {
+		t.Errorf("Registry91 has %d variables, want 91", n)
+	}
+	if n := len(Registry48()); n != 48 {
+		t.Errorf("Registry48 has %d variables, want 48", n)
+	}
+	if n := len(RegistrySmall()); n != 8 {
+		t.Errorf("RegistrySmall has %d variables, want 8", n)
+	}
+}
+
+func TestRegistry91Composition(t *testing.T) {
+	var static, surface, atmos int
+	for _, v := range Registry91() {
+		switch v.Kind {
+		case Static:
+			static++
+		case Surface:
+			surface++
+		case Atmospheric:
+			atmos++
+		}
+	}
+	if static != 3 || surface != 3 || atmos != 85 {
+		t.Errorf("composition static=%d surface=%d atmos=%d, want 3/3/85", static, surface, atmos)
+	}
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range Registry91() {
+		if seen[v.Name] {
+			t.Fatalf("duplicate variable %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+}
+
+func TestFineTuneOutputsExist(t *testing.T) {
+	vars := Registry91()
+	for _, name := range FineTuneOutputs {
+		if IndexOf(vars, name) < 0 {
+			t.Errorf("fine-tune output %q missing from Registry91", name)
+		}
+	}
+	// And in the 48-variable set too.
+	vars48 := Registry48()
+	for _, name := range FineTuneOutputs {
+		if IndexOf(vars48, name) < 0 {
+			t.Errorf("fine-tune output %q missing from Registry48", name)
+		}
+	}
+}
+
+func TestCMIP6SourcesDistinct(t *testing.T) {
+	srcs := CMIP6Sources()
+	if len(srcs) != 10 {
+		t.Fatalf("%d sources, want 10", len(srcs))
+	}
+	seeds := map[uint64]bool{}
+	for _, s := range srcs {
+		if seeds[s.Seed] {
+			t.Fatalf("duplicate seed %d", s.Seed)
+		}
+		seeds[s.Seed] = true
+	}
+}
+
+func newTestWorld() *World {
+	return NewWorld(RegistrySmall(), 16, 32, ERA5Source())
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	w1 := newTestWorld()
+	w2 := newTestWorld()
+	f1 := w1.Field(100)
+	f2 := w2.Field(100)
+	if !tensor.AllClose(f1, f2, 0, 0) {
+		t.Error("same world parameters must generate identical fields")
+	}
+}
+
+func TestWorldFieldsEvolve(t *testing.T) {
+	w := newTestWorld()
+	f0 := w.Field(0)
+	f1 := w.Field(1)
+	if tensor.AllClose(f0, f1, 1e-9, 1e-9) {
+		t.Error("fields should change between time steps")
+	}
+}
+
+func TestStaticVariablesFrozen(t *testing.T) {
+	w := newTestWorld()
+	f0 := w.Field(0)
+	f1 := w.Field(1000)
+	hw := 16 * 32
+	// Channel 0 is the static land_sea_mask.
+	for i := 0; i < hw; i++ {
+		if f0.Data()[i] != f1.Data()[i] {
+			t.Fatal("static variable changed over time")
+		}
+	}
+}
+
+func TestWorldTemporalContinuity(t *testing.T) {
+	// Consecutive 6-hour states must be much closer than states a
+	// month apart — otherwise there is nothing to forecast.
+	w := newTestWorld()
+	f0 := w.Field(0)
+	f1 := w.Field(1)
+	f120 := w.Field(120)
+	near := tensor.MaxDiff(f0, f1)
+	far := tensor.MaxDiff(f0, f120)
+	if near >= far {
+		t.Errorf("6h diff %v should be < 30d diff %v", near, far)
+	}
+}
+
+func TestSourcesDiffer(t *testing.T) {
+	vars := RegistrySmall()
+	srcs := CMIP6Sources()
+	w1 := NewWorld(vars, 8, 16, srcs[0])
+	w2 := NewWorld(vars, 8, 16, srcs[1])
+	if tensor.AllClose(w1.Field(0), w2.Field(0), 1e-6, 1e-6) {
+		t.Error("different sources should produce different fields")
+	}
+}
+
+func TestStatsNormalizeRoundTrip(t *testing.T) {
+	w := newTestWorld()
+	stats := w.EstimateStats(8)
+	f := w.Field(37)
+	orig := f.Clone()
+	stats.Normalize(f)
+	// Normalized fields should be O(1).
+	if f.MaxAbs() > 25 {
+		t.Errorf("normalized field max %v, want O(1)", f.MaxAbs())
+	}
+	chans := make([]int, len(w.Vars))
+	for i := range chans {
+		chans[i] = i
+	}
+	stats.Denormalize(f, chans)
+	if !tensor.AllClose(f, orig, 1e-3, 1e-3) {
+		t.Errorf("denormalize(normalize) drift %v", tensor.MaxDiff(f, orig))
+	}
+}
+
+func TestStatsReasonableForT2M(t *testing.T) {
+	w := NewWorld(Registry48(), 8, 16, ERA5Source())
+	stats := w.EstimateStats(8)
+	i := IndexOf(w.Vars, "t2m")
+	if stats.Mean[i] < 230 || stats.Mean[i] > 320 {
+		t.Errorf("t2m mean %v K implausible", stats.Mean[i])
+	}
+	if stats.Std[i] <= 0 {
+		t.Errorf("t2m std %v", stats.Std[i])
+	}
+}
+
+func TestDatasetSampleShapes(t *testing.T) {
+	w := newTestWorld()
+	stats := w.EstimateStats(4)
+	ds := NewDataset(w, stats, 0, 10, 4)
+	s := ds.At(3)
+	if s.Input.Dim(0) != 8 || s.Input.Dim(1) != 16 || s.Input.Dim(2) != 32 {
+		t.Fatalf("input shape %v", s.Input.Shape())
+	}
+	if !s.Input.SameShape(s.Target) {
+		t.Fatal("full-state target shape mismatch")
+	}
+	if s.LeadHours != 24 {
+		t.Errorf("lead = %v hours, want 24", s.LeadHours)
+	}
+}
+
+func TestDatasetOutputChannelSubset(t *testing.T) {
+	w := newTestWorld()
+	stats := w.EstimateStats(4)
+	ds := NewDataset(w, stats, 0, 10, 4)
+	ds.OutputChans = []int{1, 3}
+	s := ds.At(0)
+	if s.Target.Dim(0) != 2 {
+		t.Fatalf("target channels %d, want 2", s.Target.Dim(0))
+	}
+	// Channel 0 of target equals channel 1 of a full render.
+	full := ds.World.Field(ds.StartStep + ds.LeadSteps)
+	ds.Stats.Normalize(full)
+	want := SelectChannels(full, []int{1, 3})
+	if !tensor.AllClose(s.Target, want, 1e-6, 1e-6) {
+		t.Error("SelectChannels target mismatch")
+	}
+}
+
+func TestDatasetIndexOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := newTestWorld()
+	NewDataset(w, w.EstimateStats(2), 0, 5, 1).At(5)
+}
+
+func TestPretrainCorpusInterleaves(t *testing.T) {
+	corpus := NewPretrainCorpus(RegistrySmall(), 8, 16, CMIP6Sources()[:3], 4, 1)
+	if corpus.Len() != 12 {
+		t.Fatalf("corpus len %d, want 12", corpus.Len())
+	}
+	// Samples 0,1,2 come from different sources: their (dynamic)
+	// fields must differ.
+	s0 := corpus.At(0)
+	s1 := corpus.At(1)
+	if tensor.AllClose(s0.Input, s1.Input, 1e-6, 1e-6) {
+		t.Error("adjacent corpus samples should come from different sources")
+	}
+}
+
+func TestClimatologyCloseToTimeMean(t *testing.T) {
+	w := newTestWorld()
+	clim := w.Climatology()
+	// Average many samples over a full year: waves/season/noise are
+	// zero-mean so the empirical mean approaches the climatology.
+	mean := tensor.New(8, 16, 32)
+	const n = 120
+	for i := 0; i < n; i++ {
+		mean.AddInPlace(w.Field(i * (365 * StepsPerDay / n)))
+	}
+	mean.ScaleInPlace(1.0 / n)
+	// Compare on a dynamic channel (t2m = channel 1) in units of its
+	// wave amplitude.
+	hw := 16 * 32
+	var worst float64
+	for i := hw; i < 2*hw; i++ {
+		d := math.Abs(float64(mean.Data()[i]) - float64(clim.Data()[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	amp := w.Vars[1].Physics.WaveAmp + w.Vars[1].Physics.SeasonalAmp
+	if worst > 0.5*amp {
+		t.Errorf("climatology deviates from empirical mean by %v (amp %v)", worst, amp)
+	}
+}
+
+func TestShardPartitionsSamples(t *testing.T) {
+	prop := func(seed uint64, ranksSel uint8) bool {
+		ranks := 1 + int(ranksSel)%4
+		n := 32
+		seen := map[int]int{}
+		for r := 0; r < ranks; r++ {
+			for _, i := range Shard(n, r, ranks, seed) {
+				seen[i]++
+			}
+		}
+		// Every index assigned at most once, and per-rank counts equal.
+		total := 0
+		for idx, c := range seen {
+			if c != 1 || idx < 0 || idx >= n {
+				return false
+			}
+			total++
+		}
+		return total == (n/ranks)*ranks
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardDeterministic(t *testing.T) {
+	a := Shard(16, 1, 2, 7)
+	b := Shard(16, 1, 2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shard not deterministic")
+		}
+	}
+}

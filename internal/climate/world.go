@@ -1,0 +1,313 @@
+package climate
+
+import (
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// Source describes one data source: a CMIP6-participating model (for
+// pre-training) or a reanalysis (for fine-tuning). Each source shares
+// the same underlying dynamics but has its own bias, amplitude error
+// and internal-variability phase — the structure that makes CMIP6 a
+// multi-model ensemble.
+type Source struct {
+	Name string
+	// Seed decorrelates the source's internal variability.
+	Seed uint64
+	// Bias is an additive offset in units of the variable's wave
+	// amplitude (systematic model error).
+	Bias float64
+	// AmpScale multiplies anomaly amplitudes (models disagree on
+	// variability strength).
+	AmpScale float64
+	// NoiseScale multiplies unpredictable noise.
+	NoiseScale float64
+}
+
+// CMIP6Sources returns the ten pre-training sources named in the
+// paper (MPI-ESM, AWI-ESM, HAMMOZ, CMCC, TAI-ESM, NOR, EC, MIRO, MRI,
+// NESM), each with a distinct synthetic model error.
+func CMIP6Sources() []Source {
+	names := []string{"MPI-ESM", "AWI-ESM", "HAMMOZ", "CMCC", "TAI-ESM", "NOR", "EC", "MIRO", "MRI", "NESM"}
+	sources := make([]Source, len(names))
+	for i, n := range names {
+		sources[i] = Source{
+			Name:       n,
+			Seed:       uint64(1000 + 7919*i),
+			Bias:       0.25 * math.Sin(float64(i)*1.7),
+			AmpScale:   0.85 + 0.04*float64(i%8),
+			NoiseScale: 0.8 + 0.06*float64(i%5),
+		}
+	}
+	return sources
+}
+
+// ERA5Source returns the reanalysis-like source used for fine-tuning
+// and evaluation: unbiased, unit amplitude, its own variability seed.
+func ERA5Source() Source {
+	return Source{Name: "ERA5", Seed: 424242, Bias: 0, AmpScale: 1, NoiseScale: 1}
+}
+
+// World generates climate fields on an equiangular lat-lon grid. All
+// fields are closed-form functions of time, so any 6-hourly step is
+// random-access computable and exactly reproducible.
+type World struct {
+	Vars   []Variable
+	Height int
+	Width  int
+	Source Source
+
+	// Per-variable per-wave parameters derived from the source seed.
+	waves [][]waveParam
+	// noise modes per variable
+	noise [][]noiseMode
+}
+
+// waveParam is one travelling planetary wave component.
+type waveParam struct {
+	zonalWavenumber int
+	meridionalMode  int
+	amp             float64
+	phase           float64
+	speed           float64 // radians of longitude per day
+}
+
+// noiseMode is one slow, smooth pseudo-noise component; many
+// incommensurate modes sum to a red-noise-like field that is still a
+// deterministic function of time.
+type noiseMode struct {
+	kx, ky int
+	amp    float64
+	phaseX float64
+	freq   float64 // radians per day, intentionally fast
+}
+
+const wavesPerVar = 4
+const noisePerVar = 6
+
+// StepsPerDay is the paper's 6-hourly sampling.
+const StepsPerDay = 4
+
+// NewWorld builds a generator for the given variable set, grid and
+// source.
+func NewWorld(vars []Variable, height, width int, src Source) *World {
+	w := &World{Vars: vars, Height: height, Width: width, Source: src}
+	rng := tensor.NewRNG(src.Seed)
+	for vi, v := range vars {
+		vrng := tensor.NewRNG(rng.Uint64() ^ uint64(vi*2654435761))
+		ws := make([]waveParam, wavesPerVar)
+		for k := range ws {
+			ws[k] = waveParam{
+				zonalWavenumber: 1 + vrng.Intn(5),
+				meridionalMode:  1 + vrng.Intn(3),
+				amp:             v.Physics.WaveAmp * (0.4 + 0.6*vrng.Float64()) * src.AmpScale / wavesPerVar * 2,
+				phase:           2 * math.Pi * vrng.Float64(),
+				// Strongly dispersive: wave speeds spread 0.4–1.6× so
+				// a single advection velocity cannot track all modes
+				// at long leads (each mode's rotation remains exactly
+				// learnable by a sufficiently trained model).
+				speed: 2 * math.Pi * v.Physics.ZonalSpeed * (0.4 + 1.2*vrng.Float64()),
+			}
+		}
+		w.waves = append(w.waves, ws)
+		ns := make([]noiseMode, noisePerVar)
+		for k := range ns {
+			ns[k] = noiseMode{
+				kx:     1 + vrng.Intn(8),
+				ky:     1 + vrng.Intn(6),
+				amp:    v.Physics.NoiseAmp * src.NoiseScale * (0.5 + vrng.Float64()) / noisePerVar * 2.5,
+				phaseX: 2 * math.Pi * vrng.Float64(),
+			}
+			if k%2 == 0 {
+				// Fast band: period 12–24 h. Unpredictable at any lead.
+				ns[k].freq = 2*math.Pi*2 + 4*math.Pi*vrng.Float64()
+			} else {
+				// Synoptic band: period 8–30 d with doubled amplitude.
+				// Nearly frozen over one day (easy) but rotated by many
+				// radians after 30 days (hard) — the mechanism that
+				// makes forecast skill decay with lead time.
+				ns[k].freq = 2 * math.Pi / (8 + 22*vrng.Float64())
+				ns[k].amp *= 2.5
+			}
+		}
+		w.noise = append(w.noise, ns)
+	}
+	return w
+}
+
+// value computes variable vi at grid point (row, col) and time step
+// (6-hourly index).
+func (w *World) value(vi, row, col, step int) float64 {
+	v := &w.Vars[vi]
+	days := float64(step) / StepsPerDay
+	lat := -math.Pi/2 + (float64(row)+0.5)*math.Pi/float64(w.Height)
+	lon := 2 * math.Pi * float64(col) / float64(w.Width)
+
+	// Zonal-mean climatology: equator-to-pole gradient.
+	val := v.Physics.BaseMean - v.Physics.PoleDrop*math.Pow(math.Sin(lat), 2)
+
+	if v.Kind == Static {
+		// Static fields: frozen "geography" from the wave components.
+		for _, wp := range w.waves[vi] {
+			val += wp.amp * math.Sin(float64(wp.zonalWavenumber)*lon+wp.phase) *
+				math.Cos(float64(wp.meridionalMode)*lat)
+		}
+		return val
+	}
+
+	// Annual cycle, antisymmetric across hemispheres (seasons flip).
+	season := math.Sin(2*math.Pi*days/365.25) * math.Sin(lat)
+	val += v.Physics.SeasonalAmp * season * w.Source.AmpScale
+
+	// Travelling waves: the predictable anomaly signal.
+	for _, wp := range w.waves[vi] {
+		env := math.Cos(lat) * math.Cos(float64(wp.meridionalMode)*lat)
+		val += wp.amp * env * math.Sin(float64(wp.zonalWavenumber)*lon-wp.speed*days+wp.phase)
+	}
+
+	// Fast smooth pseudo-noise: hard to predict at long leads.
+	for _, nm := range w.noise[vi] {
+		val += nm.amp * math.Sin(float64(nm.kx)*lon+nm.phaseX+nm.freq*days) *
+			math.Sin(float64(nm.ky)*(lat+math.Pi/2))
+	}
+
+	// Systematic source bias, scaled by the variable's wave amplitude.
+	val += w.Source.Bias * v.Physics.WaveAmp
+	return val
+}
+
+// Field renders all channels at one time step: [C, H, W].
+func (w *World) Field(step int) *tensor.Tensor {
+	out := tensor.New(len(w.Vars), w.Height, w.Width)
+	d := out.Data()
+	i := 0
+	for vi := range w.Vars {
+		for r := 0; r < w.Height; r++ {
+			for c := 0; c < w.Width; c++ {
+				d[i] = float32(w.value(vi, r, c, step))
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Climatology returns the per-channel time-mean field used by the
+// wACC metric: the zonal-mean profile plus static geography, i.e. the
+// generator with seasonal, wave and noise terms averaged out (they are
+// all zero-mean in time).
+func (w *World) Climatology() *tensor.Tensor {
+	out := tensor.New(len(w.Vars), w.Height, w.Width)
+	d := out.Data()
+	i := 0
+	for vi := range w.Vars {
+		v := &w.Vars[vi]
+		for r := 0; r < w.Height; r++ {
+			lat := -math.Pi/2 + (float64(r)+0.5)*math.Pi/float64(w.Height)
+			base := v.Physics.BaseMean - v.Physics.PoleDrop*math.Pow(math.Sin(lat), 2) + w.Source.Bias*v.Physics.WaveAmp
+			for c := 0; c < w.Width; c++ {
+				val := base
+				if v.Kind == Static {
+					val = w.value(vi, r, c, 0) - w.Source.Bias*v.Physics.WaveAmp
+				}
+				d[i] = float32(val)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// ClimatologyAt returns the climatology including the annual cycle at
+// the given time step — the day-of-year climatology WeatherBench-style
+// wACC evaluation subtracts, so the trivially predictable seasonal
+// march does not count as forecast skill.
+func (w *World) ClimatologyAt(step int) *tensor.Tensor {
+	out := w.Climatology()
+	days := float64(step) / StepsPerDay
+	d := out.Data()
+	i := 0
+	for vi := range w.Vars {
+		v := &w.Vars[vi]
+		if v.Kind == Static {
+			i += w.Height * w.Width
+			continue
+		}
+		for r := 0; r < w.Height; r++ {
+			lat := -math.Pi/2 + (float64(r)+0.5)*math.Pi/float64(w.Height)
+			season := v.Physics.SeasonalAmp * math.Sin(2*math.Pi*days/365.25) * math.Sin(lat) * w.Source.AmpScale
+			for c := 0; c < w.Width; c++ {
+				d[i] += float32(season)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns per-channel normalization statistics (mean and
+// standard deviation) estimated from a sample of time steps.
+type Stats struct {
+	Mean, Std []float64
+}
+
+// EstimateStats samples `samples` time steps spread over a year and
+// computes per-channel mean and std for z-score normalization.
+func (w *World) EstimateStats(samples int) *Stats {
+	c := len(w.Vars)
+	mean := make([]float64, c)
+	m2 := make([]float64, c)
+	n := 0
+	stride := 365 * StepsPerDay / samples
+	if stride < 1 {
+		stride = 1
+	}
+	for s := 0; s < samples; s++ {
+		f := w.Field(s * stride)
+		hw := w.Height * w.Width
+		for vi := 0; vi < c; vi++ {
+			for _, v := range f.Data()[vi*hw : (vi+1)*hw] {
+				mean[vi] += float64(v)
+				m2[vi] += float64(v) * float64(v)
+			}
+		}
+		n += hw
+	}
+	std := make([]float64, c)
+	for vi := 0; vi < c; vi++ {
+		mean[vi] /= float64(n)
+		variance := m2[vi]/float64(n) - mean[vi]*mean[vi]
+		if variance < 1e-12 {
+			variance = 1e-12
+		}
+		std[vi] = math.Sqrt(variance)
+	}
+	return &Stats{Mean: mean, Std: std}
+}
+
+// Normalize z-scores a field [C, H, W] in place using the stats.
+func (s *Stats) Normalize(f *tensor.Tensor) {
+	c := f.Dim(0)
+	hw := f.Dim(1) * f.Dim(2)
+	d := f.Data()
+	for vi := 0; vi < c; vi++ {
+		m, inv := float32(s.Mean[vi]), float32(1/s.Std[vi])
+		for i := vi * hw; i < (vi+1)*hw; i++ {
+			d[i] = (d[i] - m) * inv
+		}
+	}
+}
+
+// Denormalize inverts Normalize for the given channel subset mapping:
+// channel i of f corresponds to stats index chans[i].
+func (s *Stats) Denormalize(f *tensor.Tensor, chans []int) {
+	hw := f.Dim(1) * f.Dim(2)
+	d := f.Data()
+	for i, src := range chans {
+		m, std := float32(s.Mean[src]), float32(s.Std[src])
+		for j := i * hw; j < (i+1)*hw; j++ {
+			d[j] = d[j]*std + m
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package comm implements the collective-communication layer of the
+// simulated machine: the operations RCCL provides on Frontier
+// (all-gather, reduce-scatter, all-reduce, broadcast, barrier),
+// executed functionally by goroutine ranks with real data movement,
+// plus an α–β ring cost model that charges each collective to the
+// participating devices' simulated clocks according to the link type
+// the group spans (Infinity Fabric within a node, Slingshot across
+// nodes) — the distinction that drives ORBIT's hierarchical mapping of
+// tensor-parallel groups to nodes (paper Sec. III-B, Fig. 4).
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/cluster"
+)
+
+// Group is a communicator over a fixed set of simulated devices. All
+// member goroutines must call each collective the same number of
+// times in the same order (SPMD), exactly like an MPI communicator.
+type Group struct {
+	devices []*cluster.Device
+
+	latency   float64 // per-message link latency for this group's span
+	bandwidth float64 // per-link bandwidth in bytes/s
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     int
+	arrived int
+	bufs    [][]float32
+	scratch []float64 // float64 accumulation for reductions
+	result  [][]float32
+}
+
+// NewGroup builds a communicator. The cost model uses intra-node link
+// parameters when all members share a node, inter-node otherwise.
+func NewGroup(devices []*cluster.Device) *Group {
+	if len(devices) == 0 {
+		panic("comm: empty group")
+	}
+	spec := devices[0].Spec
+	g := &Group{
+		devices:   devices,
+		latency:   spec.InterNodeLatency,
+		bandwidth: spec.InterNodeBandwidth,
+		bufs:      make([][]float32, len(devices)),
+	}
+	if cluster.SameNode(devices) {
+		g.latency = spec.IntraNodeLatency
+		g.bandwidth = spec.IntraNodeBandwidth
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return len(g.devices) }
+
+// Device returns the device behind a rank.
+func (g *Group) Device(rank int) *cluster.Device { return g.devices[rank] }
+
+// exchange runs one rendezvous: every rank deposits a buffer; the last
+// arrival runs combine over all buffers to produce per-rank results;
+// everyone picks up its own result. Device clocks are synchronized to
+// the group maximum plus the collective's modeled cost.
+func (g *Group) exchange(rank int, in []float32, cost float64, combine func(bufs [][]float32) [][]float32) []float32 {
+	g.mu.Lock()
+	seq := g.seq
+	g.bufs[rank] = in
+	g.arrived++
+	if g.arrived == len(g.devices) {
+		// Synchronize clocks: the collective completes at
+		// max(clock) + cost on every member.
+		var tmax float64
+		for _, d := range g.devices {
+			if c := d.Clock(); c > tmax {
+				tmax = c
+			}
+		}
+		for _, d := range g.devices {
+			d.AdvanceTo(tmax, cost)
+		}
+		g.result = combine(g.bufs)
+		g.arrived = 0
+		g.seq++
+		g.cond.Broadcast()
+	} else {
+		for g.seq == seq {
+			g.cond.Wait()
+		}
+	}
+	out := g.result[rank]
+	g.mu.Unlock()
+	return out
+}
+
+// ringCost models a bandwidth-optimal ring collective moving
+// (p-1)/p × bytes per rank in p−1 latency-bound steps.
+func (g *Group) ringCost(bytes int) float64 {
+	p := float64(len(g.devices))
+	if p == 1 {
+		return 0
+	}
+	return (p - 1) * (g.latency + float64(bytes)/p/g.bandwidth)
+}
+
+// AllGather concatenates equal-length shards by rank order and
+// returns the full buffer to every rank.
+func (g *Group) AllGather(rank int, shard []float32) []float32 {
+	n := len(shard)
+	cost := g.ringCost(4 * n * len(g.devices))
+	return g.exchange(rank, shard, cost, func(bufs [][]float32) [][]float32 {
+		full := make([]float32, 0, n*len(bufs))
+		for r, b := range bufs {
+			if len(b) != n {
+				panic(fmt.Sprintf("comm: AllGather shard size mismatch at rank %d: %d vs %d", r, len(b), n))
+			}
+			full = append(full, b...)
+		}
+		out := make([][]float32, len(bufs))
+		for r := range out {
+			out[r] = full
+		}
+		return out
+	})
+}
+
+// AllReduceSum sums equal-length buffers elementwise, delivering the
+// sum to every rank. Accumulation is in float64 for reproducibility
+// independent of rank count.
+func (g *Group) AllReduceSum(rank int, buf []float32) []float32 {
+	cost := 2 * g.ringCost(4*len(buf)) // reduce-scatter + all-gather phases
+	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
+		sum := g.reduce(bufs)
+		out := make([]float32, len(sum))
+		for i, v := range sum {
+			out[i] = float32(v)
+		}
+		res := make([][]float32, len(bufs))
+		for r := range res {
+			res[r] = out
+		}
+		return res
+	})
+}
+
+// AllReduceMean averages equal-length buffers elementwise.
+func (g *Group) AllReduceMean(rank int, buf []float32) []float32 {
+	cost := 2 * g.ringCost(4*len(buf))
+	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
+		sum := g.reduce(bufs)
+		inv := 1 / float64(len(bufs))
+		out := make([]float32, len(sum))
+		for i, v := range sum {
+			out[i] = float32(v * inv)
+		}
+		res := make([][]float32, len(bufs))
+		for r := range res {
+			res[r] = out
+		}
+		return res
+	})
+}
+
+// ReduceScatterSum sums buffers elementwise and scatters contiguous
+// chunks: rank r receives chunk r of the sum. Buffer length must be
+// divisible by the group size.
+func (g *Group) ReduceScatterSum(rank int, buf []float32) []float32 {
+	p := len(g.devices)
+	if len(buf)%p != 0 {
+		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
+	}
+	cost := g.ringCost(4 * len(buf))
+	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
+		sum := g.reduce(bufs)
+		chunk := len(sum) / p
+		res := make([][]float32, p)
+		for r := 0; r < p; r++ {
+			out := make([]float32, chunk)
+			for i := range out {
+				out[i] = float32(sum[r*chunk+i])
+			}
+			res[r] = out
+		}
+		return res
+	})
+}
+
+// ReduceScatterMean is ReduceScatterSum divided by the rank count —
+// the gradient-averaging step of FSDP's backward pass (paper Fig. 2b).
+func (g *Group) ReduceScatterMean(rank int, buf []float32) []float32 {
+	p := len(g.devices)
+	if len(buf)%p != 0 {
+		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
+	}
+	cost := g.ringCost(4 * len(buf))
+	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
+		sum := g.reduce(bufs)
+		inv := 1 / float64(p)
+		chunk := len(sum) / p
+		res := make([][]float32, p)
+		for r := 0; r < p; r++ {
+			out := make([]float32, chunk)
+			for i := range out {
+				out[i] = float32(sum[r*chunk+i] * inv)
+			}
+			res[r] = out
+		}
+		return res
+	})
+}
+
+// Broadcast delivers rank 0's buffer to every rank. All ranks must
+// pass buffers of the root's length (non-root contents are ignored),
+// mirroring MPI_Bcast semantics.
+func (g *Group) Broadcast(rank int, buf []float32) []float32 {
+	return g.exchange(rank, buf, g.ringCost(4*len(buf)), func(bufs [][]float32) [][]float32 {
+		res := make([][]float32, len(bufs))
+		for r := range res {
+			res[r] = bufs[0]
+		}
+		return res
+	})
+}
+
+// Barrier synchronizes all ranks (and their clocks) without moving
+// data.
+func (g *Group) Barrier(rank int) {
+	g.exchange(rank, nil, float64(len(g.devices)-1)*g.latency, func(bufs [][]float32) [][]float32 {
+		return make([][]float32, len(bufs))
+	})
+}
+
+// AllReduceScalar sums one float64 across ranks (loss reporting).
+func (g *Group) AllReduceScalar(rank int, v float64) float64 {
+	out := g.AllReduceSum(rank, []float32{float32(v)})
+	return float64(out[0])
+}
+
+// reduce sums rank buffers into the shared float64 scratch.
+func (g *Group) reduce(bufs [][]float32) []float64 {
+	n := len(bufs[0])
+	for r, b := range bufs {
+		if len(b) != n {
+			panic(fmt.Sprintf("comm: reduction size mismatch at rank %d: %d vs %d", r, len(b), n))
+		}
+	}
+	if cap(g.scratch) < n {
+		g.scratch = make([]float64, n)
+	}
+	sum := g.scratch[:n]
+	for i := range sum {
+		sum[i] = 0
+	}
+	for _, b := range bufs {
+		for i, v := range b {
+			sum[i] += float64(v)
+		}
+	}
+	return sum
+}

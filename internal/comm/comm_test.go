@@ -1,0 +1,263 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"orbit/internal/cluster"
+)
+
+// runSPMD launches one goroutine per rank and waits for completion.
+func runSPMD(ranks int, body func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func newGroup(ranks int) *Group {
+	m := cluster.NewMachine(cluster.Frontier(), (ranks+7)/8, 0)
+	return NewGroup(m.Devices[:ranks])
+}
+
+func TestAllGatherOrdersByRank(t *testing.T) {
+	g := newGroup(4)
+	out := make([][]float32, 4)
+	runSPMD(4, func(rank int) {
+		shard := []float32{float32(rank * 10), float32(rank*10 + 1)}
+		out[rank] = g.AllGather(rank, shard)
+	})
+	want := []float32{0, 1, 10, 11, 20, 21, 30, 31}
+	for r := 0; r < 4; r++ {
+		for i, w := range want {
+			if out[r][i] != w {
+				t.Fatalf("rank %d AllGather[%d] = %v, want %v", r, i, out[r][i], w)
+			}
+		}
+	}
+}
+
+func TestAllReduceSumAndMean(t *testing.T) {
+	g := newGroup(3)
+	sums := make([][]float32, 3)
+	means := make([][]float32, 3)
+	runSPMD(3, func(rank int) {
+		buf := []float32{float32(rank + 1), 2}
+		sums[rank] = g.AllReduceSum(rank, buf)
+		means[rank] = g.AllReduceMean(rank, []float32{float32(rank + 1), 2})
+	})
+	for r := 0; r < 3; r++ {
+		if sums[r][0] != 6 || sums[r][1] != 6 {
+			t.Fatalf("rank %d sum = %v", r, sums[r])
+		}
+		if means[r][0] != 2 || means[r][1] != 2 {
+			t.Fatalf("rank %d mean = %v", r, means[r])
+		}
+	}
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	g := newGroup(2)
+	out := make([][]float32, 2)
+	runSPMD(2, func(rank int) {
+		// rank 0: [1,2,3,4]; rank 1: [10,20,30,40]
+		buf := []float32{1, 2, 3, 4}
+		if rank == 1 {
+			buf = []float32{10, 20, 30, 40}
+		}
+		out[rank] = g.ReduceScatterSum(rank, buf)
+	})
+	if out[0][0] != 11 || out[0][1] != 22 {
+		t.Errorf("rank 0 chunk = %v, want [11 22]", out[0])
+	}
+	if out[1][0] != 33 || out[1][1] != 44 {
+		t.Errorf("rank 1 chunk = %v, want [33 44]", out[1])
+	}
+}
+
+func TestReduceScatterMean(t *testing.T) {
+	g := newGroup(2)
+	out := make([][]float32, 2)
+	runSPMD(2, func(rank int) {
+		buf := []float32{2, 4, 6, 8}
+		out[rank] = g.ReduceScatterMean(rank, buf)
+	})
+	if out[0][0] != 2 || out[1][1] != 8 {
+		t.Errorf("mean chunks: %v %v", out[0], out[1])
+	}
+}
+
+func TestBroadcastFromRoot(t *testing.T) {
+	g := newGroup(3)
+	out := make([][]float32, 3)
+	runSPMD(3, func(rank int) {
+		buf := []float32{float32(rank), float32(rank)}
+		if rank == 0 {
+			buf = []float32{7, 9}
+		}
+		out[rank] = g.Broadcast(rank, buf)
+	})
+	for r := 0; r < 3; r++ {
+		if out[r][0] != 7 || out[r][1] != 9 {
+			t.Fatalf("rank %d broadcast = %v", r, out[r])
+		}
+	}
+}
+
+func TestAllReduceScalar(t *testing.T) {
+	g := newGroup(4)
+	out := make([]float64, 4)
+	runSPMD(4, func(rank int) {
+		out[rank] = g.AllReduceScalar(rank, float64(rank))
+	})
+	for r, v := range out {
+		if v != 6 {
+			t.Fatalf("rank %d scalar sum = %v, want 6", r, v)
+		}
+	}
+}
+
+func TestSequentialCollectivesDoNotCrossTalk(t *testing.T) {
+	// Back-to-back collectives on the same group must not mix results
+	// (exercises the rendezvous sequencing logic).
+	g := newGroup(4)
+	const iters = 50
+	errs := make([]bool, 4)
+	runSPMD(4, func(rank int) {
+		for i := 0; i < iters; i++ {
+			got := g.AllReduceSum(rank, []float32{float32(i)})
+			if got[0] != float32(4*i) {
+				errs[rank] = true
+				return
+			}
+			full := g.AllGather(rank, []float32{float32(rank + i)})
+			for r := 0; r < 4; r++ {
+				if full[r] != float32(r+i) {
+					errs[rank] = true
+					return
+				}
+			}
+		}
+	})
+	for r, e := range errs {
+		if e {
+			t.Fatalf("rank %d observed cross-talk", r)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	g := NewGroup(m.Devices[:2])
+	m.Devices[0].Compute(int64(1e12)) // device 0 is ahead
+	runSPMD(2, func(rank int) { g.Barrier(rank) })
+	c0, c1 := m.Devices[0].Clock(), m.Devices[1].Clock()
+	if math.Abs(c0-c1) > 1e-12 {
+		t.Errorf("clocks diverge after barrier: %v vs %v", c0, c1)
+	}
+	if m.Devices[1].CommTime() <= 0 {
+		t.Error("waiting rank should attribute time to communication")
+	}
+}
+
+func TestIntraNodeGroupCheaperThanInterNode(t *testing.T) {
+	m := cluster.NewMachine(cluster.Frontier(), 2, 0)
+	intra := NewGroup(m.Devices[:2])                                 // same node
+	inter := NewGroup([]*cluster.Device{m.Devices[0], m.Devices[8]}) // across nodes
+	buf := make([]float32, 1<<20)
+	runSPMD(2, func(rank int) { intra.AllReduceSum(rank, buf) })
+	intraTime := m.MaxClock()
+	for _, d := range m.Devices {
+		d.ResetStats()
+	}
+	runSPMD(2, func(rank int) { inter.AllReduceSum(rank, buf) })
+	interTime := m.MaxClock()
+	if intraTime >= interTime {
+		t.Errorf("intra-node collective (%v s) should beat inter-node (%v s)", intraTime, interTime)
+	}
+}
+
+func TestRingCostScalesWithSizeAndRanks(t *testing.T) {
+	g2 := newGroup(2)
+	g8 := newGroup(8)
+	small := g2.ringCost(1 << 10)
+	big := g2.ringCost(1 << 24)
+	if small >= big {
+		t.Error("cost should grow with bytes")
+	}
+	if g8.ringCost(1<<24) <= g2.ringCost(1<<24)/4 {
+		t.Error("more ranks should not make a ring dramatically cheaper")
+	}
+	if g2.ringCost(0) <= 0 {
+		t.Error("nonzero latency even for empty payload")
+	}
+}
+
+// Property: AllGather then local shard extraction is the identity, and
+// ReduceScatter of replicated data returns each rank's own chunk.
+func TestPropertyGatherScatterInverses(t *testing.T) {
+	prop := func(seed int64, ranksSel uint8) bool {
+		ranks := 2 + int(ranksSel)%3
+		per := 3
+		g := newGroup(ranks)
+		data := make([][]float32, ranks)
+		for r := range data {
+			data[r] = make([]float32, per)
+			for i := range data[r] {
+				data[r][i] = float32((seed+int64(r*per+i))%97) / 7
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		runSPMD(ranks, func(rank int) {
+			full := g.AllGather(rank, data[rank])
+			// shard r of the gathered buffer equals rank r's input
+			for r := 0; r < ranks; r++ {
+				for i := 0; i < per; i++ {
+					if full[r*per+i] != data[r][i] {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+					}
+				}
+			}
+			// reduce-scatter of the replicated full buffer divided by
+			// ranks returns the original shard
+			back := g.ReduceScatterMean(rank, full)
+			for i := 0; i < per; i++ {
+				if math.Abs(float64(back[i]-data[rank][i])) > 1e-6 {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceScatterRejectsIndivisible(t *testing.T) {
+	g := newGroup(3)
+	done := make(chan bool, 3)
+	runSPMD(3, func(rank int) {
+		defer func() { done <- recover() != nil }()
+		g.ReduceScatterSum(rank, make([]float32, 4)) // 4 % 3 != 0
+	})
+	for i := 0; i < 3; i++ {
+		if !<-done {
+			// Only the last-arriving rank runs combine, but the check
+			// happens before exchange, so every rank panics.
+			t.Fatal("expected panic on indivisible reduce-scatter")
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"orbit/internal/cluster"
+	"orbit/internal/nn"
+	"orbit/internal/parallel"
+	"orbit/internal/tensor"
+)
+
+// Options enables the training optimizations of paper Sec. III-B /
+// Table I. LayerWrapping and ActivationCheckpoint change the
+// functional engine's memory behaviour; Prefetch and MixedPrecision
+// primarily affect the analytical performance model (the functional
+// engine stays numerically fp32 so equivalence tests remain exact,
+// and prefetching changes when communication happens, not what it
+// computes).
+type Options struct {
+	// LayerWrapping gathers FSDP shards one transformer layer at a
+	// time instead of the whole model (Sec. III-B "Layer Wrapping").
+	LayerWrapping bool
+	// Prefetch overlaps the next layer's shard gather with the current
+	// layer's compute (Sec. III-B "Prefetching").
+	Prefetch bool
+	// ActivationCheckpoint discards per-block activations in forward
+	// and recomputes them during backward (Sec. III-B).
+	ActivationCheckpoint bool
+	// MixedPrecision stores gathered parameters and exchanged
+	// activations in bf16 (Sec. III-B "Mixed-Precision"); halves
+	// communication and gather-buffer bytes.
+	MixedPrecision bool
+}
+
+// DefaultOptions enables everything, as the paper's production
+// configuration does (last column of Table I).
+func DefaultOptions() Options {
+	return Options{LayerWrapping: true, Prefetch: true, ActivationCheckpoint: true, MixedPrecision: true}
+}
+
+// Engine is one rank's Hybrid-STOP instance over a transformer block
+// stack. The rank owns: (a) the TP shard of every block determined by
+// its T coordinate, (b) only the 1/FSDP flat chunk of that shard, and
+// (c) staging replicas that full shards are gathered into per layer.
+type Engine struct {
+	Rank   int
+	Coord  Coord
+	Layout Layout
+	Groups *Groups
+	Opts   Options
+	Device *cluster.Device
+
+	blocks      []*parallel.TPBlock
+	blockParams [][]*nn.Param
+	chunks      []*nn.Param // rank-owned FSDP chunk per block
+	gatherBytes []int64
+	actBytes    []int64
+	savedInputs []*tensor.Tensor
+	heldAct     int64
+}
+
+// paramBytes is the functional engine's per-element staging cost:
+// bf16 gathers move and hold half the bytes of fp32.
+func (e *Engine) paramBytes() int64 {
+	if e.Opts.MixedPrecision {
+		return 2
+	}
+	return 4
+}
+
+// NewEngine shards the reference blocks for this rank. Every rank
+// must construct from an identical reference stack (same seed); the
+// reference is only read, never retained.
+func NewEngine(rank int, layout Layout, groups *Groups, ref []*nn.TransformerBlock, opts Options, dev *cluster.Device) (*Engine, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Rank:   rank,
+		Coord:  layout.CoordOf(rank),
+		Layout: layout,
+		Groups: groups,
+		Opts:   opts,
+		Device: dev,
+	}
+	for i, rb := range ref {
+		b := parallel.NewTPBlock(e.Coord.T, groups.TP, rb)
+		e.blocks = append(e.blocks, b)
+		params := b.Params()
+		e.blockParams = append(e.blockParams, params)
+
+		flat := parallel.FlattenParams(params, groups.FSDP.Size())
+		chunkLen := len(flat) / groups.FSDP.Size()
+		chunk := make([]float32, chunkLen)
+		copy(chunk, flat[e.Coord.F*chunkLen:(e.Coord.F+1)*chunkLen])
+		e.chunks = append(e.chunks, nn.NewParam(fmt.Sprintf("hstop.block%d.chunk", i), tensor.FromSlice(chunk, chunkLen)))
+		e.gatherBytes = append(e.gatherBytes, int64(len(flat))*e.paramBytes())
+
+		// Rough per-block activation footprint: token embeddings at
+		// each of ~8 interior stages plus local attention maps.
+		t := int64(0)
+		if dev != nil {
+			dim := int64(rb.LN1.Dim)
+			t = 8*4*dim*dimTokensHint + 4*int64(b.Attn.LocalHeads)*dimTokensHint*dimTokensHint
+		}
+		e.actBytes = append(e.actBytes, t)
+
+		if dev != nil {
+			// Persistent: owned chunk weights + grads (fp32 master).
+			if err := dev.Alloc(int64(chunkLen) * 8); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.savedInputs = make([]*tensor.Tensor, len(ref))
+	return e, nil
+}
+
+// dimTokensHint sizes the activation estimate; engines process
+// sequences of a few hundred tokens at most in functional mode.
+const dimTokensHint = 64
+
+// Chunks exposes the rank-owned parameter chunks for the optimizer.
+func (e *Engine) Chunks() []*nn.Param { return e.chunks }
+
+// gatherBlock materializes block b's full TP-shard parameters from
+// the FSDP group. Unlike vanilla FSDP this gathers a 1/TP shard, not
+// the full model — the core memory advantage of Hybrid-STOP.
+func (e *Engine) gatherBlock(b int) error {
+	if e.Device != nil {
+		if err := e.Device.Alloc(e.gatherBytes[b]); err != nil {
+			return err
+		}
+	}
+	full := e.Groups.FSDP.AllGather(e.Coord.F, e.chunks[b].W.Data())
+	parallel.UnflattenInto(full, e.blockParams[b])
+	return nil
+}
+
+// releaseBlock frees block b's gathered staging copy.
+func (e *Engine) releaseBlock(b int) {
+	if e.Device != nil {
+		e.Device.Free(e.gatherBytes[b])
+	}
+}
+
+// Forward runs the rank's local sample through the sharded stack.
+// Ranks in the same TP group must pass identical x (they share the
+// data batch); ranks differing in F or D pass their own samples.
+func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !e.Opts.LayerWrapping {
+		for b := range e.blocks {
+			if err := e.gatherBlock(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for b, blk := range e.blocks {
+		if e.Opts.LayerWrapping {
+			if err := e.gatherBlock(b); err != nil {
+				return nil, err
+			}
+		}
+		if e.Opts.ActivationCheckpoint {
+			// Keep only the block input; interior activations are
+			// recomputed in backward.
+			e.savedInputs[b] = x
+		} else {
+			e.savedInputs[b] = x
+			if e.Device != nil {
+				if err := e.Device.Alloc(e.actBytes[b]); err != nil {
+					return nil, err
+				}
+				e.heldAct += e.actBytes[b]
+			}
+		}
+		x = blk.Forward(x)
+		if e.Opts.LayerWrapping {
+			e.releaseBlock(b)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates dy through the stack in reverse: per block it
+// re-gathers the shard (paper Fig. 3b), optionally recomputes the
+// forward (activation checkpointing), computes shard gradients,
+// averages them over the FSDP group with reduce-scatter, and finally
+// averages the chunk gradients across the DDP group. Gradients land
+// in Chunks()[b].Grad.
+func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	for b := len(e.blocks) - 1; b >= 0; b-- {
+		if e.Opts.LayerWrapping {
+			if err := e.gatherBlock(b); err != nil {
+				return nil, err
+			}
+		}
+		if e.Opts.ActivationCheckpoint {
+			// Recompute the forward segment to rebuild layer caches
+			// (trading compute for memory, Sec. III-B).
+			e.blocks[b].Forward(e.savedInputs[b])
+		} else if e.Device != nil {
+			e.Device.Free(e.actBytes[b])
+			e.heldAct -= e.actBytes[b]
+		}
+		nn.ZeroGrads(e.blockParams[b])
+		dy = e.blocks[b].Backward(dy)
+		flat := parallel.FlattenGrads(e.blockParams[b], e.Groups.FSDP.Size())
+		chunk := e.Groups.FSDP.ReduceScatterMean(e.Coord.F, flat)
+		copy(e.chunks[b].Grad.Data(), chunk)
+		e.releaseBlock(b)
+	}
+	// Outer DDP level: one gradient reduction per step (Fig. 4).
+	if e.Groups.DDP.Size() > 1 {
+		for _, c := range e.chunks {
+			avg := e.Groups.DDP.AllReduceMean(e.Coord.D, c.Grad.Data())
+			copy(c.Grad.Data(), avg)
+		}
+	}
+	return dy, nil
+}
+
+// AverageLoss averages a local loss over all ranks. Every sample is
+// counted TP times (TP ranks share a sample), uniformly, so the
+// all-rank mean equals the per-sample mean.
+func (e *Engine) AverageLoss(local float64) float64 {
+	return e.Groups.All.AllReduceScalar(e.Rank, local) / float64(e.Groups.All.Size())
+}

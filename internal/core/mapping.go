@@ -1,0 +1,144 @@
+// Package core implements Hybrid Sharded Tensor-Data Orthogonal
+// Parallelism (Hybrid-STOP), the primary contribution of the ORBIT
+// paper (Sec. III). Hybrid-STOP distributes the two-matmul chains of
+// the transformer (self-attention and feed-forward, both of the form
+// y = xAB) in alternating column shards of A and row shards of B
+// across a tensor-parallel group — exploiting the identity
+// xAB = Σ_k x·A_{*,k}·B_{k,*} (Eqn. 2) — while every shard is
+// additionally flat-sharded across an FSDP group and gathered
+// per-layer on demand, so no rank ever materializes the full model
+// (unlike vanilla FSDP, Fig. 2). An outer DDP level provides the
+// remaining scale-out. The three groups are orthogonal axes of a rank
+// grid mapped onto the machine hierarchy (Fig. 4): TP inside a node's
+// fast Infinity Fabric, FSDP across nodes, DDP across sub-clusters.
+package core
+
+import (
+	"fmt"
+
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+)
+
+// Layout describes the three orthogonal parallelism group sizes.
+type Layout struct {
+	TP, FSDP, DDP int
+}
+
+// Ranks returns the total rank count TP×FSDP×DDP.
+func (l Layout) Ranks() int { return l.TP * l.FSDP * l.DDP }
+
+// Validate reports impossible layouts.
+func (l Layout) Validate() error {
+	if l.TP < 1 || l.FSDP < 1 || l.DDP < 1 {
+		return fmt.Errorf("core: group sizes must be positive, got %+v", l)
+	}
+	return nil
+}
+
+// Coord locates a rank on the 3-D grid.
+type Coord struct {
+	T, F, D int
+}
+
+// RankOf converts grid coordinates to a global rank. The TP index is
+// fastest-varying so a TP group occupies consecutive devices (and
+// therefore a single node when TP ≤ GPUs/node) — the paper's
+// hierarchical mapping.
+func (l Layout) RankOf(c Coord) int {
+	return (c.D*l.FSDP+c.F)*l.TP + c.T
+}
+
+// CoordOf inverts RankOf.
+func (l Layout) CoordOf(rank int) Coord {
+	return Coord{
+		T: rank % l.TP,
+		F: (rank / l.TP) % l.FSDP,
+		D: rank / (l.TP * l.FSDP),
+	}
+}
+
+// Groups holds one rank's three communicators.
+type Groups struct {
+	TP   *comm.Group // same (D,F), varying T: activation reductions
+	FSDP *comm.Group // same (D,T), varying F: parameter gather/scatter
+	DDP  *comm.Group // same (F,T), varying D: gradient all-reduce
+	// All spans every rank (loss averaging / diagnostics).
+	All *comm.Group
+}
+
+// BuildGroups constructs the communicator grid over the machine's
+// first Ranks() devices. Groups are shared objects: BuildGroups
+// returns a per-rank view backed by common communicators, exactly one
+// per grid line.
+func BuildGroups(l Layout, m *cluster.Machine) ([]*Groups, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := l.Ranks()
+	if len(m.Devices) < n {
+		return nil, fmt.Errorf("core: layout needs %d devices, machine has %d", n, len(m.Devices))
+	}
+	devs := m.Devices[:n]
+
+	tpGroups := make(map[[2]int]*comm.Group)
+	fsdpGroups := make(map[[2]int]*comm.Group)
+	ddpGroups := make(map[[2]int]*comm.Group)
+	all := comm.NewGroup(devs)
+
+	group := func(members []int) *comm.Group {
+		ds := make([]*cluster.Device, len(members))
+		for i, r := range members {
+			ds[i] = devs[r]
+		}
+		return comm.NewGroup(ds)
+	}
+
+	for d := 0; d < l.DDP; d++ {
+		for f := 0; f < l.FSDP; f++ {
+			members := make([]int, l.TP)
+			for t := 0; t < l.TP; t++ {
+				members[t] = l.RankOf(Coord{T: t, F: f, D: d})
+			}
+			tpGroups[[2]int{d, f}] = group(members)
+		}
+	}
+	for d := 0; d < l.DDP; d++ {
+		for t := 0; t < l.TP; t++ {
+			members := make([]int, l.FSDP)
+			for f := 0; f < l.FSDP; f++ {
+				members[f] = l.RankOf(Coord{T: t, F: f, D: d})
+			}
+			fsdpGroups[[2]int{d, t}] = group(members)
+		}
+	}
+	for f := 0; f < l.FSDP; f++ {
+		for t := 0; t < l.TP; t++ {
+			members := make([]int, l.DDP)
+			for d := 0; d < l.DDP; d++ {
+				members[d] = l.RankOf(Coord{T: t, F: f, D: d})
+			}
+			ddpGroups[[2]int{f, t}] = group(members)
+		}
+	}
+
+	views := make([]*Groups, n)
+	for r := 0; r < n; r++ {
+		c := l.CoordOf(r)
+		views[r] = &Groups{
+			TP:   tpGroups[[2]int{c.D, c.F}],
+			FSDP: fsdpGroups[[2]int{c.D, c.T}],
+			DDP:  ddpGroups[[2]int{c.F, c.T}],
+			All:  all,
+		}
+	}
+	return views, nil
+}
+
+// TPWithinNode reports whether every TP group fits inside one node
+// under the contiguous mapping — the condition the paper's
+// hierarchical placement guarantees by construction when
+// TP ≤ GPUs/node and divides it evenly.
+func TPWithinNode(l Layout, gpusPerNode int) bool {
+	return l.TP <= gpusPerNode && gpusPerNode%l.TP == 0
+}

@@ -1,0 +1,125 @@
+// Package fft implements a radix-2 complex fast Fourier transform and
+// a 2-D transform over row-major grids. It is the substrate for the
+// AFNO spectral-mixing baseline (FourCastNet), which the paper
+// compares against in Fig. 9; the standard library has no FFT.
+//
+// Transforms are unitary (normalized by 1/√N in both directions), so
+// Forward followed by Inverse is the identity and Parseval's theorem
+// holds exactly — properties the spectral layer's backward pass relies
+// on.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Forward computes the unitary DFT of x in place. len(x) must be a
+// power of two.
+func Forward(x []complex128) { transform(x, false) }
+
+// Inverse computes the unitary inverse DFT of x in place.
+func Inverse(x []complex128) { transform(x, true) }
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley–Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	// Unitary normalization.
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// Grid is a complex 2-D field in row-major order used by the 2-D
+// transforms.
+type Grid struct {
+	H, W int
+	Data []complex128
+}
+
+// NewGrid allocates an H×W complex grid.
+func NewGrid(h, w int) *Grid {
+	return &Grid{H: h, W: w, Data: make([]complex128, h*w)}
+}
+
+// FromReal builds a grid from real row-major values.
+func FromReal(vals []float32, h, w int) *Grid {
+	g := NewGrid(h, w)
+	for i, v := range vals {
+		g.Data[i] = complex(float64(v), 0)
+	}
+	return g
+}
+
+// Real extracts the real parts into dst (length H*W).
+func (g *Grid) Real(dst []float32) {
+	for i, v := range g.Data {
+		dst[i] = float32(real(v))
+	}
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	c := NewGrid(g.H, g.W)
+	copy(c.Data, g.Data)
+	return c
+}
+
+// Forward2D applies the unitary 2-D DFT in place (rows then columns).
+// H and W must be powers of two.
+func Forward2D(g *Grid) { transform2D(g, false) }
+
+// Inverse2D applies the unitary inverse 2-D DFT in place.
+func Inverse2D(g *Grid) { transform2D(g, true) }
+
+func transform2D(g *Grid, inverse bool) {
+	// Rows.
+	for r := 0; r < g.H; r++ {
+		transform(g.Data[r*g.W:(r+1)*g.W], inverse)
+	}
+	// Columns, via a strided gather/scatter buffer.
+	col := make([]complex128, g.H)
+	for c := 0; c < g.W; c++ {
+		for r := 0; r < g.H; r++ {
+			col[r] = g.Data[r*g.W+c]
+		}
+		transform(col, inverse)
+		for r := 0; r < g.H; r++ {
+			g.Data[r*g.W+c] = col[r]
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"orbit/internal/tensor"
+)
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = complex(rng.Norm(), rng.Norm())
+	}
+	orig := append([]complex128(nil), x...)
+	Forward(x)
+	Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("round trip[%d]: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestKnownDFTOfImpulse(t *testing.T) {
+	// The DFT of a unit impulse is flat with value 1/√N.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Forward(x)
+	want := 1 / math.Sqrt(8)
+	for i, v := range x {
+		if math.Abs(real(v)-want) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestKnownDFTOfCosine(t *testing.T) {
+	// cos(2πk₀j/N) concentrates at bins ±k₀ with magnitude √N/2.
+	n := 32
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = complex(math.Cos(2*math.Pi*3*float64(j)/float64(n)), 0)
+	}
+	Forward(x)
+	want := math.Sqrt(float64(n)) / 2
+	if math.Abs(cmplx.Abs(x[3])-want) > 1e-9 {
+		t.Errorf("|X[3]| = %v, want %v", cmplx.Abs(x[3]), want)
+	}
+	if math.Abs(cmplx.Abs(x[n-3])-want) > 1e-9 {
+		t.Errorf("|X[N-3]| = %v, want %v", cmplx.Abs(x[n-3]), want)
+	}
+	if cmplx.Abs(x[5]) > 1e-9 {
+		t.Errorf("leakage at bin 5: %v", cmplx.Abs(x[5]))
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		x := make([]complex128, 64)
+		var before float64
+		for i := range x {
+			x[i] = complex(rng.Norm(), rng.Norm())
+			before += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		Forward(x)
+		var after float64
+		for _, v := range x {
+			after += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(before-after) < 1e-9*(1+before)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		a := make([]complex128, 16)
+		b := make([]complex128, 16)
+		sum := make([]complex128, 16)
+		for i := range a {
+			a[i] = complex(rng.Norm(), 0)
+			b[i] = complex(rng.Norm(), 0)
+			sum[i] = a[i] + b[i]
+		}
+		Forward(a)
+		Forward(b)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length 12")
+		}
+	}()
+	Forward(make([]complex128, 12))
+}
+
+func Test2DRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	g := NewGrid(8, 16)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Norm(), 0)
+	}
+	orig := g.Clone()
+	Forward2D(g)
+	Inverse2D(g)
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig.Data[i]) > 1e-12 {
+			t.Fatalf("2D round trip failed at %d", i)
+		}
+	}
+}
+
+func Test2DPlaneWaveConcentrates(t *testing.T) {
+	h, w := 8, 16
+	g := NewGrid(h, w)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			g.Data[r*w+c] = complex(math.Cos(2*math.Pi*(2*float64(r)/float64(h)+3*float64(c)/float64(w))), 0)
+		}
+	}
+	Forward2D(g)
+	// Energy at (2,3) and its conjugate (h-2, w-3).
+	peak := cmplx.Abs(g.Data[2*w+3])
+	conj := cmplx.Abs(g.Data[(h-2)*w+(w-3)])
+	if peak < 1 || math.Abs(peak-conj) > 1e-9 {
+		t.Errorf("plane wave peaks: %v, %v", peak, conj)
+	}
+	// Total energy elsewhere is negligible.
+	var other float64
+	for i, v := range g.Data {
+		if i != 2*w+3 && i != (h-2)*w+(w-3) {
+			other += cmplx.Abs(v)
+		}
+	}
+	if other > 1e-6 {
+		t.Errorf("spectral leakage %v", other)
+	}
+}
+
+func TestFromRealAndReal(t *testing.T) {
+	vals := []float32{1, 2, 3, 4}
+	g := FromReal(vals, 2, 2)
+	out := make([]float32, 4)
+	g.Real(out)
+	for i, v := range vals {
+		if out[i] != v {
+			t.Fatalf("Real[%d] = %v", i, out[i])
+		}
+	}
+}

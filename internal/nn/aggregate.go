@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// VariableAggregation fuses per-channel token embeddings [C, T, D]
+// into a single token sequence [T, D] by cross-attention with one
+// learned query per model — the ClimaX "variable aggregation" module
+// (paper Fig. 1). Each channel first receives a learned variable
+// embedding so physically different variables remain distinguishable;
+// then, independently for every spatial token, a single learned query
+// attends over the C channel embeddings.
+type VariableAggregation struct {
+	Channels, Dim int
+
+	VarEmbed *Param // [C, D] learned per-variable identity embedding
+	Query    *Param // [D]
+	WK, WV   *Linear
+
+	// caches
+	e     *tensor.Tensor // input + varEmbed, [C*T, D] view
+	kMat  *tensor.Tensor // keys [C*T, D]
+	vMat  *tensor.Tensor // values [C*T, D]
+	alpha *tensor.Tensor // attention weights [T, C]
+	tOut  int
+}
+
+// NewVariableAggregation builds the aggregation module.
+func NewVariableAggregation(name string, channels, dim int, rng *tensor.RNG) *VariableAggregation {
+	return &VariableAggregation{
+		Channels: channels,
+		Dim:      dim,
+		VarEmbed: NewParam(name+".varembed", tensor.Randn(rng, 0.02, channels, dim)),
+		Query:    NewParam(name+".query", tensor.Randn(rng, 0.02, dim)),
+		WK:       NewLinear(name+".wk", dim, dim, false, rng),
+		WV:       NewLinear(name+".wv", dim, dim, false, rng),
+	}
+}
+
+// Forward maps [C, T, D] -> [T, D].
+func (va *VariableAggregation) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("VariableAggregation", x, 3)
+	c, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	if c != va.Channels || d != va.Dim {
+		panic(fmt.Sprintf("nn: VariableAggregation input %v, want [%d T %d]", x.Shape(), va.Channels, va.Dim))
+	}
+	va.tOut = t
+
+	// e[c,t,:] = x[c,t,:] + varEmbed[c,:]
+	e := tensor.New(c*t, d)
+	ed := e.Data()
+	xd := x.Data()
+	ve := va.VarEmbed.W.Data()
+	for ci := 0; ci < c; ci++ {
+		for ti := 0; ti < t; ti++ {
+			base := (ci*t + ti) * d
+			vb := ci * d
+			for k := 0; k < d; k++ {
+				ed[base+k] = xd[base+k] + ve[vb+k]
+			}
+		}
+	}
+	va.e = e
+
+	va.kMat = va.WK.Forward(e) // [C*T, D]
+	va.vMat = va.WV.Forward(e) // [C*T, D]
+
+	scale := float32(1 / math.Sqrt(float64(d)))
+	q := va.Query.W.Data()
+	// scores[t, c] = (k[c,t,:] · q) * scale, softmax over c.
+	va.alpha = tensor.New(t, c)
+	kd := va.kMat.Data()
+	scoresRow := make([]float32, c)
+	out := tensor.New(t, d)
+	od := out.Data()
+	vd := va.vMat.Data()
+	for ti := 0; ti < t; ti++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ci*t + ti) * d
+			var s float32
+			for k := 0; k < d; k++ {
+				s += kd[base+k] * q[k]
+			}
+			scoresRow[ci] = s * scale
+		}
+		ar := va.alpha.Row(ti)
+		softmaxRowInto(scoresRow, ar)
+		// out[t,:] = Σ_c α[t,c] * v[c,t,:]
+		ob := od[ti*d : (ti+1)*d]
+		for ci := 0; ci < c; ci++ {
+			a := ar[ci]
+			vb := vd[(ci*t+ti)*d : (ci*t+ti+1)*d]
+			for k := 0; k < d; k++ {
+				ob[k] += a * vb[k]
+			}
+		}
+	}
+	return out
+}
+
+func softmaxRowInto(in, out []float32) {
+	maxv := in[0]
+	for _, v := range in[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range in {
+		e := math.Exp(float64(v - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// Backward maps d[T, D] -> d[C, T, D] and accumulates gradients for
+// the query, the key/value projections, and the variable embeddings.
+func (va *VariableAggregation) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	checkRank("VariableAggregation", dy, 2)
+	c, t, d := va.Channels, va.tOut, va.Dim
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	dK := tensor.New(c*t, d)
+	dV := tensor.New(c*t, d)
+	dq := va.Query.Grad.Data()
+	q := va.Query.W.Data()
+	kd := va.kMat.Data()
+	vd := va.vMat.Data()
+	dyd := dy.Data()
+	dkd := dK.Data()
+	dvd := dV.Data()
+
+	dAlphaRow := make([]float32, c)
+	dScoreRow := make([]float32, c)
+	for ti := 0; ti < t; ti++ {
+		dout := dyd[ti*d : (ti+1)*d]
+		ar := va.alpha.Row(ti)
+		// dα[c] = dout · v[c,t,:]; dv[c,t,:] += α[c]*dout
+		for ci := 0; ci < c; ci++ {
+			base := (ci*t + ti) * d
+			var s float32
+			vb := vd[base : base+d]
+			dvb := dvd[base : base+d]
+			a := ar[ci]
+			for k := 0; k < d; k++ {
+				s += dout[k] * vb[k]
+				dvb[k] += a * dout[k]
+			}
+			dAlphaRow[ci] = s
+		}
+		// softmax backward over the channel axis
+		var dot float64
+		for ci := 0; ci < c; ci++ {
+			dot += float64(ar[ci]) * float64(dAlphaRow[ci])
+		}
+		for ci := 0; ci < c; ci++ {
+			dScoreRow[ci] = ar[ci] * (dAlphaRow[ci] - float32(dot)) * scale
+		}
+		// dk[c,t,:] += ds[c]*q ; dq += ds[c]*k[c,t,:]
+		for ci := 0; ci < c; ci++ {
+			ds := dScoreRow[ci]
+			base := (ci*t + ti) * d
+			kb := kd[base : base+d]
+			dkb := dkd[base : base+d]
+			for k := 0; k < d; k++ {
+				dkb[k] += ds * q[k]
+				dq[k] += ds * kb[k]
+			}
+		}
+	}
+
+	dE := va.WK.Backward(dK)
+	dE.AddInPlace(va.WV.Backward(dV))
+
+	// Gradient of the variable embedding: sum dE over tokens per
+	// channel; dx equals dE reshaped.
+	dved := va.VarEmbed.Grad.Data()
+	ded := dE.Data()
+	for ci := 0; ci < c; ci++ {
+		for ti := 0; ti < t; ti++ {
+			base := (ci*t + ti) * d
+			vb := ci * d
+			for k := 0; k < d; k++ {
+				dved[vb+k] += ded[base+k]
+			}
+		}
+	}
+	return dE.Reshape(c, t, d)
+}
+
+// Params returns the module's trainable parameters.
+func (va *VariableAggregation) Params() []*Param {
+	ps := []*Param{va.VarEmbed, va.Query}
+	ps = append(ps, va.WK.Params()...)
+	ps = append(ps, va.WV.Params()...)
+	return ps
+}
+
+// AttentionWeights returns the most recent [T, C] aggregation weights
+// (useful for interpreting which variables the model attends to).
+func (va *VariableAggregation) AttentionWeights() *tensor.Tensor { return va.alpha }

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// MultiHeadAttention is full (non-causal) multi-head self-attention
+// over a token sequence [T, D]. When QKNorm is enabled, queries and
+// keys are layer-normalized per head before the scaled dot product —
+// the ORBIT/ViT-22B stabilization that contains attention-logit growth
+// (paper Sec. III-B, "Architecture Optimization").
+type MultiHeadAttention struct {
+	Dim, Heads, HeadDim int
+	QKNorm              bool
+
+	WQ, WK, WV, WO *Linear
+	QNorm, KNorm   *LayerNorm // per-head LN over HeadDim, nil unless QKNorm
+
+	// caches for backward
+	q, k, v                *tensor.Tensor   // post-projection (and post-LN) [T, D]
+	probs                  []*tensor.Tensor // per-head softmax outputs [T, T]
+	qHeads, kHeads, vHeads []*tensor.Tensor
+	qPre, kPre             *tensor.Tensor // pre-LN projections, cached when QKNorm
+}
+
+// NewMultiHeadAttention builds an attention block. dim must be
+// divisible by heads.
+func NewMultiHeadAttention(name string, dim, heads int, qkNorm bool, rng *tensor.RNG) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	a := &MultiHeadAttention{
+		Dim:     dim,
+		Heads:   heads,
+		HeadDim: dim / heads,
+		QKNorm:  qkNorm,
+		WQ:      NewLinear(name+".wq", dim, dim, true, rng),
+		WK:      NewLinear(name+".wk", dim, dim, true, rng),
+		WV:      NewLinear(name+".wv", dim, dim, true, rng),
+		WO:      NewLinear(name+".wo", dim, dim, true, rng),
+	}
+	if qkNorm {
+		a.QNorm = NewLayerNorm(name+".qnorm", a.HeadDim)
+		a.KNorm = NewLayerNorm(name+".knorm", a.HeadDim)
+	}
+	return a
+}
+
+// Forward computes self-attention over x: [T, D] -> [T, D].
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("MultiHeadAttention", x, 2)
+	t := x.Dim(0)
+	q := a.WQ.Forward(x)
+	k := a.WK.Forward(x)
+	v := a.WV.Forward(x)
+
+	if a.QKNorm {
+		// Rows of [T, D] regroup exactly into [T*H, HeadDim] because a
+		// row is laid out head-major.
+		a.qPre, a.kPre = q, k
+		q = a.QNorm.Forward(q.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
+		k = a.KNorm.Forward(k.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
+	}
+	a.q, a.k, a.v = q, k, v
+
+	a.qHeads = tensor.Split(q, 1, a.Heads)
+	a.kHeads = tensor.Split(k, 1, a.Heads)
+	a.vHeads = tensor.Split(v, 1, a.Heads)
+	a.probs = make([]*tensor.Tensor, a.Heads)
+
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	outHeads := make([]*tensor.Tensor, a.Heads)
+	for h := 0; h < a.Heads; h++ {
+		scores := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
+		scores.ScaleInPlace(scale)
+		p := tensor.Softmax(scores)
+		a.probs[h] = p
+		outHeads[h] = tensor.MatMul(p, a.vHeads[h])
+	}
+	concat := tensor.Concat(1, outHeads...)
+	return a.WO.Forward(concat)
+}
+
+// Backward propagates gradients through the attention block,
+// accumulating parameter gradients, and returns dL/dx.
+func (a *MultiHeadAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	t := dy.Dim(0)
+	dConcat := a.WO.Backward(dy)
+	dHeads := tensor.Split(dConcat, 1, a.Heads)
+
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	dqHeads := make([]*tensor.Tensor, a.Heads)
+	dkHeads := make([]*tensor.Tensor, a.Heads)
+	dvHeads := make([]*tensor.Tensor, a.Heads)
+	for h := 0; h < a.Heads; h++ {
+		p := a.probs[h]
+		dOut := dHeads[h]
+		dvHeads[h] = tensor.MatMulTransA(p, dOut)
+		dp := tensor.MatMulTransB(dOut, a.vHeads[h])
+		ds := tensor.SoftmaxBackward(p, dp)
+		ds.ScaleInPlace(scale)
+		dqHeads[h] = tensor.MatMul(ds, a.kHeads[h])
+		dkHeads[h] = tensor.MatMulTransA(ds, a.qHeads[h])
+	}
+	dq := tensor.Concat(1, dqHeads...)
+	dk := tensor.Concat(1, dkHeads...)
+	dv := tensor.Concat(1, dvHeads...)
+
+	if a.QKNorm {
+		dq = a.QNorm.Backward(dq.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
+		dk = a.KNorm.Backward(dk.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
+	}
+
+	dx := a.WQ.Backward(dq)
+	dx.AddInPlace(a.WK.Backward(dk))
+	dx.AddInPlace(a.WV.Backward(dv))
+	return dx
+}
+
+// Params returns all trainable parameters of the block.
+func (a *MultiHeadAttention) Params() []*Param {
+	ps := append([]*Param{}, a.WQ.Params()...)
+	ps = append(ps, a.WK.Params()...)
+	ps = append(ps, a.WV.Params()...)
+	ps = append(ps, a.WO.Params()...)
+	if a.QKNorm {
+		ps = append(ps, a.QNorm.Params()...)
+		ps = append(ps, a.KNorm.Params()...)
+	}
+	return ps
+}
+
+// MaxAttentionLogit returns the largest |logit| observed in the most
+// recent forward pass, re-derived from the cached Q/K. Used by tests
+// and diagnostics to demonstrate the QK-norm containment effect.
+func (a *MultiHeadAttention) MaxAttentionLogit() float32 {
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	var m float32
+	for h := 0; h < a.Heads; h++ {
+		s := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
+		s.ScaleInPlace(scale)
+		if v := s.MaxAbs(); v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// PositionalEmbedding adds a learned position embedding to a token
+// sequence [T, D].
+type PositionalEmbedding struct {
+	Tokens, Dim int
+	Embed       *Param // [T, D]
+}
+
+// NewPositionalEmbedding builds a learned positional embedding
+// initialized with small Gaussian noise.
+func NewPositionalEmbedding(name string, tokens, dim int, rng *tensor.RNG) *PositionalEmbedding {
+	return &PositionalEmbedding{
+		Tokens: tokens, Dim: dim,
+		Embed: NewParam(name+".pos", tensor.Randn(rng, 0.02, tokens, dim)),
+	}
+}
+
+// Forward adds the embedding: [T, D] -> [T, D].
+func (p *PositionalEmbedding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("PositionalEmbedding", x, 2)
+	return tensor.Add(x, p.Embed.W)
+}
+
+// Backward accumulates the embedding gradient and passes dy through.
+func (p *PositionalEmbedding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	p.Embed.Grad.AddInPlace(dy)
+	return dy
+}
+
+// Params returns the embedding parameter.
+func (p *PositionalEmbedding) Params() []*Param { return []*Param{p.Embed} }
+
+// LeadTimeEmbedding conditions the token sequence on the forecast lead
+// time, as ClimaX does: the lead time (in hours) is encoded with
+// sinusoidal features and linearly projected to an offset added to
+// every token.
+type LeadTimeEmbedding struct {
+	Dim  int
+	Proj *Linear
+
+	feat *tensor.Tensor // cached sinusoidal features [1, Dim]
+}
+
+// NewLeadTimeEmbedding builds the lead-time conditioning module.
+func NewLeadTimeEmbedding(name string, dim int, rng *tensor.RNG) *LeadTimeEmbedding {
+	return &LeadTimeEmbedding{Dim: dim, Proj: NewLinear(name+".proj", dim, dim, true, rng)}
+}
+
+// Features computes the sinusoidal encoding of a lead time in hours.
+func (l *LeadTimeEmbedding) Features(leadHours float64) *tensor.Tensor {
+	f := tensor.New(1, l.Dim)
+	d := f.Data()
+	for i := 0; i < l.Dim/2; i++ {
+		freq := math.Pow(10000, -2*float64(i)/float64(l.Dim))
+		d[2*i] = float32(math.Sin(leadHours * freq))
+		d[2*i+1] = float32(math.Cos(leadHours * freq))
+	}
+	return f
+}
+
+// ForwardWithLead adds the projected lead-time embedding to every
+// token of x [T, D].
+func (l *LeadTimeEmbedding) ForwardWithLead(x *tensor.Tensor, leadHours float64) *tensor.Tensor {
+	checkRank("LeadTimeEmbedding", x, 2)
+	l.feat = l.Features(leadHours)
+	off := l.Proj.Forward(l.feat) // [1, D]
+	return tensor.AddRowVector(x, off.Reshape(l.Dim))
+}
+
+// Backward accumulates projection gradients (the offset receives the
+// sum of dy over tokens) and passes dy through to the tokens.
+func (l *LeadTimeEmbedding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dOff := tensor.SumRows(dy).Reshape(1, l.Dim)
+	l.Proj.Backward(dOff)
+	return dy
+}
+
+// Params returns the projection parameters.
+func (l *LeadTimeEmbedding) Params() []*Param { return l.Proj.Params() }

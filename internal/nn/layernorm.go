@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// LayerNorm normalizes each row of a rank-2 input to zero mean and
+// unit variance, then applies a learned affine transform:
+// y = (x-μ)/√(σ²+ε) · γ + β.
+//
+// ORBIT applies additional LayerNorms to attention queries and keys
+// (Sec. III-B "Architecture Optimization", following ViT-22B) to
+// prevent attention-logit divergence; those reuse this layer.
+type LayerNorm struct {
+	Dim   int
+	Eps   float64
+	Gamma *Param // [dim]
+	Beta  *Param // [dim]
+
+	x    *tensor.Tensor // cached input
+	xhat *tensor.Tensor // cached normalized input
+	rstd []float64      // cached reciprocal std per row
+}
+
+// NewLayerNorm builds a layer norm over vectors of length dim with
+// γ=1, β=0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		Dim:   dim,
+		Eps:   1e-5,
+		Gamma: NewParam(name+".gamma", tensor.Ones(dim)),
+		Beta:  NewParam(name+".beta", tensor.New(dim)),
+	}
+}
+
+// Forward normalizes each row of x: [rows, dim] -> [rows, dim].
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("LayerNorm", x, 2)
+	rows, dim := x.Dim(0), x.Dim(1)
+	if dim != l.Dim {
+		panic("nn: LayerNorm dimension mismatch")
+	}
+	l.x = x
+	l.xhat = tensor.New(rows, dim)
+	l.rstd = make([]float64, rows)
+	out := tensor.New(rows, dim)
+	g, b := l.Gamma.W.Data(), l.Beta.W.Data()
+	for r := 0; r < rows; r++ {
+		xr := x.Row(r)
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(dim)
+		var variance float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(dim)
+		rstd := 1 / math.Sqrt(variance+l.Eps)
+		l.rstd[r] = rstd
+		hr := l.xhat.Row(r)
+		or := out.Row(r)
+		for c, v := range xr {
+			h := float32((float64(v) - mean) * rstd)
+			hr[c] = h
+			or[c] = h*g[c] + b[c]
+		}
+	}
+	return out
+}
+
+// Backward computes input gradients and accumulates dγ, dβ using the
+// standard layer-norm backward:
+// dx = rstd/D · (D·dxhat − Σdxhat − xhat·Σ(dxhat⊙xhat)) with
+// dxhat = dy ⊙ γ.
+func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	checkRank("LayerNorm", dy, 2)
+	rows, dim := dy.Dim(0), dy.Dim(1)
+	dx := tensor.New(rows, dim)
+	g := l.Gamma.W.Data()
+	dg, db := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	for r := 0; r < rows; r++ {
+		dyr := dy.Row(r)
+		hr := l.xhat.Row(r)
+		dxr := dx.Row(r)
+		var sumDh, sumDhH float64
+		for c := 0; c < dim; c++ {
+			dh := float64(dyr[c]) * float64(g[c])
+			sumDh += dh
+			sumDhH += dh * float64(hr[c])
+			dg[c] += dyr[c] * hr[c]
+			db[c] += dyr[c]
+		}
+		rstd := l.rstd[r]
+		invD := 1 / float64(dim)
+		for c := 0; c < dim; c++ {
+			dh := float64(dyr[c]) * float64(g[c])
+			dxr[c] = float32(rstd * (dh - invD*sumDh - float64(hr[c])*invD*sumDhH))
+		}
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"orbit/internal/tensor"
+)
+
+// Linear is a fully connected layer y = xW + b over rank-2 inputs
+// [rows, in] -> [rows, out].
+type Linear struct {
+	In, Out int
+	Weight  *Param // [in, out]
+	Bias    *Param // [out], nil when built without bias
+
+	x *tensor.Tensor // cached input for backward
+}
+
+// NewLinear builds a linear layer with Xavier-uniform weights and zero
+// bias. The RNG is advanced deterministically.
+func NewLinear(name string, in, out int, withBias bool, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", tensor.XavierUniform(rng, in, out)),
+	}
+	if withBias {
+		l.Bias = NewParam(name+".bias", tensor.New(out))
+	}
+	return l
+}
+
+// NewLinearFromWeights wraps pre-built weight (and optional bias)
+// tensors; used by the parallel engines to install shards of a
+// reference model.
+func NewLinearFromWeights(name string, w, b *tensor.Tensor) *Linear {
+	l := &Linear{
+		In:     w.Dim(0),
+		Out:    w.Dim(1),
+		Weight: NewParam(name+".weight", w),
+	}
+	if b != nil {
+		l.Bias = NewParam(name+".bias", b)
+	}
+	return l
+}
+
+// Forward computes y = xW (+ b).
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("Linear", x, 2)
+	l.x = x
+	y := tensor.MatMul(x, l.Weight.W)
+	if l.Bias != nil {
+		y = tensor.AddRowVector(y, l.Bias.W)
+	}
+	return y
+}
+
+// Backward accumulates dW = xᵀdy, db = Σrows dy, and returns
+// dx = dy Wᵀ.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	checkRank("Linear", dy, 2)
+	l.Weight.Grad.AddInPlace(tensor.MatMulTransA(l.x, dy))
+	if l.Bias != nil {
+		l.Bias.Grad.AddInPlace(tensor.SumRows(dy))
+	}
+	return tensor.MatMulTransB(dy, l.Weight.W)
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param {
+	if l.Bias == nil {
+		return []*Param{l.Weight}
+	}
+	return []*Param{l.Weight, l.Bias}
+}
+
+// FLOPs returns the forward FLOP count for `rows` input rows.
+func (l *Linear) FLOPs(rows int) int64 {
+	f := tensor.MatMulFLOPs(rows, l.In, l.Out)
+	if l.Bias != nil {
+		f += int64(rows) * int64(l.Out)
+	}
+	return f
+}

@@ -1,0 +1,93 @@
+// Package nn implements the neural-network layers of the ORBIT /
+// ClimaX vision transformer with hand-written forward and backward
+// passes: linear projections, layer normalization, multi-head
+// self-attention (with the ORBIT QK layer-norm stabilization from
+// ViT-22B), the feed-forward MLP, per-channel patch embedding, and the
+// cross-attention variable aggregation of the ClimaX architecture.
+//
+// Layers cache the activations of their most recent Forward call and
+// consume them in Backward; a layer therefore processes one sample (or
+// one fused batch matrix) at a time, which is how the trainer drives
+// it. Gradients accumulate into Param.Grad until explicitly zeroed, so
+// micro-batching sums gradients naturally.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// Param is a trainable parameter: a weight tensor and its gradient
+// accumulator of identical shape.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam wraps a weight tensor in a Param with a zero gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumEl returns the parameter count.
+func (p *Param) NumEl() int { return p.W.Len() }
+
+// Layer is a differentiable module. Backward must be called after
+// Forward with the gradient of the loss with respect to Forward's
+// output; it accumulates parameter gradients and returns the gradient
+// with respect to the input.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// ZeroGrads clears all gradients of a parameter set.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// CountParams sums the element counts of a parameter set.
+func CountParams(params []*Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += int64(p.NumEl())
+	}
+	return n
+}
+
+// CollectGrads returns the gradient tensors of a parameter set, in
+// order, for use with the gradient scaler and clipping.
+func CollectGrads(params []*Param) []*tensor.Tensor {
+	gs := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		gs[i] = p.Grad
+	}
+	return gs
+}
+
+// GlobalGradNorm returns the L2 norm over all parameter gradients.
+func GlobalGradNorm(params []*Param) float64 {
+	var s float64
+	for _, p := range params {
+		n := p.Grad.Norm()
+		s += n * n
+	}
+	return math.Sqrt(s)
+}
+
+// checkRank panics unless t has the expected rank; shape bugs should
+// fail loudly at the layer boundary with the layer's name attached.
+func checkRank(layer string, t *tensor.Tensor, rank int) {
+	if t.Rank() != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", layer, rank, t.Shape()))
+	}
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+
+	"orbit/internal/tensor"
+)
+
+// PatchEmbed tokenizes a multi-channel climate field [C, H, W] into
+// per-channel patch embeddings [C, T, D], T = (H/P)(W/P). Following
+// ClimaX, every channel (climate variable) has its own embedding
+// weights so physically different variables are not forced through a
+// shared projection.
+type PatchEmbed struct {
+	Channels, Height, Width, Patch, Dim int
+	Tokens                              int
+
+	Weights []*Param // per channel: [P*P, D]
+	Biases  []*Param // per channel: [D]
+
+	patches []*tensor.Tensor // cached raw patches per channel [T, P*P]
+}
+
+// NewPatchEmbed builds per-channel patch projections.
+func NewPatchEmbed(name string, channels, height, width, patch, dim int, rng *tensor.RNG) *PatchEmbed {
+	if height%patch != 0 || width%patch != 0 {
+		panic(fmt.Sprintf("nn: image %dx%d not divisible by patch %d", height, width, patch))
+	}
+	pe := &PatchEmbed{
+		Channels: channels, Height: height, Width: width, Patch: patch, Dim: dim,
+		Tokens: (height / patch) * (width / patch),
+	}
+	for c := 0; c < channels; c++ {
+		pe.Weights = append(pe.Weights, NewParam(
+			fmt.Sprintf("%s.w%d", name, c), tensor.XavierUniform(rng, patch*patch, dim)))
+		pe.Biases = append(pe.Biases, NewParam(fmt.Sprintf("%s.b%d", name, c), tensor.New(dim)))
+	}
+	return pe
+}
+
+// extractPatches converts one channel image [H, W] to [T, P*P].
+func (pe *PatchEmbed) extractPatches(img []float32) *tensor.Tensor {
+	p := pe.Patch
+	rows, cols := pe.Height/p, pe.Width/p
+	out := tensor.New(pe.Tokens, p*p)
+	d := out.Data()
+	for pr := 0; pr < rows; pr++ {
+		for pc := 0; pc < cols; pc++ {
+			tok := pr*cols + pc
+			base := tok * p * p
+			for i := 0; i < p; i++ {
+				src := (pr*p+i)*pe.Width + pc*p
+				copy(d[base+i*p:base+(i+1)*p], img[src:src+p])
+			}
+		}
+	}
+	return out
+}
+
+// scatterPatches is the inverse of extractPatches: accumulates [T,P*P]
+// patch values back into an [H, W] image.
+func (pe *PatchEmbed) scatterPatches(patches *tensor.Tensor, img []float32) {
+	p := pe.Patch
+	rows, cols := pe.Height/p, pe.Width/p
+	d := patches.Data()
+	for pr := 0; pr < rows; pr++ {
+		for pc := 0; pc < cols; pc++ {
+			tok := pr*cols + pc
+			base := tok * p * p
+			for i := 0; i < p; i++ {
+				dst := (pr*p+i)*pe.Width + pc*p
+				copy(img[dst:dst+p], d[base+i*p:base+(i+1)*p])
+			}
+		}
+	}
+}
+
+// Forward maps [C, H, W] -> [C, T, D].
+func (pe *PatchEmbed) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("PatchEmbed", x, 3)
+	if x.Dim(0) != pe.Channels || x.Dim(1) != pe.Height || x.Dim(2) != pe.Width {
+		panic(fmt.Sprintf("nn: PatchEmbed input %v, want [%d %d %d]", x.Shape(), pe.Channels, pe.Height, pe.Width))
+	}
+	out := tensor.New(pe.Channels, pe.Tokens, pe.Dim)
+	pe.patches = make([]*tensor.Tensor, pe.Channels)
+	hw := pe.Height * pe.Width
+	td := pe.Tokens * pe.Dim
+	for c := 0; c < pe.Channels; c++ {
+		patches := pe.extractPatches(x.Data()[c*hw : (c+1)*hw])
+		pe.patches[c] = patches
+		emb := tensor.AddRowVector(tensor.MatMul(patches, pe.Weights[c].W), pe.Biases[c].W)
+		copy(out.Data()[c*td:(c+1)*td], emb.Data())
+	}
+	return out
+}
+
+// Backward accumulates per-channel weight gradients and returns the
+// gradient with respect to the input field [C, H, W].
+func (pe *PatchEmbed) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	checkRank("PatchEmbed", dy, 3)
+	dx := tensor.New(pe.Channels, pe.Height, pe.Width)
+	hw := pe.Height * pe.Width
+	td := pe.Tokens * pe.Dim
+	for c := 0; c < pe.Channels; c++ {
+		dEmb := tensor.FromSlice(dy.Data()[c*td:(c+1)*td], pe.Tokens, pe.Dim)
+		pe.Weights[c].Grad.AddInPlace(tensor.MatMulTransA(pe.patches[c], dEmb))
+		pe.Biases[c].Grad.AddInPlace(tensor.SumRows(dEmb))
+		dPatches := tensor.MatMulTransB(dEmb, pe.Weights[c].W)
+		pe.scatterPatches(dPatches, dx.Data()[c*hw:(c+1)*hw])
+	}
+	return dx
+}
+
+// Params returns all per-channel projections.
+func (pe *PatchEmbed) Params() []*Param {
+	ps := make([]*Param, 0, 2*pe.Channels)
+	for c := 0; c < pe.Channels; c++ {
+		ps = append(ps, pe.Weights[c], pe.Biases[c])
+	}
+	return ps
+}
+
+// PredictionHead maps token embeddings [T, D] back to output fields
+// [Cout, H, W]: LayerNorm, a linear projection to P*P*Cout per token,
+// then unpatchify.
+type PredictionHead struct {
+	OutChannels, Height, Width, Patch, Dim int
+	Tokens                                 int
+
+	Norm *LayerNorm
+	Proj *Linear
+}
+
+// NewPredictionHead builds the decoder head.
+func NewPredictionHead(name string, outChannels, height, width, patch, dim int, rng *tensor.RNG) *PredictionHead {
+	return &PredictionHead{
+		OutChannels: outChannels, Height: height, Width: width, Patch: patch, Dim: dim,
+		Tokens: (height / patch) * (width / patch),
+		Norm:   NewLayerNorm(name+".norm", dim),
+		Proj:   NewLinear(name+".proj", dim, patch*patch*outChannels, true, rng),
+	}
+}
+
+// Forward maps [T, D] -> [Cout, H, W].
+func (h *PredictionHead) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank("PredictionHead", x, 2)
+	y := h.Proj.Forward(h.Norm.Forward(x)) // [T, P*P*Cout]
+	out := tensor.New(h.OutChannels, h.Height, h.Width)
+	h.unpatchify(y, out)
+	return out
+}
+
+// Backward maps d[Cout, H, W] -> d[T, D].
+func (h *PredictionHead) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	checkRank("PredictionHead", dy, 3)
+	dTok := tensor.New(h.Tokens, h.Patch*h.Patch*h.OutChannels)
+	h.patchify(dy, dTok)
+	return h.Norm.Backward(h.Proj.Backward(dTok))
+}
+
+// unpatchify scatters [T, P*P*Cout] token outputs into [Cout, H, W].
+// Per token, the projection output is laid out channel-major then
+// row-major within the patch.
+func (h *PredictionHead) unpatchify(tok *tensor.Tensor, out *tensor.Tensor) {
+	p := h.Patch
+	cols := h.Width / p
+	hw := h.Height * h.Width
+	pp := p * p
+	td := tok.Data()
+	od := out.Data()
+	for t := 0; t < h.Tokens; t++ {
+		pr, pc := t/cols, t%cols
+		rowBase := t * pp * h.OutChannels
+		for c := 0; c < h.OutChannels; c++ {
+			for i := 0; i < p; i++ {
+				dst := c*hw + (pr*p+i)*h.Width + pc*p
+				src := rowBase + c*pp + i*p
+				copy(od[dst:dst+p], td[src:src+p])
+			}
+		}
+	}
+}
+
+// patchify is the exact adjoint of unpatchify.
+func (h *PredictionHead) patchify(field *tensor.Tensor, tok *tensor.Tensor) {
+	p := h.Patch
+	cols := h.Width / p
+	hw := h.Height * h.Width
+	pp := p * p
+	td := tok.Data()
+	fd := field.Data()
+	for t := 0; t < h.Tokens; t++ {
+		pr, pc := t/cols, t%cols
+		rowBase := t * pp * h.OutChannels
+		for c := 0; c < h.OutChannels; c++ {
+			for i := 0; i < p; i++ {
+				src := c*hw + (pr*p+i)*h.Width + pc*p
+				dst := rowBase + c*pp + i*p
+				copy(td[dst:dst+p], fd[src:src+p])
+			}
+		}
+	}
+}
+
+// Params returns the head's parameters.
+func (h *PredictionHead) Params() []*Param {
+	return append(append([]*Param{}, h.Norm.Params()...), h.Proj.Params()...)
+}

@@ -1,0 +1,159 @@
+// Package optim provides the optimizers and learning-rate schedules
+// used to train ORBIT models: AdamW (the standard for ViT training),
+// plain SGD with momentum (as a baseline), cosine-with-warmup LR
+// scheduling, and global gradient-norm clipping.
+package optim
+
+import (
+	"math"
+
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients and the
+	// given learning rate.
+	Step(lr float64)
+	// Params returns the parameter set being optimized.
+	Params() []*nn.Param
+}
+
+// AdamW implements decoupled weight-decay Adam (Loshchilov & Hutter),
+// the optimizer used by ClimaX/ORBIT fine-tuning and pre-training.
+type AdamW struct {
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	params []*nn.Param
+	m, v   []*tensor.Tensor
+	step   int
+}
+
+// NewAdamW builds an AdamW optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdamW(params []*nn.Param, weightDecay float64) *AdamW {
+	a := &AdamW{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		params:      params,
+	}
+	for _, p := range params {
+		a.m = append(a.m, tensor.New(p.W.Shape()...))
+		a.v = append(a.v, tensor.New(p.W.Shape()...))
+	}
+	return a
+}
+
+// Step applies one AdamW update with bias correction.
+func (a *AdamW) Step(lr float64) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		w := p.W.Data()
+		g := p.Grad.Data()
+		m := a.m[i].Data()
+		v := a.v[i].Data()
+		for j := range w {
+			gj := float64(g[j])
+			mj := a.Beta1*float64(m[j]) + (1-a.Beta1)*gj
+			vj := a.Beta2*float64(v[j]) + (1-a.Beta2)*gj*gj
+			m[j] = float32(mj)
+			v[j] = float32(vj)
+			mhat := mj / bc1
+			vhat := vj / bc2
+			upd := lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*float64(w[j]))
+			w[j] = float32(float64(w[j]) - upd)
+		}
+	}
+}
+
+// Params returns the optimized parameter set.
+func (a *AdamW) Params() []*nn.Param { return a.params }
+
+// StateBytesPerParam is the optimizer-state footprint AdamW adds per
+// parameter (two float32 moments); the perf model uses this to compute
+// sharded memory footprints.
+const StateBytesPerParam = 8
+
+// SGD implements stochastic gradient descent with classical momentum.
+type SGD struct {
+	Momentum float64
+
+	params []*nn.Param
+	vel    []*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(params []*nn.Param, momentum float64) *SGD {
+	s := &SGD{Momentum: momentum, params: params}
+	for _, p := range params {
+		s.vel = append(s.vel, tensor.New(p.W.Shape()...))
+	}
+	return s
+}
+
+// Step applies w ← w − lr·(μ·vel + g).
+func (s *SGD) Step(lr float64) {
+	for i, p := range s.params {
+		w := p.W.Data()
+		g := p.Grad.Data()
+		v := s.vel[i].Data()
+		for j := range w {
+			vj := s.Momentum*float64(v[j]) + float64(g[j])
+			v[j] = float32(vj)
+			w[j] = float32(float64(w[j]) - lr*vj)
+		}
+	}
+}
+
+// Params returns the optimized parameter set.
+func (s *SGD) Params() []*nn.Param { return s.params }
+
+// ClipGradNorm scales all gradients so the global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	norm := nn.GlobalGradNorm(params)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// CosineSchedule is linear warmup followed by cosine decay to MinLR
+// over TotalSteps, the schedule used for ViT pre-training.
+type CosineSchedule struct {
+	BaseLR      float64
+	MinLR       float64
+	WarmupSteps int
+	TotalSteps  int
+}
+
+// LR returns the learning rate at the given step.
+func (c CosineSchedule) LR(step int) float64 {
+	if step < c.WarmupSteps {
+		return c.BaseLR * float64(step+1) / float64(c.WarmupSteps)
+	}
+	if step >= c.TotalSteps {
+		return c.MinLR
+	}
+	progress := float64(step-c.WarmupSteps) / float64(c.TotalSteps-c.WarmupSteps)
+	return c.MinLR + 0.5*(c.BaseLR-c.MinLR)*(1+math.Cos(math.Pi*progress))
+}
+
+// ConstantSchedule returns a fixed learning rate.
+type ConstantSchedule float64
+
+// LR returns the constant rate.
+func (c ConstantSchedule) LR(int) float64 { return float64(c) }

@@ -1,0 +1,47 @@
+package parallel
+
+import (
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+)
+
+// DDP implements distributed data parallelism (paper Sec. III-B,
+// "Hierarchical Parallelism"): every rank holds a full model replica
+// and processes a different data shard; after the local backward pass,
+// gradients are averaged with a single all-reduce per step — the
+// coarsest, cheapest level of parallelism in the ORBIT hierarchy.
+type DDP struct {
+	Rank   int
+	Group  *comm.Group
+	Params []*nn.Param
+}
+
+// NewDDP wraps a rank's model replica parameters.
+func NewDDP(rank int, group *comm.Group, params []*nn.Param) *DDP {
+	return &DDP{Rank: rank, Group: group, Params: params}
+}
+
+// SyncInitialWeights broadcasts rank 0's weights so all replicas start
+// identical, as torch DDP does at construction.
+func (d *DDP) SyncInitialWeights() {
+	flat := FlattenParams(d.Params, 1)
+	flat = d.Group.Broadcast(d.Rank, flat)
+	UnflattenInto(flat, d.Params)
+}
+
+// AllReduceGradients averages accumulated gradients across replicas.
+// Call after the local backward pass, before the optimizer step.
+func (d *DDP) AllReduceGradients() {
+	flat := FlattenGrads(d.Params, 1)
+	flat = d.Group.AllReduceMean(d.Rank, flat)
+	off := 0
+	for _, p := range d.Params {
+		copy(p.Grad.Data(), flat[off:off+p.Grad.Len()])
+		off += p.Grad.Len()
+	}
+}
+
+// AverageLoss returns the mean loss across replicas, for logging.
+func (d *DDP) AverageLoss(local float64) float64 {
+	return d.Group.AllReduceScalar(d.Rank, local) / float64(d.Group.Size())
+}

@@ -1,0 +1,96 @@
+// Package parallel implements the distributed-training baselines the
+// ORBIT paper compares against (Sec. II "State of the Art"): fully
+// sharded data parallelism (FSDP, Fig. 2), Megatron-style tensor
+// parallelism, and distributed data parallelism (DDP). Each engine
+// runs as a real SPMD program over the simulated cluster — goroutine
+// ranks exchanging data through comm collectives — and is verified to
+// produce gradients numerically equal to the serial reference model.
+//
+// The paper's own contribution, Hybrid-STOP, composes these
+// mechanisms and lives in internal/core.
+package parallel
+
+import (
+	"fmt"
+
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// FlattenParams concatenates parameter weights into one flat vector,
+// padded with zeros to a multiple of `multiple` so it can be sharded
+// evenly. The layout is the natural parameter order.
+func FlattenParams(params []*nn.Param, multiple int) []float32 {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	padded := ((n + multiple - 1) / multiple) * multiple
+	flat := make([]float32, padded)
+	off := 0
+	for _, p := range params {
+		copy(flat[off:], p.W.Data())
+		off += p.W.Len()
+	}
+	return flat
+}
+
+// FlattenGrads is FlattenParams for the gradient tensors.
+func FlattenGrads(params []*nn.Param, multiple int) []float32 {
+	n := 0
+	for _, p := range params {
+		n += p.Grad.Len()
+	}
+	padded := ((n + multiple - 1) / multiple) * multiple
+	flat := make([]float32, padded)
+	off := 0
+	for _, p := range params {
+		copy(flat[off:], p.Grad.Data())
+		off += p.Grad.Len()
+	}
+	return flat
+}
+
+// UnflattenInto copies a flat vector back into parameter weights.
+func UnflattenInto(flat []float32, params []*nn.Param) {
+	off := 0
+	for _, p := range params {
+		copy(p.W.Data(), flat[off:off+p.W.Len()])
+		off += p.W.Len()
+	}
+	if off > len(flat) {
+		panic(fmt.Sprintf("parallel: flat vector too short: %d < %d", len(flat), off))
+	}
+}
+
+// NumelPadded returns the padded flat length used by Flatten*.
+func NumelPadded(params []*nn.Param, multiple int) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	return ((n + multiple - 1) / multiple) * multiple
+}
+
+// CopyWeights copies weight values from src params into dst params
+// (shapes must match pairwise).
+func CopyWeights(dst, src []*nn.Param) {
+	if len(dst) != len(src) {
+		panic("parallel: CopyWeights param count mismatch")
+	}
+	for i := range dst {
+		dst[i].W.CopyFrom(src[i].W)
+	}
+}
+
+// shardOfBias returns shard k of K of a bias vector [n].
+func shardOfBias(b *tensor.Tensor, k, kTotal int) *tensor.Tensor {
+	n := b.Dim(0)
+	if n%kTotal != 0 {
+		panic(fmt.Sprintf("parallel: bias length %d not divisible by %d", n, kTotal))
+	}
+	part := n / kTotal
+	out := tensor.New(part)
+	copy(out.Data(), b.Data()[k*part:(k+1)*part])
+	return out
+}

@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// FSDP implements fully sharded data parallelism as described in the
+// paper's Fig. 2: both data batches and model parameters are sharded
+// across the group. Each rank persistently owns a 1/R chunk of every
+// unit's flattened parameters; full parameters are materialized by
+// all-gather when needed and discarded afterwards, and gradients are
+// averaged and re-sharded with reduce-scatter.
+//
+// When LayerWrapping is false the engine gathers the whole model at
+// once — the vanilla behaviour whose peak memory use limits FSDP's
+// maximum model size (paper Fig. 5); with LayerWrapping true it
+// gathers one unit at a time (Sec. III-B "Layer Wrapping").
+type FSDP struct {
+	Rank  int
+	Group *comm.Group
+	// Units are the rank-local layer replicas; their weight storage is
+	// a staging area filled by gather, not authoritative state.
+	Units []nn.Layer
+	// LayerWrapping gathers per unit instead of the whole model.
+	LayerWrapping bool
+	// Device, when non-nil, accounts shard and gather memory.
+	Device *cluster.Device
+
+	shardParams []*nn.Param // authoritative chunk per unit (optimizer state)
+	unitParams  [][]*nn.Param
+	gatherBytes []int64
+	heldBytes   int64 // gathered bytes currently held
+}
+
+// NewFSDP shards the units' parameters across the group. All ranks
+// must construct from identical replica weights (same seed).
+func NewFSDP(rank int, group *comm.Group, units []nn.Layer, layerWrapping bool, dev *cluster.Device) (*FSDP, error) {
+	f := &FSDP{Rank: rank, Group: group, Units: units, LayerWrapping: layerWrapping, Device: dev}
+	r := group.Size()
+	for u, unit := range units {
+		params := unit.Params()
+		f.unitParams = append(f.unitParams, params)
+		flat := FlattenParams(params, r)
+		chunkLen := len(flat) / r
+		chunk := make([]float32, chunkLen)
+		copy(chunk, flat[rank*chunkLen:(rank+1)*chunkLen])
+		p := nn.NewParam(unitName(u), tensor.FromSlice(chunk, chunkLen))
+		f.shardParams = append(f.shardParams, p)
+		f.gatherBytes = append(f.gatherBytes, int64(len(flat))*4)
+		if dev != nil {
+			// Persistent cost of the owned chunk (weights + grads).
+			if err := dev.Alloc(int64(chunkLen) * 8); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func unitName(u int) string { return "fsdp.unit" + string(rune('0'+u%10)) }
+
+// ShardParams exposes the rank-owned chunks for the optimizer.
+func (f *FSDP) ShardParams() []*nn.Param { return f.shardParams }
+
+// gatherUnit all-gathers unit u's parameters into the local replica.
+func (f *FSDP) gatherUnit(u int) error {
+	if f.Device != nil {
+		if err := f.Device.Alloc(f.gatherBytes[u]); err != nil {
+			return err
+		}
+		f.heldBytes += f.gatherBytes[u]
+	}
+	full := f.Group.AllGather(f.Rank, f.shardParams[u].W.Data())
+	UnflattenInto(full, f.unitParams[u])
+	return nil
+}
+
+// releaseUnit frees the gathered (non-shard) copy of unit u.
+func (f *FSDP) releaseUnit(u int) {
+	if f.Device != nil {
+		f.Device.Free(f.gatherBytes[u])
+		f.heldBytes -= f.gatherBytes[u]
+	}
+}
+
+// Forward chains the units over x, gathering parameters on demand.
+// With layer wrapping, each unit's gathered weights are released as
+// soon as its forward completes (they are re-gathered in backward);
+// without it, the full model is gathered up front and held.
+func (f *FSDP) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !f.LayerWrapping {
+		for u := range f.Units {
+			if err := f.gatherUnit(u); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for u, unit := range f.Units {
+		if f.LayerWrapping {
+			if err := f.gatherUnit(u); err != nil {
+				return nil, err
+			}
+		}
+		x = unit.Forward(x)
+		if f.LayerWrapping {
+			f.releaseUnit(u)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates dy through the units in reverse, averaging each
+// unit's gradients across the group with reduce-scatter; the rank's
+// chunk gradient lands in ShardParams()[u].Grad. Returns dL/dx.
+func (f *FSDP) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	for u := len(f.Units) - 1; u >= 0; u-- {
+		if f.LayerWrapping {
+			if err := f.gatherUnit(u); err != nil {
+				return nil, err
+			}
+		}
+		nn.ZeroGrads(f.unitParams[u])
+		dy = f.Units[u].Backward(dy)
+		flatGrad := FlattenGrads(f.unitParams[u], f.Group.Size())
+		chunk := f.Group.ReduceScatterMean(f.Rank, flatGrad)
+		copy(f.shardParams[u].Grad.Data(), chunk)
+		f.releaseUnit(u)
+	}
+	return dy, nil
+}
+
+// HeldBytes reports gathered bytes currently resident (diagnostics).
+func (f *FSDP) HeldBytes() int64 { return f.heldBytes }

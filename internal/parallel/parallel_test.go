@@ -1,0 +1,480 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+	"orbit/internal/optim"
+	"orbit/internal/tensor"
+)
+
+const (
+	testDim    = 8
+	testHeads  = 2
+	testTokens = 6
+	testLayers = 2
+)
+
+// buildStack constructs a deterministic serial block stack.
+func buildStack(seed uint64) []*nn.TransformerBlock {
+	rng := tensor.NewRNG(seed)
+	blocks := make([]*nn.TransformerBlock, testLayers)
+	for i := range blocks {
+		blocks[i] = nn.NewTransformerBlock(fmt.Sprintf("ref%d", i), testDim, testHeads, true, rng)
+	}
+	return blocks
+}
+
+func stackParams(blocks []*nn.TransformerBlock) []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// mseLoss returns mean squared error and its gradient.
+func mseLoss(y, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	diff := tensor.Sub(y, target)
+	loss := tensor.Dot(diff, diff) / float64(y.Len())
+	return loss, tensor.Scale(diff, float32(2)/float32(y.Len()))
+}
+
+// serialForwardBackward runs the reference stack over a batch of
+// inputs, returning the mean loss with gradients averaged over the
+// batch (accumulated into the blocks' params).
+func serialForwardBackward(blocks []*nn.TransformerBlock, xs, targets []*tensor.Tensor) float64 {
+	nn.ZeroGrads(stackParams(blocks))
+	var total float64
+	for i, x := range xs {
+		h := x
+		for _, b := range blocks {
+			h = b.Forward(h)
+		}
+		loss, grad := mseLoss(h, targets[i])
+		total += loss
+		grad.ScaleInPlace(float32(1) / float32(len(xs)))
+		dy := grad
+		for j := len(blocks) - 1; j >= 0; j-- {
+			dy = blocks[j].Backward(dy)
+		}
+	}
+	return total / float64(len(xs))
+}
+
+func runSPMD(ranks int, body func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func testBatch(seed uint64, n int) (xs, targets []*tensor.Tensor) {
+	rng := tensor.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		xs = append(xs, tensor.Randn(rng, 1, testTokens, testDim))
+		targets = append(targets, tensor.Randn(rng, 1, testTokens, testDim))
+	}
+	return xs, targets
+}
+
+// --- FSDP ---
+
+func newFSDPRanks(t *testing.T, ranks int, layerWrapping bool) ([]*FSDP, *cluster.Machine) {
+	t.Helper()
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+	engines := make([]*FSDP, ranks)
+	for r := 0; r < ranks; r++ {
+		// Each rank builds an identical replica from the same seed.
+		blocks := buildStack(7)
+		units := make([]nn.Layer, len(blocks))
+		for i, b := range blocks {
+			units[i] = b
+		}
+		e, err := NewFSDP(r, g, units, layerWrapping, m.Devices[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = e
+	}
+	return engines, m
+}
+
+func TestFSDPMatchesSerial(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		ranks := 2
+		engines, _ := newFSDPRanks(t, ranks, wrap)
+		xs, targets := testBatch(11, ranks)
+
+		serial := buildStack(7)
+		serialLoss := serialForwardBackward(serial, xs, targets)
+		serialFlat := make([][]float32, testLayers)
+		for u, b := range serial {
+			serialFlat[u] = FlattenGrads(b.Params(), ranks)
+		}
+
+		losses := make([]float64, ranks)
+		runSPMD(ranks, func(rank int) {
+			y, err := engines[rank].Forward(xs[rank])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			loss, grad := mseLoss(y, targets[rank])
+			losses[rank] = loss
+			if _, err := engines[rank].Backward(grad); err != nil {
+				t.Error(err)
+			}
+		})
+
+		meanLoss := (losses[0] + losses[1]) / 2
+		if math.Abs(meanLoss-serialLoss) > 1e-5 {
+			t.Errorf("wrap=%v: FSDP loss %v vs serial %v", wrap, meanLoss, serialLoss)
+		}
+		for u := 0; u < testLayers; u++ {
+			chunk := len(serialFlat[u]) / ranks
+			for r := 0; r < ranks; r++ {
+				got := engines[r].ShardParams()[u].Grad.Data()
+				for i := 0; i < chunk; i++ {
+					want := serialFlat[u][r*chunk+i]
+					if math.Abs(float64(got[i]-want)) > 1e-5 {
+						t.Fatalf("wrap=%v: unit %d rank %d grad[%d] = %v, want %v", wrap, u, r, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFSDPTrainingMatchesSerialTrajectory(t *testing.T) {
+	ranks := 2
+	engines, _ := newFSDPRanks(t, ranks, true)
+	serial := buildStack(7)
+	serialOpt := optim.NewAdamW(stackParams(serial), 0)
+
+	var rankOpts []*optim.AdamW
+	for r := 0; r < ranks; r++ {
+		rankOpts = append(rankOpts, optim.NewAdamW(engines[r].ShardParams(), 0))
+	}
+
+	for step := 0; step < 3; step++ {
+		xs, targets := testBatch(uint64(100+step), ranks)
+		serialLoss := serialForwardBackward(serial, xs, targets)
+		// Serial AdamW sees averaged batch grads (already averaged).
+		serialOpt.Step(1e-3)
+
+		losses := make([]float64, ranks)
+		runSPMD(ranks, func(rank int) {
+			y, _ := engines[rank].Forward(xs[rank])
+			loss, grad := mseLoss(y, targets[rank])
+			losses[rank] = loss
+			engines[rank].Backward(grad)
+			rankOpts[rank].Step(1e-3)
+		})
+		mean := (losses[0] + losses[1]) / 2
+		if math.Abs(mean-serialLoss) > 1e-4*(1+math.Abs(serialLoss)) {
+			t.Fatalf("step %d: FSDP loss %v vs serial %v", step, mean, serialLoss)
+		}
+	}
+}
+
+func TestFSDPWithoutWrappingHoldsFullModel(t *testing.T) {
+	engines, m := newFSDPRanks(t, 2, false)
+	xs, targets := testBatch(12, 2)
+	runSPMD(2, func(rank int) {
+		y, err := engines[rank].Forward(xs[rank])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Mid-step: all units' gathered params resident at once.
+		if engines[rank].HeldBytes() == 0 {
+			t.Error("vanilla FSDP should hold gathered parameters")
+		}
+		_, grad := mseLoss(y, targets[rank])
+		engines[rank].Backward(grad)
+		if engines[rank].HeldBytes() != 0 {
+			t.Error("all gathered parameters should be released after backward")
+		}
+	})
+	if m.MaxMemPeak() == 0 {
+		t.Error("memory accounting should record a peak")
+	}
+}
+
+func TestFSDPLayerWrappingLowersPeak(t *testing.T) {
+	noWrap, mNo := newFSDPRanks(t, 2, false)
+	wrap, mYes := newFSDPRanks(t, 2, true)
+	xs, targets := testBatch(13, 2)
+	runSPMD(2, func(rank int) {
+		y, _ := noWrap[rank].Forward(xs[rank])
+		_, g := mseLoss(y, targets[rank])
+		noWrap[rank].Backward(g)
+	})
+	runSPMD(2, func(rank int) {
+		y, _ := wrap[rank].Forward(xs[rank])
+		_, g := mseLoss(y, targets[rank])
+		wrap[rank].Backward(g)
+	})
+	if mYes.MaxMemPeak() >= mNo.MaxMemPeak() {
+		t.Errorf("layer wrapping peak %d should be below vanilla %d", mYes.MaxMemPeak(), mNo.MaxMemPeak())
+	}
+}
+
+func TestFSDPOOMOnTinyDevice(t *testing.T) {
+	tiny := cluster.Spec{GPUsPerNode: 2, MemPerGPU: 1 << 10, PeakFLOPS: 1e12, Efficiency: 1,
+		IntraNodeBandwidth: 1e9, IntraNodeLatency: 1e-6, InterNodeBandwidth: 1e9, InterNodeLatency: 1e-6}
+	m := cluster.NewMachine(tiny, 1, 2)
+	g := comm.NewGroup(m.Devices)
+	var constructErr error
+	runSPMD(2, func(rank int) {
+		blocks := buildStack(7)
+		units := []nn.Layer{blocks[0], blocks[1]}
+		_, err := NewFSDP(rank, g, units, true, m.Devices[rank])
+		if rank == 0 {
+			constructErr = err
+		}
+	})
+	if constructErr == nil {
+		t.Fatal("expected OOM constructing FSDP on a 1 KiB device")
+	}
+}
+
+// --- Tensor parallelism ---
+
+func TestTPBlockMatchesSerial(t *testing.T) {
+	for _, tp := range []int{1, 2} {
+		serial := buildStack(21)
+		m := cluster.NewMachine(cluster.Frontier(), 1, tp)
+		g := comm.NewGroup(m.Devices)
+
+		xs, targets := testBatch(22, 1)
+		serialLoss := serialForwardBackward(serial, xs, targets)
+
+		// Fresh reference (serialForwardBackward mutated grads only).
+		blocks := make([][]*TPBlock, tp)
+		for r := 0; r < tp; r++ {
+			ref := buildStack(21)
+			blocks[r] = make([]*TPBlock, testLayers)
+			for i := range ref {
+				blocks[r][i] = NewTPBlock(r, g, ref[i])
+			}
+		}
+
+		losses := make([]float64, tp)
+		dxs := make([]*tensor.Tensor, tp)
+		runSPMD(tp, func(rank int) {
+			h := xs[0]
+			for _, b := range blocks[rank] {
+				h = b.Forward(h)
+			}
+			loss, grad := mseLoss(h, targets[0])
+			losses[rank] = loss
+			dy := grad
+			for i := testLayers - 1; i >= 0; i-- {
+				dy = blocks[rank][i].Backward(dy)
+			}
+			dxs[rank] = dy
+		})
+
+		for r := 0; r < tp; r++ {
+			if math.Abs(losses[r]-serialLoss) > 1e-4*(1+math.Abs(serialLoss)) {
+				t.Errorf("tp=%d rank %d loss %v vs serial %v", tp, r, losses[r], serialLoss)
+			}
+		}
+
+		// Input gradients match the serial stack's.
+		serialDx := func() *tensor.Tensor {
+			ref := buildStack(21)
+			h := xs[0]
+			for _, b := range ref {
+				h = b.Forward(h)
+			}
+			_, grad := mseLoss(h, targets[0])
+			dy := grad
+			for i := testLayers - 1; i >= 0; i-- {
+				dy = ref[i].Backward(dy)
+			}
+			return dy
+		}()
+		for r := 0; r < tp; r++ {
+			if !tensor.AllClose(dxs[r], serialDx, 1e-3, 1e-4) {
+				t.Errorf("tp=%d rank %d input grad mismatch (max diff %g)", tp, r, tensor.MaxDiff(dxs[r], serialDx))
+			}
+		}
+	}
+}
+
+func TestTPShardGradientsMatchSerialShards(t *testing.T) {
+	tp := 2
+	serial := buildStack(31)
+	xs, targets := testBatch(32, 1)
+	serialForwardBackward(serial, xs, targets)
+
+	m := cluster.NewMachine(cluster.Frontier(), 1, tp)
+	g := comm.NewGroup(m.Devices)
+	blocks := make([][]*TPBlock, tp)
+	for r := 0; r < tp; r++ {
+		ref := buildStack(31)
+		blocks[r] = []*TPBlock{NewTPBlock(r, g, ref[0]), NewTPBlock(r, g, ref[1])}
+	}
+	runSPMD(tp, func(rank int) {
+		h := xs[0]
+		for _, b := range blocks[rank] {
+			h = b.Forward(h)
+		}
+		_, grad := mseLoss(h, targets[0])
+		grad.ScaleInPlace(1) // batch of one: serial averaging is a no-op
+		dy := grad
+		for i := testLayers - 1; i >= 0; i-- {
+			dy = blocks[rank][i].Backward(dy)
+		}
+	})
+
+	// Rank r's WQ grad shard equals the serial WQ grad's column shard.
+	for r := 0; r < tp; r++ {
+		want := tensor.ColumnShard(serial[0].Attn.WQ.Weight.Grad, r, tp)
+		got := blocks[r][0].Attn.WQ.Weight.Grad
+		if !tensor.AllClose(got, want, 1e-3, 1e-4) {
+			t.Errorf("rank %d WQ grad shard mismatch (max diff %g)", r, tensor.MaxDiff(got, want))
+		}
+		wantFC2 := tensor.RowShard(serial[0].MLP.FC2.Weight.Grad, r, tp)
+		gotFC2 := blocks[r][0].MLP.FC2.Weight.Grad
+		if !tensor.AllClose(gotFC2, wantFC2, 1e-3, 1e-4) {
+			t.Errorf("rank %d FC2 grad shard mismatch (max diff %g)", r, tensor.MaxDiff(gotFC2, wantFC2))
+		}
+		// Replicated LN grads equal the serial LN grads on every rank.
+		wantLN := serial[0].LN1.Gamma.Grad
+		gotLN := blocks[r][0].LN1.Gamma.Grad
+		if !tensor.AllClose(gotLN, wantLN, 1e-3, 1e-4) {
+			t.Errorf("rank %d LN1 grad mismatch", r)
+		}
+	}
+}
+
+func TestTPRejectsIndivisibleHeads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: TP size must divide heads")
+		}
+	}()
+	rng := tensor.NewRNG(1)
+	ref := nn.NewMultiHeadAttention("x", 12, 3, false, rng)
+	NewShardedAttention(ref, 0, 2)
+}
+
+func TestMaxTPSize(t *testing.T) {
+	if MaxTPSize(64) != 64 {
+		t.Error("TP is limited by the head count")
+	}
+}
+
+// --- DDP ---
+
+func TestDDPMatchesSerial(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+
+	xs, targets := testBatch(41, ranks)
+	serial := buildStack(40)
+	serialLoss := serialForwardBackward(serial, xs, targets)
+
+	replicas := make([][]*nn.TransformerBlock, ranks)
+	engines := make([]*DDP, ranks)
+	for r := 0; r < ranks; r++ {
+		replicas[r] = buildStack(40)
+		engines[r] = NewDDP(r, g, stackParams(replicas[r]))
+	}
+
+	losses := make([]float64, ranks)
+	runSPMD(ranks, func(rank int) {
+		engines[rank].SyncInitialWeights()
+		nn.ZeroGrads(engines[rank].Params)
+		h := xs[rank]
+		for _, b := range replicas[rank] {
+			h = b.Forward(h)
+		}
+		loss, grad := mseLoss(h, targets[rank])
+		dy := grad
+		for i := testLayers - 1; i >= 0; i-- {
+			dy = replicas[rank][i].Backward(dy)
+		}
+		engines[rank].AllReduceGradients()
+		losses[rank] = engines[rank].AverageLoss(loss)
+	})
+
+	for r := 0; r < ranks; r++ {
+		if math.Abs(losses[r]-serialLoss) > 1e-5 {
+			t.Errorf("rank %d averaged loss %v vs serial %v", r, losses[r], serialLoss)
+		}
+	}
+	// After the all-reduce, every replica's grads equal the serial
+	// batch-averaged grads.
+	serialPs := stackParams(serial)
+	for r := 0; r < ranks; r++ {
+		ps := stackParams(replicas[r])
+		for i := range ps {
+			if !tensor.AllClose(ps[i].Grad, serialPs[i].Grad, 1e-4, 1e-5) {
+				t.Fatalf("rank %d param %s grad mismatch", r, ps[i].Name)
+			}
+		}
+	}
+}
+
+func TestDDPSyncInitialWeights(t *testing.T) {
+	ranks := 3
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+	replicas := make([][]*nn.TransformerBlock, ranks)
+	engines := make([]*DDP, ranks)
+	for r := 0; r < ranks; r++ {
+		replicas[r] = buildStack(uint64(50 + r)) // deliberately different
+		engines[r] = NewDDP(r, g, stackParams(replicas[r]))
+	}
+	runSPMD(ranks, func(rank int) { engines[rank].SyncInitialWeights() })
+	ref := stackParams(replicas[0])
+	for r := 1; r < ranks; r++ {
+		ps := stackParams(replicas[r])
+		for i := range ps {
+			if !tensor.AllClose(ps[i].W, ref[i].W, 0, 0) {
+				t.Fatalf("rank %d param %s not synced", r, ps[i].Name)
+			}
+		}
+	}
+}
+
+// --- flatten helpers ---
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(60)
+	ps := []*nn.Param{
+		nn.NewParam("a", tensor.Randn(rng, 1, 3, 4)),
+		nn.NewParam("b", tensor.Randn(rng, 1, 5)),
+	}
+	flat := FlattenParams(ps, 4) // 17 -> padded 20
+	if len(flat) != 20 {
+		t.Fatalf("padded length %d, want 20", len(flat))
+	}
+	orig := []*tensor.Tensor{ps[0].W.Clone(), ps[1].W.Clone()}
+	ps[0].W.Zero()
+	ps[1].W.Zero()
+	UnflattenInto(flat, ps)
+	if !tensor.AllClose(ps[0].W, orig[0], 0, 0) || !tensor.AllClose(ps[1].W, orig[1], 0, 0) {
+		t.Error("unflatten did not restore weights")
+	}
+	if NumelPadded(ps, 4) != 20 {
+		t.Errorf("NumelPadded = %d", NumelPadded(ps, 4))
+	}
+}

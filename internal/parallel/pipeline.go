@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/cluster"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// Pipeline implements GPipe-style pipeline parallelism, the third
+// baseline the paper discusses (Sec. II): the block stack is
+// partitioned into consecutive stages, one per device; activations
+// flow forward across stage boundaries and gradients flow back.
+// Micro-batches are streamed through the pipe, and — as in GPipe —
+// each stage recomputes its forward pass during backward instead of
+// holding per-micro-batch activations.
+//
+// Its scalability limit is structural: there cannot be more stages
+// than layers, which is exactly the constraint the paper contrasts
+// with Hybrid-STOP.
+type Pipeline struct {
+	Stages [][]*nn.TransformerBlock
+	Devs   []*cluster.Device
+	links  []*stageLink
+}
+
+// stageLink carries activations forward and gradients backward
+// between adjacent stages.
+type stageLink struct {
+	fwd chan *tensor.Tensor
+	bwd chan *tensor.Tensor
+}
+
+// NewPipeline partitions blocks into `stages` contiguous groups. It
+// returns an error when stages exceed the layer count — the pipeline
+// parallelism scalability limit (paper Sec. II).
+func NewPipeline(blocks []*nn.TransformerBlock, stages int, devs []*cluster.Device) (*Pipeline, error) {
+	if stages > len(blocks) {
+		return nil, fmt.Errorf("parallel: %d pipeline stages exceed %d layers (the architectural limit)", stages, len(blocks))
+	}
+	if stages < 1 || (devs != nil && len(devs) < stages) {
+		return nil, fmt.Errorf("parallel: invalid stage/device configuration")
+	}
+	p := &Pipeline{}
+	per := len(blocks) / stages
+	extra := len(blocks) % stages
+	idx := 0
+	for s := 0; s < stages; s++ {
+		n := per
+		if s < extra {
+			n++
+		}
+		p.Stages = append(p.Stages, blocks[idx:idx+n])
+		idx += n
+	}
+	p.Devs = devs
+	for s := 0; s < stages-1; s++ {
+		p.links = append(p.links, &stageLink{
+			fwd: make(chan *tensor.Tensor, len(blocks)),
+			bwd: make(chan *tensor.Tensor, len(blocks)),
+		})
+	}
+	return p, nil
+}
+
+// Params returns all pipeline parameters, stage by stage.
+func (p *Pipeline) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, stage := range p.Stages {
+		for _, b := range stage {
+			ps = append(ps, b.Params()...)
+		}
+	}
+	return ps
+}
+
+// stageForward runs one stage over x (recording nothing but the
+// input; interior activations are recomputed in backward).
+func stageForward(stage []*nn.TransformerBlock, x *tensor.Tensor) *tensor.Tensor {
+	for _, b := range stage {
+		x = b.Forward(x)
+	}
+	return x
+}
+
+// stageBackward recomputes the stage forward from the saved input,
+// then backpropagates (GPipe's re-materialization).
+func stageBackward(stage []*nn.TransformerBlock, saved *tensor.Tensor, dy *tensor.Tensor) *tensor.Tensor {
+	stageForward(stage, saved)
+	for i := len(stage) - 1; i >= 0; i-- {
+		dy = stage[i].Backward(dy)
+	}
+	return dy
+}
+
+// Step streams the micro-batches through the pipeline: all forwards,
+// then all backwards in reverse micro-batch order (GPipe schedule).
+// lossGrad maps the final activation of micro-batch i to its loss and
+// gradient; gradients are averaged over micro-batches by the caller's
+// lossGrad scaling. Returns the mean loss.
+func (p *Pipeline) Step(xs []*tensor.Tensor, lossGrad func(i int, y *tensor.Tensor) (float64, *tensor.Tensor)) float64 {
+	stages := len(p.Stages)
+	saved := make([][]*tensor.Tensor, stages) // per stage, per micro-batch inputs
+	for s := range saved {
+		saved[s] = make([]*tensor.Tensor, len(xs))
+	}
+	losses := make([]float64, len(xs))
+	lossGrads := make([]*tensor.Tensor, len(xs)) // written and read by the last stage only
+
+	var wg sync.WaitGroup
+	for s := 0; s < stages; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			stage := p.Stages[s]
+			// Forward phase: consume micro-batches in order.
+			for i := 0; i < len(xs); i++ {
+				var in *tensor.Tensor
+				if s == 0 {
+					in = xs[i]
+				} else {
+					in = <-p.links[s-1].fwd
+				}
+				saved[s][i] = in
+				out := stageForward(stage, in)
+				p.chargeTransfer(s, out)
+				if s < stages-1 {
+					p.links[s].fwd <- out
+				} else {
+					loss, grad := lossGrad(i, out)
+					losses[i] = loss
+					lossGrads[i] = grad
+				}
+			}
+			// Backward phase: reverse micro-batch order.
+			for i := len(xs) - 1; i >= 0; i-- {
+				var dy *tensor.Tensor
+				if s == stages-1 {
+					dy = lossGrads[i]
+				} else {
+					dy = <-p.links[s].bwd
+				}
+				dx := stageBackward(stage, saved[s][i], dy)
+				if s > 0 {
+					p.links[s-1].bwd <- dx
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(len(xs))
+}
+
+// chargeTransfer accounts the activation transfer time on the sending
+// device's simulated clock.
+func (p *Pipeline) chargeTransfer(s int, t *tensor.Tensor) {
+	if p.Devs == nil || s >= len(p.Devs)-1 {
+		return
+	}
+	d := p.Devs[s]
+	spec := d.Spec
+	bytes := float64(t.Len() * 4)
+	d.AdvanceTo(d.Clock(), spec.InterNodeLatency+bytes/spec.InterNodeBandwidth)
+}
+
+// MaxPipelineStages returns the architectural limit: the layer count
+// (paper Sec. II: "the scalability for pipeline parallelism is
+// limited by the number of model layers").
+func MaxPipelineStages(layers int) int { return layers }

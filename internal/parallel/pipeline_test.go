@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+func TestPipelineMatchesSerial(t *testing.T) {
+	for _, stages := range []int{1, 2} {
+		serial := buildStack(81)
+		xs, targets := testBatch(82, 3)
+		serialLoss := serialForwardBackward(serial, xs, targets)
+
+		blocks := buildStack(81)
+		m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+		pipe, err := NewPipeline(blocks, stages, m.Devices[:stages])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn.ZeroGrads(pipe.Params())
+		loss := pipe.Step(xs, func(i int, y *tensor.Tensor) (float64, *tensor.Tensor) {
+			l, g := mseLoss(y, targets[i])
+			g.ScaleInPlace(float32(1) / float32(len(xs)))
+			return l, g
+		})
+		if math.Abs(loss-serialLoss) > 1e-6*(1+math.Abs(serialLoss)) {
+			t.Errorf("stages=%d: pipeline loss %v vs serial %v", stages, loss, serialLoss)
+		}
+		// Gradients equal the serial batch-averaged gradients.
+		sp := stackParams(serial)
+		pp := pipe.Params()
+		for i := range pp {
+			if !tensor.AllClose(pp[i].Grad, sp[i].Grad, 1e-4, 1e-5) {
+				t.Fatalf("stages=%d: param %s grad mismatch (max diff %g)",
+					stages, pp[i].Name, tensor.MaxDiff(pp[i].Grad, sp[i].Grad))
+			}
+		}
+	}
+}
+
+func TestPipelineStageLimitIsLayers(t *testing.T) {
+	blocks := buildStack(83)
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	// More stages than layers: the architectural limit from Sec. II.
+	if _, err := NewPipeline(blocks, testLayers+1, m.Devices); err == nil {
+		t.Error("pipeline with more stages than layers must be rejected")
+	}
+	if MaxPipelineStages(56) != 56 {
+		t.Error("MaxPipelineStages should equal the layer count")
+	}
+}
+
+func TestPipelinePartitioning(t *testing.T) {
+	rng := tensor.NewRNG(84)
+	blocks := make([]*nn.TransformerBlock, 5)
+	for i := range blocks {
+		blocks[i] = nn.NewTransformerBlock("b", testDim, testHeads, false, rng)
+	}
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	pipe, err := NewPipeline(blocks, 2, m.Devices[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 layers over 2 stages: 3 + 2.
+	if len(pipe.Stages[0]) != 3 || len(pipe.Stages[1]) != 2 {
+		t.Errorf("partition %d/%d, want 3/2", len(pipe.Stages[0]), len(pipe.Stages[1]))
+	}
+}
+
+func TestPipelineChargesTransferTime(t *testing.T) {
+	blocks := buildStack(85)
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	pipe, err := NewPipeline(blocks, 2, m.Devices[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, targets := testBatch(86, 2)
+	nn.ZeroGrads(pipe.Params())
+	pipe.Step(xs, func(i int, y *tensor.Tensor) (float64, *tensor.Tensor) {
+		l, g := mseLoss(y, targets[i])
+		g.ScaleInPlace(0.5)
+		return l, g
+	})
+	if m.Devices[0].CommTime() <= 0 {
+		t.Error("stage 0 should accrue activation-transfer time")
+	}
+}

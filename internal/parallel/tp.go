@@ -1,0 +1,274 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// ShardedAttention is the tensor-parallel slice of a multi-head
+// self-attention sub-layer: this rank owns heads [k·H/K, (k+1)·H/K),
+// i.e. column shards of W_Q/W_K/W_V and the matching row shard of
+// W_O — the alternating column/row sharding of the paper's Eqn. (2)
+// applied to softmax(QKᵀ)V.
+type ShardedAttention struct {
+	Dim, LocalHeads, HeadDim int
+	QKNorm                   bool
+	// HasOutBias marks the rank that owns the (unsharded) output
+	// bias so the TP all-reduce adds it exactly once.
+	HasOutBias bool
+
+	WQ, WK, WV   *nn.Linear // Dim -> LocalDim column shards
+	WO           *nn.Linear // LocalDim -> Dim row shard
+	QNorm, KNorm *nn.LayerNorm
+
+	qHeads, kHeads, vHeads []*tensor.Tensor
+	probs                  []*tensor.Tensor
+}
+
+// localDim returns the width of this rank's attention slice.
+func (a *ShardedAttention) localDim() int { return a.LocalHeads * a.HeadDim }
+
+// NewShardedAttention cuts shard k of K out of a serial reference
+// attention block so that the TP group reproduces it exactly.
+func NewShardedAttention(ref *nn.MultiHeadAttention, k, kTotal int) *ShardedAttention {
+	if ref.Heads%kTotal != 0 {
+		panic(fmt.Sprintf("parallel: %d heads not divisible by TP size %d (the paper's TP scalability limit)", ref.Heads, kTotal))
+	}
+	a := &ShardedAttention{
+		Dim:        ref.Dim,
+		LocalHeads: ref.Heads / kTotal,
+		HeadDim:    ref.HeadDim,
+		QKNorm:     ref.QKNorm,
+		HasOutBias: k == 0,
+	}
+	shard := func(name string, l *nn.Linear) *nn.Linear {
+		return nn.NewLinearFromWeights(name,
+			tensor.ColumnShard(l.Weight.W, k, kTotal),
+			shardOfBias(l.Bias.W, k, kTotal))
+	}
+	a.WQ = shard("tp.wq", ref.WQ)
+	a.WK = shard("tp.wk", ref.WK)
+	a.WV = shard("tp.wv", ref.WV)
+	var outBias *tensor.Tensor
+	if a.HasOutBias {
+		outBias = ref.WO.Bias.W.Clone()
+	}
+	a.WO = nn.NewLinearFromWeights("tp.wo", tensor.RowShard(ref.WO.Weight.W, k, kTotal), outBias)
+	if a.QKNorm {
+		// Per-head LN parameters are shared across heads, hence
+		// replicated on every TP rank.
+		a.QNorm = nn.NewLayerNorm("tp.qnorm", ref.HeadDim)
+		a.QNorm.Gamma.W.CopyFrom(ref.QNorm.Gamma.W)
+		a.QNorm.Beta.W.CopyFrom(ref.QNorm.Beta.W)
+		a.KNorm = nn.NewLayerNorm("tp.knorm", ref.HeadDim)
+		a.KNorm.Gamma.W.CopyFrom(ref.KNorm.Gamma.W)
+		a.KNorm.Beta.W.CopyFrom(ref.KNorm.Beta.W)
+	}
+	return a
+}
+
+// Forward computes this rank's partial attention output [T, Dim]; the
+// TP group must all-reduce-sum the partials (done by TPBlock).
+func (a *ShardedAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	t := x.Dim(0)
+	q := a.WQ.Forward(x)
+	k := a.WK.Forward(x)
+	v := a.WV.Forward(x)
+	if a.QKNorm {
+		q = a.QNorm.Forward(q.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
+		k = a.KNorm.Forward(k.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
+	}
+	a.qHeads = tensor.Split(q, 1, a.LocalHeads)
+	a.kHeads = tensor.Split(k, 1, a.LocalHeads)
+	a.vHeads = tensor.Split(v, 1, a.LocalHeads)
+	a.probs = make([]*tensor.Tensor, a.LocalHeads)
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	outHeads := make([]*tensor.Tensor, a.LocalHeads)
+	for h := 0; h < a.LocalHeads; h++ {
+		s := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
+		s.ScaleInPlace(scale)
+		p := tensor.Softmax(s)
+		a.probs[h] = p
+		outHeads[h] = tensor.MatMul(p, a.vHeads[h])
+	}
+	return a.WO.Forward(tensor.Concat(1, outHeads...))
+}
+
+// Backward takes the (replicated) upstream gradient and returns this
+// rank's partial input gradient; the TP group must all-reduce-sum the
+// partials.
+func (a *ShardedAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	t := dy.Dim(0)
+	dConcat := a.WO.Backward(dy)
+	dHeads := tensor.Split(dConcat, 1, a.LocalHeads)
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	dq := make([]*tensor.Tensor, a.LocalHeads)
+	dk := make([]*tensor.Tensor, a.LocalHeads)
+	dv := make([]*tensor.Tensor, a.LocalHeads)
+	for h := 0; h < a.LocalHeads; h++ {
+		p := a.probs[h]
+		dv[h] = tensor.MatMulTransA(p, dHeads[h])
+		dp := tensor.MatMulTransB(dHeads[h], a.vHeads[h])
+		ds := tensor.SoftmaxBackward(p, dp)
+		ds.ScaleInPlace(scale)
+		dq[h] = tensor.MatMul(ds, a.kHeads[h])
+		dk[h] = tensor.MatMulTransA(ds, a.qHeads[h])
+	}
+	dqAll := tensor.Concat(1, dq...)
+	dkAll := tensor.Concat(1, dk...)
+	dvAll := tensor.Concat(1, dv...)
+	if a.QKNorm {
+		dqAll = a.QNorm.Backward(dqAll.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
+		dkAll = a.KNorm.Backward(dkAll.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
+	}
+	dx := a.WQ.Backward(dqAll)
+	dx.AddInPlace(a.WK.Backward(dkAll))
+	dx.AddInPlace(a.WV.Backward(dvAll))
+	return dx
+}
+
+// Params returns this shard's parameters (QK-norm parameters are
+// replicated across the TP group and included on every rank).
+func (a *ShardedAttention) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, a.WQ.Params()...)
+	ps = append(ps, a.WK.Params()...)
+	ps = append(ps, a.WV.Params()...)
+	ps = append(ps, a.WO.Params()...)
+	if a.QKNorm {
+		ps = append(ps, a.QNorm.Params()...)
+		ps = append(ps, a.KNorm.Params()...)
+	}
+	return ps
+}
+
+// ShardedMLP is the tensor-parallel slice of the feed-forward
+// sub-layer GeLU(xA)B: a column shard of A and the matching row shard
+// of B (the paper's Eqn. (2) exactly).
+type ShardedMLP struct {
+	FC1 *nn.Linear // Dim -> Hidden/K column shard
+	FC2 *nn.Linear // Hidden/K -> Dim row shard
+	// HasOutBias marks the single rank owning FC2's bias.
+	HasOutBias bool
+
+	h *tensor.Tensor
+}
+
+// NewShardedMLP cuts shard k of K out of a serial reference MLP.
+func NewShardedMLP(ref *nn.MLP, k, kTotal int) *ShardedMLP {
+	m := &ShardedMLP{HasOutBias: k == 0}
+	m.FC1 = nn.NewLinearFromWeights("tp.fc1",
+		tensor.ColumnShard(ref.FC1.Weight.W, k, kTotal),
+		shardOfBias(ref.FC1.Bias.W, k, kTotal))
+	var outBias *tensor.Tensor
+	if m.HasOutBias {
+		outBias = ref.FC2.Bias.W.Clone()
+	}
+	m.FC2 = nn.NewLinearFromWeights("tp.fc2", tensor.RowShard(ref.FC2.Weight.W, k, kTotal), outBias)
+	return m
+}
+
+// Forward computes the partial feed-forward output x·A_k·B_k.
+func (m *ShardedMLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	m.h = m.FC1.Forward(x)
+	return m.FC2.Forward(tensor.GELU(m.h))
+}
+
+// Backward returns the partial input gradient.
+func (m *ShardedMLP) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dGelu := m.FC2.Backward(dy)
+	return m.FC1.Backward(tensor.GELUBackward(m.h, dGelu))
+}
+
+// Params returns the shard's parameters.
+func (m *ShardedMLP) Params() []*nn.Param {
+	return append(append([]*nn.Param{}, m.FC1.Params()...), m.FC2.Params()...)
+}
+
+// TPBlock is one tensor-parallel transformer block: replicated layer
+// norms, sharded attention and MLP, with one all-reduce after each
+// sub-layer's partial output (forward) and one after each column-
+// parallel input gradient (backward) — four all-reduces per block per
+// step, the Megatron communication pattern.
+type TPBlock struct {
+	Rank  int
+	Group *comm.Group
+
+	LN1  *nn.LayerNorm
+	Attn *ShardedAttention
+	LN2  *nn.LayerNorm
+	MLP  *ShardedMLP
+}
+
+// NewTPBlock shards a serial reference block for this rank.
+func NewTPBlock(rank int, group *comm.Group, ref *nn.TransformerBlock) *TPBlock {
+	b := &TPBlock{
+		Rank:  rank,
+		Group: group,
+		LN1:   nn.NewLayerNorm("tp.ln1", ref.LN1.Dim),
+		Attn:  NewShardedAttention(ref.Attn, rank, group.Size()),
+		LN2:   nn.NewLayerNorm("tp.ln2", ref.LN2.Dim),
+		MLP:   NewShardedMLP(ref.MLP, rank, group.Size()),
+	}
+	b.LN1.Gamma.W.CopyFrom(ref.LN1.Gamma.W)
+	b.LN1.Beta.W.CopyFrom(ref.LN1.Beta.W)
+	b.LN2.Gamma.W.CopyFrom(ref.LN2.Gamma.W)
+	b.LN2.Beta.W.CopyFrom(ref.LN2.Beta.W)
+	return b
+}
+
+// allReduceTensor sums a tensor across the TP group in place.
+func (b *TPBlock) allReduceTensor(t *tensor.Tensor) *tensor.Tensor {
+	out := b.Group.AllReduceSum(b.Rank, t.Data())
+	return tensor.FromSlice(out, t.Shape()...)
+}
+
+// Forward applies the block to replicated input [T, D].
+func (b *TPBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	partial := b.Attn.Forward(b.LN1.Forward(x))
+	h := tensor.Add(x, b.allReduceTensor(partial))
+	partial = b.MLP.Forward(b.LN2.Forward(h))
+	return tensor.Add(h, b.allReduceTensor(partial))
+}
+
+// Backward propagates the replicated upstream gradient.
+//
+// The QK-norm parameters are replicated on every TP rank but each
+// rank's backward only accumulates the contribution of its local
+// heads, so their gradients are summed across the group here. (LN1
+// and LN2 need no reduction: they see identical replicated
+// activations, so their gradients are already identical.) Backward
+// must therefore be called exactly once per ZeroGrads cycle.
+func (b *TPBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dPartial := b.MLP.Backward(dy)
+	dh := tensor.Add(dy, b.LN2.Backward(b.allReduceTensor(dPartial)))
+	dPartial = b.Attn.Backward(dh)
+	if b.Attn.QKNorm && b.Group.Size() > 1 {
+		for _, p := range []*nn.Param{
+			b.Attn.QNorm.Gamma, b.Attn.QNorm.Beta,
+			b.Attn.KNorm.Gamma, b.Attn.KNorm.Beta,
+		} {
+			sum := b.Group.AllReduceSum(b.Rank, p.Grad.Data())
+			copy(p.Grad.Data(), sum)
+		}
+	}
+	return tensor.Add(dh, b.LN1.Backward(b.allReduceTensor(dPartial)))
+}
+
+// Params returns this rank's shard parameters plus the replicated
+// layer norms.
+func (b *TPBlock) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, b.LN1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.MLP.Params()...)
+	return ps
+}
+
+// MaxTPSize returns the largest legal tensor-parallel group for a
+// block: the number of attention heads (the architectural scalability
+// limit of tensor parallelism the paper contrasts with Hybrid-STOP).
+func MaxTPSize(heads int) int { return heads }

@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+)
+
+// MaxModelSize finds the largest model (in parameters) of the paper's
+// configuration family that the strategy can train on n GPUs with
+// micro-batch `batch` and the given channel count — the Fig. 5
+// experiment. The search respects each strategy's structural limits:
+// tensor parallelism cannot exceed the head count (nor the paper's
+// observed practical span), FSDP must temporarily materialize the
+// full model, and Hybrid-STOP composes both shardings.
+func MaxModelSize(strat Strategy, n int, channels, batch int, spec cluster.Spec, opts core.Options) int64 {
+	lo, hi := 1e7, 1e13
+	// Binary search over target parameters; feasibility is monotone
+	// in model size for a fixed strategy and GPU count.
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if feasible(strat, mid, n, channels, batch, spec, opts) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	cfg := FamilyConfig(lo, channels)
+	return FromConfig(cfg).Params
+}
+
+// feasible reports whether any legal plan of the strategy fits the
+// target model size on n GPUs.
+func feasible(strat Strategy, targetParams float64, n, channels, batch int, spec cluster.Spec, opts core.Options) bool {
+	shape := FromConfig(FamilyConfig(targetParams, channels))
+	usable := float64(spec.MemPerGPU) * UsableMemFrac
+	switch strat {
+	case FSDPOnly:
+		plan := Plan{Layout: core.Layout{TP: 1, FSDP: n, DDP: 1}, Opts: opts, MicroBatch: batch}
+		// Vanilla FSDP: the gather of the full model is the defining
+		// behaviour (paper Fig. 2); layer wrapping is a Hybrid-STOP
+		// era optimization, so it is disabled here as in the paper's
+		// Fig. 5 baseline.
+		plan.Opts.LayerWrapping = false
+		return MemoryPerGPU(shape, FSDPOnly, plan, spec) <= usable
+	case TPOnly:
+		// TP cannot exceed the attention head count (the paper's
+		// architectural scalability limit), the GPU count, or the
+		// practical span of fine-grain all-reduces.
+		tp := shape.Heads
+		if tp > MaxPracticalTP {
+			tp = MaxPracticalTP
+		}
+		if tp > n {
+			tp = largestPowerOfTwoAtMost(n)
+		}
+		for ; tp >= 1; tp /= 2 {
+			if shape.Heads%tp != 0 {
+				continue
+			}
+			ddp := n / tp
+			if ddp < 1 {
+				ddp = 1
+			}
+			plan := Plan{Layout: core.Layout{TP: tp, FSDP: 1, DDP: ddp}, Opts: opts, MicroBatch: batch}
+			if MemoryPerGPU(shape, TPOnly, plan, spec) <= usable {
+				return true
+			}
+		}
+		return false
+	case HybridSTOP:
+		for tp := 1; tp <= shape.Heads && tp <= n; tp *= 2 {
+			if shape.Heads%tp != 0 {
+				continue
+			}
+			fsdp := n / tp
+			if fsdp < 1 {
+				continue
+			}
+			plan := Plan{Layout: core.Layout{TP: tp, FSDP: fsdp, DDP: 1}, Opts: opts, MicroBatch: batch}
+			if MemoryPerGPU(shape, HybridSTOP, plan, spec) <= usable {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func largestPowerOfTwoAtMost(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

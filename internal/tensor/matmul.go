@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of multiply-adds below
+// which MatMul stays single-threaded; goroutine fan-out costs more than
+// it saves on tiny matrices.
+const matmulParallelThreshold = 1 << 16
+
+// MatMul returns t @ u for 2-D tensors [m,k] @ [k,n] -> [m,n]. Large
+// products are computed by a pool of goroutines over row blocks.
+func MatMul(t, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v @ %v", t.shape, u.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", t.shape, u.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.data, t.data, u.data, m, k, n)
+	return out
+}
+
+// MatMulTransB returns t @ uᵀ for [m,k] @ ([n,k])ᵀ -> [m,n] without
+// materializing the transpose. This is the hot path of attention
+// (Q @ Kᵀ) and of weight-gradient computation.
+func MatMulTransB(t, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := t.shape[0], t.shape[1]
+	n, k2 := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v @ %vᵀ", t.shape, u.shape))
+	}
+	out := New(m, n)
+	work := func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			tr := t.data[r*k : (r+1)*k]
+			or := out.data[r*n : (r+1)*n]
+			for c := 0; c < n; c++ {
+				uc := u.data[c*k : (c+1)*k]
+				var acc float32
+				for i := range tr {
+					acc += tr[i] * uc[i]
+				}
+				or[c] = acc
+			}
+		}
+	}
+	parallelRows(m, m*k*n, work)
+	return out
+}
+
+// MatMulTransA returns tᵀ @ u for ([k,m])ᵀ @ [k,n] -> [m,n] without
+// materializing the transpose. This is the weight-gradient path
+// dW = xᵀ @ dy.
+func MatMulTransA(t, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ @ %v", t.shape, u.shape))
+	}
+	out := New(m, n)
+	// out[r,c] = sum_i t[i,r]*u[i,c]; iterate i outer for streaming
+	// access, parallelized over output row blocks.
+	work := func(r0, r1 int) {
+		for i := 0; i < k; i++ {
+			ti := t.data[i*m : (i+1)*m]
+			ui := u.data[i*n : (i+1)*n]
+			for r := r0; r < r1; r++ {
+				v := ti[r]
+				if v == 0 {
+					continue
+				}
+				or := out.data[r*n : (r+1)*n]
+				for c := 0; c < n; c++ {
+					or[c] += v * ui[c]
+				}
+			}
+		}
+	}
+	parallelRows(m, m*k*n, work)
+	return out
+}
+
+// matmulInto computes out = a @ b with a: m×k, b: k×n. It uses an
+// ikj loop order so the inner loop streams both b and out rows.
+func matmulInto(out, a, b []float32, m, k, n int) {
+	work := func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			ar := a[r*k : (r+1)*k]
+			or := out[r*n : (r+1)*n]
+			for i, av := range ar {
+				if av == 0 {
+					continue
+				}
+				bi := b[i*n : (i+1)*n]
+				for c := range bi {
+					or[c] += av * bi[c]
+				}
+			}
+		}
+	}
+	parallelRows(m, m*k*n, work)
+}
+
+// parallelRows splits [0,m) row ranges across GOMAXPROCS workers when
+// the operation is large enough to amortize goroutine startup.
+func parallelRows(m, flops int, work func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < matmulParallelThreshold || workers == 1 || m == 1 {
+		work(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= m {
+			break
+		}
+		r1 := min(r0+chunk, m)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			work(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// BatchedMatMul multiplies two 3-D tensors batchwise:
+// [b,m,k] @ [b,k,n] -> [b,m,n].
+func BatchedMatMul(t, u *Tensor) *Tensor {
+	if len(t.shape) != 3 || len(u.shape) != 3 || t.shape[0] != u.shape[0] {
+		panic(fmt.Sprintf("tensor: BatchedMatMul shapes %v @ %v", t.shape, u.shape))
+	}
+	b, m, k := t.shape[0], t.shape[1], t.shape[2]
+	k2, n := u.shape[1], u.shape[2]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMul inner dimension mismatch %v @ %v", t.shape, u.shape))
+	}
+	out := New(b, m, n)
+	for i := 0; i < b; i++ {
+		matmulInto(out.data[i*m*n:(i+1)*m*n], t.data[i*m*k:(i+1)*m*k], u.data[i*k*n:(i+1)*k*n], m, k, n)
+	}
+	return out
+}
+
+// MatMulFLOPs returns the floating-point operation count of an
+// [m,k]@[k,n] product (2mkn: one multiply and one add per term).
+func MatMulFLOPs(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}

@@ -1,0 +1,382 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise.
+func Add(t, u *Tensor) *Tensor {
+	t.mustMatch(u, "Add")
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v + u.data[i]
+	}
+	return out
+}
+
+// Sub returns t - u elementwise.
+func Sub(t, u *Tensor) *Tensor {
+	t.mustMatch(u, "Sub")
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v - u.data[i]
+	}
+	return out
+}
+
+// Mul returns t * u elementwise (Hadamard product).
+func Mul(t, u *Tensor) *Tensor {
+	t.mustMatch(u, "Mul")
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v * u.data[i]
+	}
+	return out
+}
+
+// Scale returns t * s.
+func Scale(t *Tensor, s float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v * s
+	}
+	return out
+}
+
+// AddInPlace accumulates u into t.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	t.mustMatch(u, "AddInPlace")
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies t by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled accumulates s*u into t (axpy).
+func (t *Tensor) AddScaled(u *Tensor, s float32) {
+	t.mustMatch(u, "AddScaled")
+	for i, v := range u.data {
+		t.data[i] += s * v
+	}
+}
+
+// AddRowVector adds a length-cols vector to every row of a 2-D tensor,
+// returning a new tensor. This is the bias-add used by linear layers.
+func AddRowVector(t *Tensor, v *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(v.shape) != 1 || v.shape[0] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", t.shape, v.shape))
+	}
+	out := New(t.shape...)
+	rows, cols := t.shape[0], t.shape[1]
+	for r := 0; r < rows; r++ {
+		tr := t.data[r*cols : (r+1)*cols]
+		or := out.data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			or[c] = tr[c] + v.data[c]
+		}
+	}
+	return out
+}
+
+// SumRows reduces a 2-D tensor over its rows, producing a length-cols
+// vector. This is the bias-gradient reduction.
+func SumRows(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRows requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		tr := t.data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			out.data[c] += tr[c]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements, accumulated in float64.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// Dot returns the inner product of two tensors of identical shape,
+// accumulated in float64.
+func Dot(t, u *Tensor) float64 {
+	t.mustMatch(u, "Dot")
+	var s float64
+	for i, v := range t.data {
+		s += float64(v) * float64(u.data[i])
+	}
+	return s
+}
+
+// Norm returns the L2 norm of the tensor, accumulated in float64.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols, rows)
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 32
+	for r0 := 0; r0 < rows; r0 += bs {
+		r1 := min(r0+bs, rows)
+		for c0 := 0; c0 < cols; c0 += bs {
+			c1 := min(c0+bs, cols)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					out.data[c*rows+r] = t.data[r*cols+c]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Softmax applies a numerically stable softmax along the last
+// dimension, returning a new tensor.
+func Softmax(t *Tensor) *Tensor {
+	cols := t.shape[len(t.shape)-1]
+	rows := len(t.data) / cols
+	out := New(t.shape...)
+	for r := 0; r < rows; r++ {
+		in := t.data[r*cols : (r+1)*cols]
+		o := out.data[r*cols : (r+1)*cols]
+		softmaxRow(in, o)
+	}
+	return out
+}
+
+func softmaxRow(in, out []float32) {
+	maxv := in[0]
+	for _, v := range in[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range in {
+		e := math.Exp(float64(v - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// SoftmaxBackward computes the gradient of a softmax output: given
+// y = softmax(x) and dL/dy, returns dL/dx = y ⊙ (dy − sum(dy ⊙ y)).
+func SoftmaxBackward(y, dy *Tensor) *Tensor {
+	y.mustMatch(dy, "SoftmaxBackward")
+	cols := y.shape[len(y.shape)-1]
+	rows := len(y.data) / cols
+	out := New(y.shape...)
+	for r := 0; r < rows; r++ {
+		yr := y.data[r*cols : (r+1)*cols]
+		dr := dy.data[r*cols : (r+1)*cols]
+		or := out.data[r*cols : (r+1)*cols]
+		var dot float64
+		for i := range yr {
+			dot += float64(yr[i]) * float64(dr[i])
+		}
+		for i := range yr {
+			or[i] = yr[i] * (dr[i] - float32(dot))
+		}
+	}
+	return out
+}
+
+// GELU applies the tanh-approximate Gaussian error linear unit.
+func GELU(t *Tensor) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = geluScalar(v)
+	}
+	return out
+}
+
+const (
+	geluC0 = 0.7978845608028654 // sqrt(2/pi)
+	geluC1 = 0.044715
+)
+
+func geluScalar(x float32) float32 {
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(geluC0*(xf+geluC1*xf*xf*xf))))
+}
+
+// GELUBackward returns dL/dx given the pre-activation x and dL/dy.
+func GELUBackward(x, dy *Tensor) *Tensor {
+	x.mustMatch(dy, "GELUBackward")
+	out := New(x.shape...)
+	for i, v := range x.data {
+		out.data[i] = dy.data[i] * geluGradScalar(v)
+	}
+	return out
+}
+
+func geluGradScalar(x float32) float32 {
+	xf := float64(x)
+	u := geluC0 * (xf + geluC1*xf*xf*xf)
+	th := math.Tanh(u)
+	sech2 := 1 - th*th
+	du := geluC0 * (1 + 3*geluC1*xf*xf)
+	return float32(0.5*(1+th) + 0.5*xf*sech2*du)
+}
+
+// Concat concatenates tensors along dimension dim. All inputs must
+// agree on every other dimension.
+func Concat(dim int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of zero tensors")
+	}
+	rank := ts[0].Rank()
+	if dim < 0 || dim >= rank {
+		panic(fmt.Sprintf("tensor: Concat dim %d out of range for rank %d", dim, rank))
+	}
+	outShape := append([]int(nil), ts[0].shape...)
+	total := 0
+	for _, t := range ts {
+		if t.Rank() != rank {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i := range t.shape {
+			if i != dim && t.shape[i] != outShape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v at dim %d", t.shape, outShape, i))
+			}
+		}
+		total += t.shape[dim]
+	}
+	outShape[dim] = total
+	out := New(outShape...)
+	// Elements are copied in contiguous runs of inner*dimSize.
+	inner := 1
+	for i := dim + 1; i < rank; i++ {
+		inner *= outShape[i]
+	}
+	outer := 1
+	for i := 0; i < dim; i++ {
+		outer *= outShape[i]
+	}
+	outRun := outShape[dim] * inner
+	off := 0
+	for _, t := range ts {
+		run := t.shape[dim] * inner
+		for o := 0; o < outer; o++ {
+			copy(out.data[o*outRun+off:o*outRun+off+run], t.data[o*run:(o+1)*run])
+		}
+		off += run
+	}
+	return out
+}
+
+// Split slices a tensor into n equal parts along dimension dim.
+func Split(t *Tensor, dim, n int) []*Tensor {
+	if t.shape[dim]%n != 0 {
+		panic(fmt.Sprintf("tensor: Split dim %d size %d not divisible by %d", dim, t.shape[dim], n))
+	}
+	part := t.shape[dim] / n
+	rank := t.Rank()
+	inner := 1
+	for i := dim + 1; i < rank; i++ {
+		inner *= t.shape[i]
+	}
+	outer := 1
+	for i := 0; i < dim; i++ {
+		outer *= t.shape[i]
+	}
+	outShape := append([]int(nil), t.shape...)
+	outShape[dim] = part
+	run := part * inner
+	inRun := t.shape[dim] * inner
+	parts := make([]*Tensor, n)
+	for k := 0; k < n; k++ {
+		p := New(outShape...)
+		for o := 0; o < outer; o++ {
+			copy(p.data[o*run:(o+1)*run], t.data[o*inRun+k*run:o*inRun+(k+1)*run])
+		}
+		parts[k] = p
+	}
+	return parts
+}
+
+// ColumnShard returns shard k of K of a 2-D matrix split along columns.
+func ColumnShard(t *Tensor, k, kTotal int) *Tensor {
+	return Split(t, 1, kTotal)[k]
+}
+
+// RowShard returns shard k of K of a 2-D matrix split along rows.
+func RowShard(t *Tensor, k, kTotal int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: RowShard requires 2-D")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if rows%kTotal != 0 {
+		panic(fmt.Sprintf("tensor: RowShard rows %d not divisible by %d", rows, kTotal))
+	}
+	part := rows / kTotal
+	out := New(part, cols)
+	copy(out.data, t.data[k*part*cols:(k+1)*part*cols])
+	return out
+}
+
+// AllClose reports whether t and u agree elementwise within absolute
+// tolerance atol plus relative tolerance rtol*|u|.
+func AllClose(t, u *Tensor, rtol, atol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.data {
+		diff := math.Abs(float64(v) - float64(u.data[i]))
+		if diff > atol+rtol*math.Abs(float64(u.data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the maximum absolute elementwise difference.
+func MaxDiff(t, u *Tensor) float64 {
+	t.mustMatch(u, "MaxDiff")
+	var m float64
+	for i, v := range t.data {
+		d := math.Abs(float64(v) - float64(u.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randMat builds a deterministic pseudo-random matrix from a seed; used
+// by quick-check properties so the generator stays in control of sizes.
+func randMat(seed uint64, rows, cols int) *Tensor {
+	return Randn(NewRNG(seed), 1, rows, cols)
+}
+
+// TestPropertyMatrixChainShardIdentity verifies the paper's Eqn. (2):
+// xAB == Σ_k x·A[:,k]·B[k,:] for any shard count K dividing the inner
+// width. This identity is the mathematical foundation of Hybrid-STOP.
+func TestPropertyMatrixChainShardIdentity(t *testing.T) {
+	prop := func(seed uint64, kSel, sizeSel uint8) bool {
+		kChoices := []int{1, 2, 4, 8}
+		k := kChoices[int(kSel)%len(kChoices)]
+		inner := 8 * (1 + int(sizeSel)%3) // 8, 16 or 24: divisible by all K
+		m, n := 3+int(sizeSel)%5, 4+int(sizeSel)%3
+		rng := NewRNG(seed)
+		x := Randn(rng, 1, m, inner)
+		a := Randn(rng, 1, inner, inner)
+		b := Randn(rng, 1, inner, n)
+
+		full := MatMul(MatMul(x, a), b)
+
+		sum := New(m, n)
+		for s := 0; s < k; s++ {
+			ak := ColumnShard(a, s, k)
+			bk := RowShard(b, s, k)
+			sum.AddInPlace(MatMul(MatMul(x, ak), bk))
+		}
+		return AllClose(sum, full, 1e-3, 1e-3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGradientShardIdentity verifies the paper's Eqn. (3): the
+// input gradient of y = xAB under upstream gradient G is G·(AB)ᵀ =
+// Σ_k G·(A[:,k]B[k,:])ᵀ, i.e. shard-wise gradient contributions sum to
+// the full gradient.
+func TestPropertyGradientShardIdentity(t *testing.T) {
+	prop := func(seed uint64, kSel uint8) bool {
+		kChoices := []int{2, 4}
+		k := kChoices[int(kSel)%len(kChoices)]
+		m, inner, n := 4, 8, 5
+		rng := NewRNG(seed)
+		a := Randn(rng, 1, inner, inner)
+		b := Randn(rng, 1, inner, n)
+		g := Randn(rng, 1, m, n) // upstream gradient dL/dy
+
+		// Full: dL/dx = G @ Bᵀ @ Aᵀ
+		full := MatMulTransB(MatMulTransB(g, b), a)
+
+		sum := New(m, inner)
+		for s := 0; s < k; s++ {
+			ak := ColumnShard(a, s, k)
+			bk := RowShard(b, s, k)
+			sum.AddInPlace(MatMulTransB(MatMulTransB(g, bk), ak))
+		}
+		return AllClose(sum, full, 1e-3, 1e-3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMatMulDistributes checks (A+B)C == AC + BC.
+func TestPropertyMatMulDistributes(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		a := Randn(rng, 1, 5, 7)
+		b := Randn(rng, 1, 5, 7)
+		c := Randn(rng, 1, 7, 4)
+		left := MatMul(Add(a, b), c)
+		right := Add(MatMul(a, c), MatMul(b, c))
+		return AllClose(left, right, 1e-4, 1e-4)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTransposeProduct checks (AB)ᵀ == BᵀAᵀ.
+func TestPropertyTransposeProduct(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		a := Randn(rng, 1, 6, 3)
+		b := Randn(rng, 1, 3, 5)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return AllClose(left, right, 1e-4, 1e-4)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyConcatSplitInverse checks Split is a left inverse of
+// Concat along dimension 1 for random 2-D tensors.
+func TestPropertyConcatSplitInverse(t *testing.T) {
+	prop := func(seed uint64, nSel uint8) bool {
+		n := 1 + int(nSel)%4
+		parts := make([]*Tensor, n)
+		rng := NewRNG(seed)
+		for i := range parts {
+			parts[i] = Randn(rng, 1, 3, 4)
+		}
+		joined := Concat(1, parts...)
+		back := Split(joined, 1, n)
+		for i := range parts {
+			if !AllClose(back[i], parts[i], 0, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRNGDeterminism: identical seeds yield identical streams,
+// distinct seeds (almost surely) diverge.
+func TestPropertyRNGDeterminism(t *testing.T) {
+	prop := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		c := NewRNG(seed + 1)
+		return c.Uint64() != NewRNG(seed).Uint64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandnMoments(t *testing.T) {
+	r := NewRNG(4)
+	x := Randn(r, 2, 10000)
+	mean := x.Mean()
+	if mean < -0.1 || mean > 0.1 {
+		t.Errorf("Randn mean = %v, want ~0", mean)
+	}
+	var varsum float64
+	for _, v := range x.Data() {
+		varsum += float64(v) * float64(v)
+	}
+	variance := varsum / float64(x.Len())
+	if variance < 3.5 || variance > 4.5 {
+		t.Errorf("Randn variance = %v, want ~4", variance)
+	}
+}
+
+func TestXavierUniformBounds(t *testing.T) {
+	r := NewRNG(5)
+	w := XavierUniform(r, 64, 64)
+	limit := float32(0.2165 + 1e-4) // sqrt(6/128)
+	for _, v := range w.Data() {
+		if v > limit || v < -limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "math"
+
+// RNG is a small splittable pseudo-random generator (SplitMix64-based)
+// used for reproducible parameter initialization and synthetic data.
+// Using our own generator keeps results identical across Go versions.
+type RNG struct {
+	state uint64
+	// cached spare normal deviate for Box-Muller
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG seeds a generator. Distinct seeds yield independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed*0x9E3779B97F4A7C15 + 1} }
+
+// Split derives an independent child generator; the parent advances.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform deviate in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal deviate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Randn fills a new tensor with N(0, std²) deviates.
+func Randn(r *RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(r.Norm() * std)
+	}
+	return t
+}
+
+// Uniform fills a new tensor with uniform deviates in [lo,hi).
+func Uniform(r *RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+	return t
+}
+
+// XavierUniform initializes with the Glorot uniform scheme for a
+// [fanIn, fanOut] weight matrix.
+func XavierUniform(r *RNG, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	return Uniform(r, -limit, limit, fanIn, fanOut)
+}

@@ -1,0 +1,366 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(3, 4)
+	if x.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", x.Len())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("New not zero-filled: %v", x.Data())
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(42, 1, 0)
+	if got := x.At(1, 0); got != 42 {
+		t.Errorf("Set/At = %v, want 42", got)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(9, 0)
+	if x.At(0, 0) != 9 {
+		t.Error("Reshape should share backing data")
+	}
+}
+
+func TestReshapeVolumeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for volume mismatch")
+		}
+	}()
+	New(2, 2).Reshape(3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Error("Clone should deep-copy")
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{4, 3, 2, 1}, 2, 2)
+	if got := Add(a, b).Data(); got[0] != 5 || got[3] != 5 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b).Data(); got[0] != -3 || got[3] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[0] != 4 || got[3] != 4 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Scale(a, 2).Data(); got[3] != 8 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromSlice([]float32{10, 20, 30}, 3)
+	y := AddRowVector(x, v)
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("AddRowVector[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	s := SumRows(x)
+	if s.At(0) != 5 || s.At(1) != 7 || s.At(2) != 9 {
+		t.Errorf("SumRows = %v", s.Data())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	r := NewRNG(7)
+	a := Randn(r, 1, 5, 9)
+	b := Randn(r, 1, 4, 9)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	if !AllClose(got, want, 1e-5, 1e-5) {
+		t.Errorf("MatMulTransB mismatch, max diff %g", MaxDiff(got, want))
+	}
+}
+
+func TestMatMulTransAMatchesExplicitTranspose(t *testing.T) {
+	r := NewRNG(8)
+	a := Randn(r, 1, 9, 5)
+	b := Randn(r, 1, 9, 4)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if !AllClose(got, want, 1e-5, 1e-5) {
+		t.Errorf("MatMulTransA mismatch, max diff %g", MaxDiff(got, want))
+	}
+}
+
+func TestMatMulLargeParallelMatchesSmallPath(t *testing.T) {
+	// Large enough to trigger the goroutine pool; verify against a
+	// naive reference.
+	r := NewRNG(9)
+	m, k, n := 64, 48, 56
+	a := Randn(r, 1, m, k)
+	b := Randn(r, 1, k, n)
+	got := MatMul(a, b)
+	want := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			want.Set(float32(acc), i, j)
+		}
+	}
+	if !AllClose(got, want, 1e-4, 1e-4) {
+		t.Errorf("parallel MatMul mismatch, max diff %g", MaxDiff(got, want))
+	}
+}
+
+func TestBatchedMatMul(t *testing.T) {
+	r := NewRNG(10)
+	a := Randn(r, 1, 3, 4, 5)
+	b := Randn(r, 1, 3, 5, 6)
+	c := BatchedMatMul(a, b)
+	if c.Dim(0) != 3 || c.Dim(1) != 4 || c.Dim(2) != 6 {
+		t.Fatalf("BatchedMatMul shape %v", c.Shape())
+	}
+	// Check batch 1 against 2-D matmul.
+	a1 := FromSlice(a.Data()[1*20:2*20], 4, 5)
+	b1 := FromSlice(b.Data()[1*30:2*30], 5, 6)
+	want := MatMul(a1, b1)
+	got := FromSlice(c.Data()[1*24:2*24], 4, 6)
+	if !AllClose(got, want, 1e-5, 1e-5) {
+		t.Error("BatchedMatMul batch slice mismatch")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(11)
+	a := Randn(r, 1, 37, 53) // odd sizes exercise blocked edges
+	b := Transpose(Transpose(a))
+	if !AllClose(a, b, 0, 0) {
+		t.Error("transpose twice should be identity")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := NewRNG(12)
+	x := Randn(r, 3, 5, 7)
+	y := Softmax(x)
+	for row := 0; row < 5; row++ {
+		var s float64
+		for c := 0; c < 7; c++ {
+			v := y.At(row, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("softmax row sum = %v", s)
+		}
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	x := FromSlice([]float32{1000, 1001, 999}, 1, 3)
+	y := Softmax(x)
+	if y.HasNaNOrInf() {
+		t.Fatal("softmax overflowed on large logits")
+	}
+}
+
+func TestSoftmaxBackwardNumerical(t *testing.T) {
+	r := NewRNG(13)
+	x := Randn(r, 1, 2, 5)
+	dy := Randn(r, 1, 2, 5)
+	y := Softmax(x)
+	dx := SoftmaxBackward(y, dy)
+	// Numerical gradient via central differences on sum(dy*softmax(x)).
+	const eps = 1e-3
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := Dot(Softmax(x), dy)
+		x.Data()[i] = orig - eps
+		lm := Dot(Softmax(x), dy)
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data()[i])) > 1e-2 {
+			t.Fatalf("softmax grad[%d]: numerical %v vs analytic %v", i, num, dx.Data()[i])
+		}
+	}
+}
+
+func TestGELUValues(t *testing.T) {
+	x := FromSlice([]float32{0, 1, -1, 3}, 4)
+	y := GELU(x)
+	if y.At(0) != 0 {
+		t.Errorf("GELU(0) = %v", y.At(0))
+	}
+	if math.Abs(float64(y.At(1))-0.8412) > 1e-3 {
+		t.Errorf("GELU(1) = %v, want ~0.8412", y.At(1))
+	}
+	if math.Abs(float64(y.At(2))+0.1588) > 1e-3 {
+		t.Errorf("GELU(-1) = %v, want ~-0.1588", y.At(2))
+	}
+	if math.Abs(float64(y.At(3))-2.9964) > 1e-3 {
+		t.Errorf("GELU(3) = %v, want ~2.9964", y.At(3))
+	}
+}
+
+func TestGELUBackwardNumerical(t *testing.T) {
+	r := NewRNG(14)
+	x := Randn(r, 1, 10)
+	dy := Ones(10)
+	dx := GELUBackward(x, dy)
+	const eps = 1e-3
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := GELU(x).Sum()
+		x.Data()[i] = orig - eps
+		lm := GELU(x).Sum()
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data()[i])) > 1e-2 {
+			t.Fatalf("gelu grad[%d]: numerical %v vs analytic %v", i, num, dx.Data()[i])
+		}
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	r := NewRNG(15)
+	x := Randn(r, 1, 4, 6)
+	parts := Split(x, 1, 3)
+	if len(parts) != 3 || parts[0].Dim(1) != 2 {
+		t.Fatalf("Split shapes: %v", parts[0].Shape())
+	}
+	back := Concat(1, parts...)
+	if !AllClose(back, x, 0, 0) {
+		t.Error("Concat(Split(x)) != x along dim 1")
+	}
+	parts0 := Split(x, 0, 2)
+	back0 := Concat(0, parts0...)
+	if !AllClose(back0, x, 0, 0) {
+		t.Error("Concat(Split(x)) != x along dim 0")
+	}
+}
+
+func TestRowColumnShards(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+	}, 2, 4)
+	c0 := ColumnShard(x, 0, 2)
+	if c0.At(0, 0) != 1 || c0.At(0, 1) != 2 || c0.At(1, 1) != 6 {
+		t.Errorf("ColumnShard = %v", c0.Data())
+	}
+	r1 := RowShard(x, 1, 2)
+	if r1.At(0, 0) != 5 || r1.At(0, 3) != 8 {
+		t.Errorf("RowShard = %v", r1.Data())
+	}
+}
+
+func TestSumMeanNormDot(t *testing.T) {
+	x := FromSlice([]float32{3, 4}, 2)
+	if x.Sum() != 7 {
+		t.Errorf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 3.5 {
+		t.Errorf("Mean = %v", x.Mean())
+	}
+	if math.Abs(x.Norm()-5) > 1e-9 {
+		t.Errorf("Norm = %v", x.Norm())
+	}
+	if Dot(x, x) != 25 {
+		t.Errorf("Dot = %v", Dot(x, x))
+	}
+}
+
+func TestHasNaNOrInf(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	if x.HasNaNOrInf() {
+		t.Error("clean tensor flagged")
+	}
+	x.Set(float32(math.NaN()), 0)
+	if !x.HasNaNOrInf() {
+		t.Error("NaN not detected")
+	}
+	y := FromSlice([]float32{float32(math.Inf(1))}, 1)
+	if !y.HasNaNOrInf() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	x := FromSlice([]float32{-5, 3, 2}, 3)
+	if x.MaxAbs() != 5 {
+		t.Errorf("MaxAbs = %v", x.MaxAbs())
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	if got := MatMulFLOPs(2, 3, 4); got != 48 {
+		t.Errorf("MatMulFLOPs = %d, want 48", got)
+	}
+}

@@ -1,0 +1,69 @@
+package vit
+
+import (
+	"testing"
+
+	"orbit/internal/metrics"
+	"orbit/internal/optim"
+	"orbit/internal/tensor"
+)
+
+// TestQKNormAblationTrainingStability reproduces the motivation for
+// the paper's architecture optimization (Sec. III-B): training with
+// aggressive learning rates grows attention logits; QK layer-norm
+// contains them. We train two identical models — one with QK-norm,
+// one without — under a deliberately hot learning rate and compare
+// the worst attention logit magnitude reached.
+func TestQKNormAblationTrainingStability(t *testing.T) {
+	run := func(qkNorm bool) (maxLogit float32, lossExploded bool) {
+		cfg := Tiny(4, 8, 16)
+		cfg.QKNorm = qkNorm
+		m, err := New(cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optim.NewAdamW(m.Params(), 0)
+		rng := tensor.NewRNG(7)
+		for step := 0; step < 30; step++ {
+			x := tensor.Randn(rng, 1, 4, 8, 16)
+			target := tensor.Randn(rng, 2, 4, 8, 16) // mismatched scale drives big updates
+			pred := m.Forward(x, 24)
+			loss, grad := metrics.WeightedMSE(pred, target)
+			if loss != loss || loss > 1e12 {
+				lossExploded = true
+				break
+			}
+			m.ZeroGrads()
+			m.Backward(grad)
+			opt.Step(0.1) // hot LR, no clipping: the failure mode ViT-22B reports
+		}
+		for _, b := range m.Blocks {
+			if v := b.Attn.MaxAttentionLogit(); v > maxLogit {
+				maxLogit = v
+			}
+		}
+		return maxLogit, lossExploded
+	}
+
+	rawLogit, _ := run(false)
+	normedLogit, normedExploded := run(true)
+	if normedExploded {
+		t.Fatal("QK-normed model should not explode")
+	}
+	if normedLogit >= rawLogit {
+		t.Errorf("QK-norm should contain logit growth: normed %v vs raw %v", normedLogit, rawLogit)
+	}
+}
+
+// TestQKNormParamOverheadNegligible: the stabilization adds only
+// 4·headDim parameters per block — irrelevant at any scale.
+func TestQKNormParamOverheadNegligible(t *testing.T) {
+	with := ParamCount(ORBIT113B)
+	cfg := ORBIT113B
+	cfg.QKNorm = false
+	without := ParamCount(cfg)
+	overhead := float64(with-without) / float64(without)
+	if overhead > 1e-6 {
+		t.Errorf("QK-norm overhead %v of parameters, should be negligible", overhead)
+	}
+}

@@ -1,0 +1,226 @@
+package vit
+
+import (
+	"math"
+	"testing"
+
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+)
+
+func tinyModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Tiny(4, 8, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Tiny(4, 8, 16)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Patch = 3
+	if bad.Validate() == nil {
+		t.Error("indivisible patch accepted")
+	}
+	bad = good
+	bad.Heads = 5
+	if bad.Validate() == nil {
+		t.Error("indivisible heads accepted")
+	}
+	bad = good
+	bad.Layers = 0
+	if bad.Validate() == nil {
+		t.Error("zero layers accepted")
+	}
+	bad = good
+	bad.OutChannels = 0
+	if bad.Validate() == nil {
+		t.Error("zero out-channels accepted")
+	}
+}
+
+func TestTokens(t *testing.T) {
+	c := Config{Height: 128, Width: 256, Patch: 8}
+	if c.Tokens() != 512 {
+		t.Errorf("Tokens = %d, want 512", c.Tokens())
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	m := tinyModel(t)
+	rng := tensor.NewRNG(2)
+	x := tensor.Randn(rng, 1, 4, 8, 16)
+	y := m.Forward(x, 24)
+	if y.Dim(0) != 4 || y.Dim(1) != 8 || y.Dim(2) != 16 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	if y.HasNaNOrInf() {
+		t.Fatal("forward produced NaN/Inf")
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m1, _ := New(Tiny(4, 8, 16), 7)
+	m2, _ := New(Tiny(4, 8, 16), 7)
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 1, 4, 8, 16)
+	if !tensor.AllClose(m1.Forward(x, 24), m2.Forward(x, 24), 0, 0) {
+		t.Error("same seed should build identical models")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	m1, _ := New(Tiny(4, 8, 16), 7)
+	m2, _ := New(Tiny(4, 8, 16), 8)
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 1, 4, 8, 16)
+	if tensor.AllClose(m1.Forward(x, 24), m2.Forward(x, 24), 1e-6, 1e-6) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNumParamsMatchesAnalyticCount(t *testing.T) {
+	for _, cfg := range []Config{
+		Tiny(4, 8, 16),
+		{Name: "odd", Channels: 3, OutChannels: 2, Height: 8, Width: 8, Patch: 4, EmbedDim: 24, Layers: 3, Heads: 4, QKNorm: true},
+		{Name: "noqk", Channels: 2, OutChannels: 2, Height: 8, Width: 8, Patch: 2, EmbedDim: 16, Layers: 1, Heads: 2, QKNorm: false},
+	} {
+		m, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.NumParams(), ParamCount(cfg); got != want {
+			t.Errorf("%s: built %d params, analytic %d", cfg.Name, got, want)
+		}
+	}
+}
+
+func TestPaperConfigParamCounts(t *testing.T) {
+	// The analytic counts must land near the paper's named sizes.
+	cases := []struct {
+		cfg  Config
+		want float64 // parameters
+		tol  float64 // relative tolerance
+	}{
+		{ORBIT115M, 115e6, 0.30},
+		{ORBIT1B, 1e9, 0.30},
+		{ORBIT10B, 10e9, 0.30},
+		{ORBIT113B, 113e9, 0.15},
+	}
+	for _, c := range cases {
+		got := float64(ParamCount(c.cfg))
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s: %0.3g params, want within %.0f%% of %0.3g",
+				c.cfg.Name, got, c.tol*100, c.want)
+		}
+	}
+	// Sizes are strictly increasing.
+	prev := int64(0)
+	for _, cfg := range PaperConfigs() {
+		n := ParamCount(cfg)
+		if n <= prev {
+			t.Errorf("%s not larger than previous (%d <= %d)", cfg.Name, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestWithChannelsIncreasesParams(t *testing.T) {
+	base := ParamCount(ORBIT115M)
+	wide := ParamCount(ORBIT115M.WithChannels(91))
+	if wide <= base {
+		t.Errorf("91-channel model should have more params: %d vs %d", wide, base)
+	}
+}
+
+func TestBackwardProducesFiniteGrads(t *testing.T) {
+	m := tinyModel(t)
+	rng := tensor.NewRNG(4)
+	x := tensor.Randn(rng, 1, 4, 8, 16)
+	target := tensor.Randn(rng, 1, 4, 8, 16)
+	y := m.Forward(x, 24)
+	_, grad := metrics.WeightedMSE(y, target)
+	m.ZeroGrads()
+	dx := m.Backward(grad)
+	if dx.HasNaNOrInf() {
+		t.Fatal("input gradient has NaN/Inf")
+	}
+	var nonZero int
+	for _, p := range m.Params() {
+		if p.Grad.HasNaNOrInf() {
+			t.Fatalf("param %s gradient has NaN/Inf", p.Name)
+		}
+		if p.Grad.MaxAbs() > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < len(m.Params())*3/4 {
+		t.Errorf("only %d/%d params received gradient", nonZero, len(m.Params()))
+	}
+}
+
+func TestEndToEndGradientNumerical(t *testing.T) {
+	// Full-model gradient check through patch embed, aggregation,
+	// blocks and head on a handful of parameters.
+	m, err := New(Tiny(2, 4, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	x := tensor.Randn(rng, 1, 2, 4, 8)
+	target := tensor.Randn(rng, 1, 2, 4, 8)
+	lossAt := func() float64 {
+		loss, _ := metrics.WeightedMSE(m.Forward(x, 24), target)
+		return loss
+	}
+	y := m.Forward(x, 24)
+	_, grad := metrics.WeightedMSE(y, target)
+	m.ZeroGrads()
+	m.Backward(grad)
+
+	const eps = 1e-2
+	// Check one parameter from each stage of the model.
+	checkNames := map[string]bool{}
+	for _, p := range m.Params() {
+		// pick ~6 parameters spread across the list
+		checkNames[p.Name] = len(checkNames) < 200
+	}
+	checked := 0
+	for _, p := range m.Params() {
+		if checked >= 6 || p.W.Len() == 0 {
+			break
+		}
+		if p.W.Len() < 2 {
+			continue
+		}
+		i := p.W.Len() / 2
+		orig := p.W.Data()[i]
+		p.W.Data()[i] = orig + eps
+		lp := lossAt()
+		p.W.Data()[i] = orig - eps
+		lm := lossAt()
+		p.W.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		got := float64(p.Grad.Data()[i])
+		if math.Abs(num-got) > 5e-2*(1+math.Abs(num)) {
+			t.Errorf("%s grad: numerical %v vs analytic %v", p.Name, num, got)
+		}
+		checked++
+	}
+}
+
+func TestLeadTimeChangesPrediction(t *testing.T) {
+	m := tinyModel(t)
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 1, 4, 8, 16)
+	y1 := m.Forward(x, 24)
+	y2 := m.Forward(x, 720)
+	if tensor.AllClose(y1, y2, 1e-6, 1e-6) {
+		t.Error("lead time should condition the forecast")
+	}
+}

@@ -1,0 +1,214 @@
+// Package orbit is the public API of the ORBIT reproduction: the Oak
+// Ridge Base Foundation Model for Earth System Predictability
+// (SC 2024) implemented in pure Go.
+//
+// The package exposes the three layers a user works with:
+//
+//   - Modeling: build and train ClimaX/ORBIT vision transformers on
+//     synthetic CMIP6/ERA5-like climate data (NewModel, Pretrain,
+//     NewTrainer, EvalACC, checkpointing via SaveModel/LoadModel).
+//
+//   - Parallelism: the paper's Hybrid-STOP algorithm and its
+//     baselines run as real SPMD programs over a simulated
+//     Frontier-like cluster (NewCluster, NewHybridSTOP, the
+//     internal/core and internal/parallel packages).
+//
+//   - Scaling analysis: the calibrated analytical model that
+//     regenerates the paper's Frontier-scale tables and figures
+//     (MaxModelSize, StepTime, and the experiment runners re-exported
+//     from internal/experiments).
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md
+// for the paper-versus-measured record of every table and figure.
+package orbit
+
+import (
+	"orbit/internal/ckpt"
+	"orbit/internal/climate"
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+	"orbit/internal/experiments"
+	"orbit/internal/perf"
+	"orbit/internal/train"
+	"orbit/internal/vit"
+)
+
+// ModelConfig describes an ORBIT model variant (see vit.Config).
+type ModelConfig = vit.Config
+
+// Model is an assembled ORBIT vision transformer.
+type Model = vit.Model
+
+// Paper model configurations (Sec. IV of the paper).
+var (
+	ORBIT115M = vit.ORBIT115M
+	ORBIT1B   = vit.ORBIT1B
+	ORBIT10B  = vit.ORBIT10B
+	ORBIT113B = vit.ORBIT113B
+)
+
+// TinyConfig returns a laptop-scale configuration preserving the full
+// architecture, for real-numerics training.
+func TinyConfig(channels, height, width int) ModelConfig {
+	return vit.Tiny(channels, height, width)
+}
+
+// NewModel builds a model with deterministic initialization.
+func NewModel(cfg ModelConfig, seed uint64) (*Model, error) { return vit.New(cfg, seed) }
+
+// ParamCount computes a configuration's parameter count analytically
+// (usable for the 113 B config without allocating it).
+func ParamCount(cfg ModelConfig) int64 { return vit.ParamCount(cfg) }
+
+// SaveModel writes a checkpoint (bfloat16 when half is true).
+func SaveModel(path string, m *Model, half bool) error { return ckpt.Save(path, m, half) }
+
+// LoadModel reads a checkpoint.
+func LoadModel(path string) (*Model, error) { return ckpt.Load(path) }
+
+// --- data ---
+
+// Variable describes one input channel; Registry91 is the paper's
+// full variable set.
+type Variable = climate.Variable
+
+// Registry91 returns the 91-variable ORBIT set (3 static, 3 surface,
+// 85 atmospheric on 17 pressure levels).
+func Registry91() []Variable { return climate.Registry91() }
+
+// Registry48 returns the ClimaX-style 48-variable set.
+func Registry48() []Variable { return climate.Registry48() }
+
+// RegistrySmall returns the reduced 8-variable set used by examples
+// and tests.
+func RegistrySmall() []Variable { return climate.RegistrySmall() }
+
+// NewPretrainCorpus builds the ten-source CMIP6-like pre-training
+// collection on the given grid.
+func NewPretrainCorpus(vars []Variable, height, width, stepsPerSource, leadSteps int) *climate.PretrainCorpus {
+	return climate.NewPretrainCorpus(vars, height, width, climate.CMIP6Sources(), stepsPerSource, leadSteps)
+}
+
+// NewERA5Dataset builds a reanalysis-like dataset for fine-tuning and
+// evaluation.
+func NewERA5Dataset(vars []Variable, height, width, startStep, steps, leadSteps int) *climate.Dataset {
+	w := climate.NewWorld(vars, height, width, climate.ERA5Source())
+	stats := w.EstimateStats(16)
+	return climate.NewDataset(w, stats, startStep, steps, leadSteps)
+}
+
+// --- training ---
+
+// TrainConfig holds training hyperparameters.
+type TrainConfig = train.Config
+
+// Trainer drives gradient steps on a model.
+type Trainer = train.Trainer
+
+// Forecaster wraps a trained model with its prediction convention.
+type Forecaster = train.Forecaster
+
+// DefaultTrainConfig returns stable settings for the tiny models.
+func DefaultTrainConfig() TrainConfig { return train.DefaultConfig() }
+
+// NewTrainer wires a model to AdamW with cosine warmup.
+func NewTrainer(m *Model, cfg TrainConfig) *Trainer { return train.NewTrainer(m, cfg) }
+
+// Pretrain builds and pre-trains a model, returning the loss curve.
+func Pretrain(cfg ModelConfig, tc TrainConfig, data train.DataSource, steps int) (*Model, []train.LossPoint, error) {
+	return train.Pretrain(cfg, tc, data, steps)
+}
+
+// FinetuneModel transfers a pre-trained trunk to a new output head.
+func FinetuneModel(pretrained *Model, outChannels int, seed uint64) (*Model, error) {
+	return train.FinetuneModel(pretrained, outChannels, seed)
+}
+
+// EvalACC scores latitude-weighted anomaly correlation on held-out
+// data.
+func EvalACC(f Forecaster, ds *climate.Dataset, chans []int, nEval int) []float64 {
+	return train.EvalACC(f, ds, chans, nEval)
+}
+
+// --- parallelism over the simulated cluster ---
+
+// Layout is the Hybrid-STOP rank grid (TP × FSDP × DDP).
+type Layout = core.Layout
+
+// Options are the paper's Sec. III-B training optimizations.
+type Options = core.Options
+
+// HybridSTOPEngine is one rank's Hybrid-STOP instance.
+type HybridSTOPEngine = core.Engine
+
+// DefaultOptions enables all optimizations (Table I's last column).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewCluster builds a simulated Frontier machine with the given node
+// count (8 GPUs per node, 64 GB each).
+func NewCluster(nodes int) *cluster.Machine {
+	return cluster.NewMachine(cluster.Frontier(), nodes, 0)
+}
+
+// BuildGroups constructs the per-rank communicator grid for a layout.
+func BuildGroups(l Layout, m *cluster.Machine) ([]*core.Groups, error) {
+	return core.BuildGroups(l, m)
+}
+
+// --- scaling analysis ---
+
+// Strategy selects FSDP, tensor parallelism, or Hybrid-STOP for the
+// analytical scaling model.
+type Strategy = perf.Strategy
+
+// The Fig. 5 strategies.
+const (
+	FSDPOnly   = perf.FSDPOnly
+	TPOnly     = perf.TPOnly
+	HybridSTOP = perf.HybridSTOP
+)
+
+// MaxModelSize returns the largest trainable model (parameters) for a
+// strategy on n Frontier GPUs.
+func MaxModelSize(strat Strategy, n int) int64 {
+	return perf.MaxModelSize(strat, n, 48, 2, cluster.Frontier(), core.DefaultOptions())
+}
+
+// TimePerSample predicts the walltime per observation for a model
+// configuration on n GPUs with the production plan.
+func TimePerSample(cfg ModelConfig, n int) float64 {
+	shape := perf.FromConfig(cfg)
+	spec := cluster.Frontier()
+	plan := perf.DefaultPlanFor(shape, n, spec, core.DefaultOptions())
+	return perf.Step(shape, plan, spec, 0).TimePerSample()
+}
+
+// --- experiment runners (every paper table and figure) ---
+
+// Experiment runners and formatters, re-exported for the CLIs and
+// benchmarks.
+var (
+	Fig5         = experiments.Fig5
+	FormatFig5   = experiments.FormatFig5
+	TableI       = experiments.TableI
+	FormatTableI = experiments.FormatTableI
+	Fig6         = experiments.Fig6
+	FormatFig6   = experiments.FormatFig6
+	Fig7         = experiments.Fig7
+	FormatFig7   = experiments.FormatFig7
+	Fig8         = experiments.Fig8
+	FormatFig8   = experiments.FormatFig8
+	Fig9         = experiments.Fig9
+	FormatFig9   = experiments.FormatFig9
+	Fig10        = experiments.Fig10
+	FormatFig10  = experiments.FormatFig10
+)
+
+// Scale selects the cost of the empirical experiment runs.
+type Scale = experiments.Scale
+
+// QuickScale finishes in seconds; FullScale in minutes.
+var (
+	QuickScale = experiments.QuickScale
+	FullScale  = experiments.FullScale
+)

@@ -1,0 +1,31 @@
+package orbit
+
+import (
+	"fmt"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// buildPublicEngines constructs Hybrid-STOP engines over a 2-block
+// reference stack for the public-API smoke test.
+func buildPublicEngines(t *testing.T, layout Layout, m *cluster.Machine, groups []*core.Groups) []*HybridSTOPEngine {
+	t.Helper()
+	engines := make([]*HybridSTOPEngine, layout.Ranks())
+	for r := range engines {
+		rng := tensor.NewRNG(5)
+		ref := []*nn.TransformerBlock{
+			nn.NewTransformerBlock(fmt.Sprintf("b%d", 0), 8, 2, true, rng),
+			nn.NewTransformerBlock(fmt.Sprintf("b%d", 1), 8, 2, true, rng),
+		}
+		e, err := core.NewEngine(r, layout, groups[r], ref, DefaultOptions(), m.Devices[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = e
+	}
+	return engines
+}
