@@ -1,0 +1,30 @@
+# Tier-1 verification plus the hot-path benchmark smoke. `make ci`
+# is what scripts/ci.sh runs and what a PR must keep green.
+
+GO ?= go
+
+.PHONY: ci build vet test bench-smoke bench
+
+ci: build vet test bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration sanity pass over the attention hot path: catches
+# regressions that only appear under the benchmark harness (buffer
+# reuse across iterations, kernel dispatch) without paying full
+# benchmark time in CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAttentionForward$$' -benchtime=1x .
+
+# Full hot-path benchmark set with allocation counters — compare
+# against BENCH_PR1.json (interleave seed and PR runs when updating
+# that file; the host's absolute speed drifts).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMul256$$|BenchmarkAttentionForward$$|BenchmarkTransformerBlockFwdBwd$$|BenchmarkHybridSTOPStep$$' -benchmem -benchtime=1s .

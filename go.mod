@@ -1,0 +1,3 @@
+module orbit
+
+go 1.24.0

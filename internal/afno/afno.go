@@ -43,6 +43,9 @@ type SpectralLayer struct {
 	WRe, WIm *nn.Param
 
 	u []*fft.Grid // cached forward spectra per embedding channel
+	// work grids and output buffers reused across steps
+	work, gwork *fft.Grid
+	out, dx     *tensor.Tensor
 }
 
 // NewSpectralLayer initializes multipliers near identity (1 + noise).
@@ -58,37 +61,52 @@ func NewSpectralLayer(name string, dim, h, w int, rng *tensor.RNG) *SpectralLaye
 	}
 }
 
+// ensureGrids sizes the layer's cached spectra and work grids once;
+// subsequent steps reuse them so the spectral pass allocates nothing.
+func (l *SpectralLayer) ensureGrids() {
+	if l.work == nil {
+		l.work = fft.NewGrid(l.H, l.W)
+		l.gwork = fft.NewGrid(l.H, l.W)
+		l.u = make([]*fft.Grid, l.Dim)
+		for d := range l.u {
+			l.u[d] = fft.NewGrid(l.H, l.W)
+		}
+	}
+}
+
 // Forward mixes x [Dim, H, W] spectrally.
 func (l *SpectralLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
 	hw := l.H * l.W
-	out := tensor.New(l.Dim, l.H, l.W)
-	l.u = make([]*fft.Grid, l.Dim)
+	l.ensureGrids()
+	l.out = tensor.Ensure(l.out, l.Dim, l.H, l.W)
+	g := l.work
 	wre, wim := l.WRe.W.Data(), l.WIm.W.Data()
 	for d := 0; d < l.Dim; d++ {
-		g := fft.FromReal(x.Data()[d*hw:(d+1)*hw], l.H, l.W)
+		g.SetReal(x.Data()[d*hw : (d+1)*hw])
 		fft.Forward2D(g)
-		l.u[d] = g.Clone()
+		l.u[d].CopyFrom(g)
 		for i := range g.Data {
 			w := complex(float64(wre[d*hw+i]), float64(wim[d*hw+i]))
 			g.Data[i] *= w
 		}
 		fft.Inverse2D(g)
-		g.Real(out.Data()[d*hw : (d+1)*hw])
+		g.Real(l.out.Data()[d*hw : (d+1)*hw])
 	}
-	return out
+	return l.out
 }
 
 // Backward accumulates multiplier gradients and returns dL/dx.
 func (l *SpectralLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	hw := l.H * l.W
-	dx := tensor.New(l.Dim, l.H, l.W)
+	l.ensureGrids()
+	l.dx = tensor.Ensure(l.dx, l.Dim, l.H, l.W)
 	wre, wim := l.WRe.W.Data(), l.WIm.W.Data()
 	gre, gim := l.WRe.Grad.Data(), l.WIm.Grad.Data()
+	gz, gu := l.work, l.gwork
 	for d := 0; d < l.Dim; d++ {
-		gz := fft.FromReal(dy.Data()[d*hw:(d+1)*hw], l.H, l.W)
+		gz.SetReal(dy.Data()[d*hw : (d+1)*hw])
 		fft.Forward2D(gz)
 		u := l.u[d]
-		gu := fft.NewGrid(l.H, l.W)
 		for i := range gz.Data {
 			z := gz.Data[i]
 			// gw += conj(u) ⊙ gz
@@ -100,9 +118,9 @@ func (l *SpectralLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			gu.Data[i] = w * z
 		}
 		fft.Inverse2D(gu)
-		gu.Real(dx.Data()[d*hw : (d+1)*hw])
+		gu.Real(l.dx.Data()[d*hw : (d+1)*hw])
 	}
-	return dx
+	return l.dx
 }
 
 // Params returns the complex multipliers as two real parameters.

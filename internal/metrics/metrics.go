@@ -8,15 +8,25 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"orbit/internal/tensor"
 )
 
+// latWeightCache memoizes LatitudeWeights per row count: the training
+// loss recomputes the same weights every step, and the cosine loop
+// showed up in step profiles. Entries are immutable once stored.
+var latWeightCache sync.Map // int -> []float64
+
 // LatitudeWeights returns the per-row weights w(φ) = cos φ / mean(cos)
 // for an equiangular grid with `rows` latitudes spanning pole to pole.
 // Grid cells shrink towards the poles; weighting by cos φ removes the
-// resulting polar bias. The weights average to exactly 1.
+// resulting polar bias. The weights average to exactly 1. The returned
+// slice is shared and must not be modified.
 func LatitudeWeights(rows int) []float64 {
+	if w, ok := latWeightCache.Load(rows); ok {
+		return w.([]float64)
+	}
 	w := make([]float64, rows)
 	var sum float64
 	for i := 0; i < rows; i++ {
@@ -29,7 +39,8 @@ func LatitudeWeights(rows int) []float64 {
 	for i := range w {
 		w[i] /= mean
 	}
-	return w
+	actual, _ := latWeightCache.LoadOrStore(rows, w)
+	return actual.([]float64)
 }
 
 // WeightedMSE computes the latitude-weighted mean squared error
@@ -37,15 +48,25 @@ func LatitudeWeights(rows int) []float64 {
 // gradient of that loss with respect to the prediction. This is the
 // ORBIT pre-training loss.
 func WeightedMSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	return WeightedMSEInto(tensor.New(pred.Shape()...), pred, target)
+}
+
+// WeightedMSEInto is WeightedMSE writing the gradient into a
+// caller-owned buffer (typically from a tensor.Workspace), so the
+// training loop's per-sample loss evaluation allocates nothing.
+func WeightedMSEInto(grad, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic(fmt.Sprintf("metrics: WeightedMSE shapes %v vs %v", pred.Shape(), target.Shape()))
 	}
 	if pred.Rank() != 3 {
 		panic("metrics: WeightedMSE expects [C, H, W]")
 	}
+	if !grad.SameShape(pred) {
+		panic("metrics: WeightedMSE gradient buffer shape mismatch")
+	}
+	var loss float64
 	c, h, w := pred.Dim(0), pred.Dim(1), pred.Dim(2)
 	lat := LatitudeWeights(h)
-	grad = tensor.New(c, h, w)
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	n := float64(c * h * w)
 	for ci := 0; ci < c; ci++ {

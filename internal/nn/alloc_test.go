@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"testing"
+
+	"orbit/internal/tensor"
+)
+
+// TestTransformerStepZeroAllocs asserts the tentpole property of the
+// workspace-pooled kernels: after warmup, a full transformer-block
+// forward+backward step performs zero heap allocations. The shapes are
+// kept under the parallel-dispatch threshold so the measurement is
+// deterministic on any GOMAXPROCS.
+func TestTransformerStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; zero-alloc assertion only valid in normal builds")
+	}
+	rng := tensor.NewRNG(40)
+	blk := NewTransformerBlock("z", 16, 2, true, rng)
+	x := tensor.Randn(rng, 1, 8, 16)
+	g := tensor.Randn(rng, 1, 8, 16)
+	// Warm up module scratch buffers and pack pools.
+	for i := 0; i < 3; i++ {
+		blk.Forward(x)
+		blk.Backward(g)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		blk.Forward(x)
+		blk.Backward(g)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state transformer fwd+bwd allocates %.1f objects per step, want 0", allocs)
+	}
+}
+
+// TestAttentionForwardZeroAllocs pins the fused attention forward pass
+// (including QK-norm and the cached max-logit) to zero steady-state
+// allocations.
+func TestAttentionForwardZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; zero-alloc assertion only valid in normal builds")
+	}
+	rng := tensor.NewRNG(41)
+	a := NewMultiHeadAttention("z", 16, 4, true, rng)
+	x := tensor.Randn(rng, 1, 8, 16)
+	for i := 0; i < 3; i++ {
+		a.Forward(x)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Forward(x)
+		_ = a.MaxAttentionLogit()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state attention forward allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 
 	"orbit/internal/tensor"
 )
@@ -12,6 +11,12 @@ import (
 // keys are layer-normalized per head before the scaled dot product —
 // the ORBIT/ViT-22B stabilization that contains attention-logit growth
 // (paper Sec. III-B, "Architecture Optimization").
+//
+// All heads are computed in one batched head-major pass through the
+// shared AttentionCore: no per-head Split/Concat copies or
+// temporaries are allocated, scratch buffers live on the core and are
+// reused across steps, and a steady-state Forward+Backward allocates
+// nothing.
 type MultiHeadAttention struct {
 	Dim, Heads, HeadDim int
 	QKNorm              bool
@@ -19,11 +24,7 @@ type MultiHeadAttention struct {
 	WQ, WK, WV, WO *Linear
 	QNorm, KNorm   *LayerNorm // per-head LN over HeadDim, nil unless QKNorm
 
-	// caches for backward
-	q, k, v                *tensor.Tensor   // post-projection (and post-LN) [T, D]
-	probs                  []*tensor.Tensor // per-head softmax outputs [T, T]
-	qHeads, kHeads, vHeads []*tensor.Tensor
-	qPre, kPre             *tensor.Tensor // pre-LN projections, cached when QKNorm
+	core AttentionCore
 }
 
 // NewMultiHeadAttention builds an attention block. dim must be
@@ -46,74 +47,21 @@ func NewMultiHeadAttention(name string, dim, heads int, qkNorm bool, rng *tensor
 		a.QNorm = NewLayerNorm(name+".qnorm", a.HeadDim)
 		a.KNorm = NewLayerNorm(name+".knorm", a.HeadDim)
 	}
+	a.core = AttentionCore{Heads: heads, HeadDim: a.HeadDim, QNorm: a.QNorm, KNorm: a.KNorm}
 	return a
 }
 
 // Forward computes self-attention over x: [T, D] -> [T, D].
 func (a *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkRank("MultiHeadAttention", x, 2)
-	t := x.Dim(0)
-	q := a.WQ.Forward(x)
-	k := a.WK.Forward(x)
-	v := a.WV.Forward(x)
-
-	if a.QKNorm {
-		// Rows of [T, D] regroup exactly into [T*H, HeadDim] because a
-		// row is laid out head-major.
-		a.qPre, a.kPre = q, k
-		q = a.QNorm.Forward(q.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
-		k = a.KNorm.Forward(k.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
-	}
-	a.q, a.k, a.v = q, k, v
-
-	a.qHeads = tensor.Split(q, 1, a.Heads)
-	a.kHeads = tensor.Split(k, 1, a.Heads)
-	a.vHeads = tensor.Split(v, 1, a.Heads)
-	a.probs = make([]*tensor.Tensor, a.Heads)
-
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
-	outHeads := make([]*tensor.Tensor, a.Heads)
-	for h := 0; h < a.Heads; h++ {
-		scores := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
-		scores.ScaleInPlace(scale)
-		p := tensor.Softmax(scores)
-		a.probs[h] = p
-		outHeads[h] = tensor.MatMul(p, a.vHeads[h])
-	}
-	concat := tensor.Concat(1, outHeads...)
+	concat := a.core.Forward(a.WQ.Forward(x), a.WK.Forward(x), a.WV.Forward(x))
 	return a.WO.Forward(concat)
 }
 
 // Backward propagates gradients through the attention block,
 // accumulating parameter gradients, and returns dL/dx.
 func (a *MultiHeadAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	t := dy.Dim(0)
-	dConcat := a.WO.Backward(dy)
-	dHeads := tensor.Split(dConcat, 1, a.Heads)
-
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
-	dqHeads := make([]*tensor.Tensor, a.Heads)
-	dkHeads := make([]*tensor.Tensor, a.Heads)
-	dvHeads := make([]*tensor.Tensor, a.Heads)
-	for h := 0; h < a.Heads; h++ {
-		p := a.probs[h]
-		dOut := dHeads[h]
-		dvHeads[h] = tensor.MatMulTransA(p, dOut)
-		dp := tensor.MatMulTransB(dOut, a.vHeads[h])
-		ds := tensor.SoftmaxBackward(p, dp)
-		ds.ScaleInPlace(scale)
-		dqHeads[h] = tensor.MatMul(ds, a.kHeads[h])
-		dkHeads[h] = tensor.MatMulTransA(ds, a.qHeads[h])
-	}
-	dq := tensor.Concat(1, dqHeads...)
-	dk := tensor.Concat(1, dkHeads...)
-	dv := tensor.Concat(1, dvHeads...)
-
-	if a.QKNorm {
-		dq = a.QNorm.Backward(dq.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
-		dk = a.KNorm.Backward(dk.Reshape(t*a.Heads, a.HeadDim)).Reshape(t, a.Dim)
-	}
-
+	dq, dk, dv := a.core.Backward(a.WO.Backward(dy))
 	dx := a.WQ.Backward(dq)
 	dx.AddInPlace(a.WK.Backward(dk))
 	dx.AddInPlace(a.WV.Backward(dv))
@@ -134,17 +82,8 @@ func (a *MultiHeadAttention) Params() []*Param {
 }
 
 // MaxAttentionLogit returns the largest |logit| observed in the most
-// recent forward pass, re-derived from the cached Q/K. Used by tests
-// and diagnostics to demonstrate the QK-norm containment effect.
-func (a *MultiHeadAttention) MaxAttentionLogit() float32 {
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
-	var m float32
-	for h := 0; h < a.Heads; h++ {
-		s := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
-		s.ScaleInPlace(scale)
-		if v := s.MaxAbs(); v > m {
-			m = v
-		}
-	}
-	return m
-}
+// recent forward pass. The value is captured while the scores are
+// still resident in cache, so calling this is free — the seed
+// implementation recomputed Q·Kᵀ for every head on each call. Used by
+// tests and diagnostics to demonstrate the QK-norm containment effect.
+func (a *MultiHeadAttention) MaxAttentionLogit() float32 { return a.core.MaxLogit() }

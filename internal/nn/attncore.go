@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+
+	"orbit/internal/tensor"
+)
+
+// AttentionCore is the fused batched head-major attention sequence
+// shared by the serial MultiHeadAttention and the tensor-parallel
+// sharded attention: given projected Q/K/V it regroups once into
+// [H, T, d] stacks, optionally applies per-head QK layer-norm, runs
+// every per-head product through the batched kernels, and merges the
+// context back to token-major — no per-head Split/Concat copies, with
+// all scratch owned by the core and reused across steps. Keeping one
+// implementation here guarantees the TP simulation computes exactly
+// what the serial reference computes.
+type AttentionCore struct {
+	Heads, HeadDim int
+	QNorm, KNorm   *LayerNorm // per-head LN over HeadDim; nil disables QK-norm
+
+	qh, kh, vh *tensor.Tensor // regrouped projections [H, T, d]
+	qn, kn     *tensor.Tensor // effective (post-norm) Q/K stacks
+	probs      *tensor.Tensor // softmax outputs [H, T, T]
+	outH       *tensor.Tensor // per-head context [H, T, d]
+	concat     *tensor.Tensor // merged context [T, H·d]
+	maxLogit   float32        // max |scaled logit| of the last Forward
+
+	dOutH         *tensor.Tensor // upstream per-head gradient [H, T, d]
+	dProbs        *tensor.Tensor // dp then ds, in place [H, T, T]
+	dqh, dkh, dvh *tensor.Tensor // head-major grads [H, T, d]
+	dq, dk, dv    *tensor.Tensor // token-major grads [T, H·d]
+}
+
+// Forward computes the attention context for token-major projections
+// q, k, v [T, H·d], returning the merged context [T, H·d]. The
+// maximum |scaled logit| is captured while the scores are cache-
+// resident (see MaxLogit).
+func (c *AttentionCore) Forward(q, k, v *tensor.Tensor) *tensor.Tensor {
+	t, h, hd := q.Dim(0), c.Heads, c.HeadDim
+	c.qh = tensor.SplitHeadsInto(tensor.Ensure(c.qh, h, t, hd), q, h)
+	c.kh = tensor.SplitHeadsInto(tensor.Ensure(c.kh, h, t, hd), k, h)
+	c.vh = tensor.SplitHeadsInto(tensor.Ensure(c.vh, h, t, hd), v, h)
+	if c.QNorm != nil {
+		// One LN over the [H, T, d] stack normalizes every head's every
+		// token vector; the per-head parameters are shared across heads.
+		c.qn = c.QNorm.Forward(c.qh)
+		c.kn = c.KNorm.Forward(c.kh)
+	} else {
+		c.qn, c.kn = c.qh, c.kh
+	}
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	c.probs = tensor.Ensure(c.probs, h, t, t)
+	tensor.BatchedMatMulTransBScaledInto(c.probs, c.qn, c.kn, scale)
+	c.maxLogit = c.probs.MaxAbs()
+	tensor.SoftmaxInto(c.probs, c.probs)
+	c.outH = tensor.Ensure(c.outH, h, t, hd)
+	tensor.BatchedMatMulInto(c.outH, c.probs, c.vh)
+	c.concat = tensor.MergeHeadsInto(tensor.Ensure(c.concat, t, h*hd), c.outH, h)
+	return c.concat
+}
+
+// Backward propagates the merged-context gradient dConcat [T, H·d]
+// back to token-major dQ, dK, dV (valid until the core's next call).
+func (c *AttentionCore) Backward(dConcat *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
+	t, h, hd := dConcat.Dim(0), c.Heads, c.HeadDim
+	c.dOutH = tensor.SplitHeadsInto(tensor.Ensure(c.dOutH, h, t, hd), dConcat, h)
+
+	// dV_h = P_hᵀ dOut_h; dP_h = dOut_h V_hᵀ; dS_h = softmax'(P_h, dP_h).
+	c.dvh = tensor.Ensure(c.dvh, h, t, hd)
+	tensor.BatchedMatMulTransAInto(c.dvh, c.probs, c.dOutH)
+	c.dProbs = tensor.Ensure(c.dProbs, h, t, t)
+	tensor.BatchedMatMulTransBScaledInto(c.dProbs, c.dOutH, c.vh, 1)
+	tensor.SoftmaxBackwardInto(c.dProbs, c.probs, c.dProbs)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	c.dProbs.ScaleInPlace(scale)
+
+	// dQ_h = dS_h K_h; dK_h = dS_hᵀ Q_h (post-norm Q/K).
+	c.dqh = tensor.Ensure(c.dqh, h, t, hd)
+	tensor.BatchedMatMulInto(c.dqh, c.dProbs, c.kn)
+	c.dkh = tensor.Ensure(c.dkh, h, t, hd)
+	tensor.BatchedMatMulTransAInto(c.dkh, c.dProbs, c.qn)
+
+	dqh, dkh := c.dqh, c.dkh
+	if c.QNorm != nil {
+		dqh = c.QNorm.Backward(dqh)
+		dkh = c.KNorm.Backward(dkh)
+	}
+	c.dq = tensor.MergeHeadsInto(tensor.Ensure(c.dq, t, h*hd), dqh, h)
+	c.dk = tensor.MergeHeadsInto(tensor.Ensure(c.dk, t, h*hd), dkh, h)
+	c.dv = tensor.MergeHeadsInto(tensor.Ensure(c.dv, t, h*hd), c.dvh, h)
+	return c.dq, c.dk, c.dv
+}
+
+// MaxLogit returns the largest |scaled logit| observed in the most
+// recent Forward.
+func (c *AttentionCore) MaxLogit() float32 { return c.maxLogit }

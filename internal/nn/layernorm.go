@@ -1,14 +1,18 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"orbit/internal/tensor"
 )
 
-// LayerNorm normalizes each row of a rank-2 input to zero mean and
-// unit variance, then applies a learned affine transform:
-// y = (x-μ)/√(σ²+ε) · γ + β.
+// LayerNorm normalizes each length-Dim vector of its input to zero
+// mean and unit variance, then applies a learned affine transform:
+// y = (x-μ)/√(σ²+ε) · γ + β. The input may have any rank; every
+// trailing-dimension vector is normalized independently, so the fused
+// attention path can pass head-major [H, T, d] stacks without
+// reshaping.
 //
 // ORBIT applies additional LayerNorms to attention queries and keys
 // (Sec. III-B "Architecture Optimization", following ViT-22B) to
@@ -22,6 +26,8 @@ type LayerNorm struct {
 	x    *tensor.Tensor // cached input
 	xhat *tensor.Tensor // cached normalized input
 	rstd []float64      // cached reciprocal std per row
+	out  *tensor.Tensor // owned output buffer
+	dx   *tensor.Tensor // owned input-gradient buffer
 }
 
 // NewLayerNorm builds a layer norm over vectors of length dim with
@@ -35,20 +41,29 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 	}
 }
 
-// Forward normalizes each row of x: [rows, dim] -> [rows, dim].
-func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
-	checkRank("LayerNorm", x, 2)
-	rows, dim := x.Dim(0), x.Dim(1)
-	if dim != l.Dim {
-		panic("nn: LayerNorm dimension mismatch")
+// rows returns the number of normalized vectors in x after checking
+// the trailing dimension.
+func (l *LayerNorm) rows(x *tensor.Tensor, op string) int {
+	if x.Dim(x.Rank()-1) != l.Dim {
+		panic(fmt.Sprintf("nn: LayerNorm %s dimension %v, want trailing %d", op, x.Shape(), l.Dim))
 	}
+	return x.Len() / l.Dim
+}
+
+// Forward normalizes every trailing-dimension vector of x.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	rows, dim := l.rows(x, "Forward"), l.Dim
 	l.x = x
-	l.xhat = tensor.New(rows, dim)
-	l.rstd = make([]float64, rows)
-	out := tensor.New(rows, dim)
+	l.xhat = tensor.Ensure(l.xhat, x.Shape()...)
+	if cap(l.rstd) < rows {
+		l.rstd = make([]float64, rows)
+	}
+	l.rstd = l.rstd[:rows]
+	l.out = tensor.Ensure(l.out, x.Shape()...)
 	g, b := l.Gamma.W.Data(), l.Beta.W.Data()
+	xd, hd, od := x.Data(), l.xhat.Data(), l.out.Data()
 	for r := 0; r < rows; r++ {
-		xr := x.Row(r)
+		xr := xd[r*dim : (r+1)*dim]
 		var mean float64
 		for _, v := range xr {
 			mean += float64(v)
@@ -62,15 +77,15 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 		variance /= float64(dim)
 		rstd := 1 / math.Sqrt(variance+l.Eps)
 		l.rstd[r] = rstd
-		hr := l.xhat.Row(r)
-		or := out.Row(r)
+		hr := hd[r*dim : (r+1)*dim]
+		or := od[r*dim : (r+1)*dim]
 		for c, v := range xr {
 			h := float32((float64(v) - mean) * rstd)
 			hr[c] = h
 			or[c] = h*g[c] + b[c]
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward computes input gradients and accumulates dγ, dβ using the
@@ -78,15 +93,15 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 // dx = rstd/D · (D·dxhat − Σdxhat − xhat·Σ(dxhat⊙xhat)) with
 // dxhat = dy ⊙ γ.
 func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	checkRank("LayerNorm", dy, 2)
-	rows, dim := dy.Dim(0), dy.Dim(1)
-	dx := tensor.New(rows, dim)
+	rows, dim := l.rows(dy, "Backward"), l.Dim
+	l.dx = tensor.Ensure(l.dx, dy.Shape()...)
 	g := l.Gamma.W.Data()
 	dg, db := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	dyd, hd, dxd := dy.Data(), l.xhat.Data(), l.dx.Data()
 	for r := 0; r < rows; r++ {
-		dyr := dy.Row(r)
-		hr := l.xhat.Row(r)
-		dxr := dx.Row(r)
+		dyr := dyd[r*dim : (r+1)*dim]
+		hr := hd[r*dim : (r+1)*dim]
+		dxr := dxd[r*dim : (r+1)*dim]
 		var sumDh, sumDhH float64
 		for c := 0; c < dim; c++ {
 			dh := float64(dyr[c]) * float64(g[c])
@@ -102,7 +117,7 @@ func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			dxr[c] = float32(rstd * (dh - invD*sumDh - float64(hr[c])*invD*sumDhH))
 		}
 	}
-	return dx
+	return l.dx
 }
 
 // Params returns γ and β.

@@ -6,12 +6,18 @@ import (
 
 // Linear is a fully connected layer y = xW + b over rank-2 inputs
 // [rows, in] -> [rows, out].
+//
+// Forward and Backward write into buffers owned by the layer and
+// reused across steps (see the package comment on buffer ownership):
+// the returned tensors are valid until the layer's next call.
 type Linear struct {
 	In, Out int
 	Weight  *Param // [in, out]
 	Bias    *Param // [out], nil when built without bias
 
-	x *tensor.Tensor // cached input for backward
+	x  *tensor.Tensor // cached input for backward
+	y  *tensor.Tensor // owned output buffer
+	dx *tensor.Tensor // owned input-gradient buffer
 }
 
 // NewLinear builds a linear layer with Xavier-uniform weights and zero
@@ -43,26 +49,30 @@ func NewLinearFromWeights(name string, w, b *tensor.Tensor) *Linear {
 	return l
 }
 
-// Forward computes y = xW (+ b).
+// Forward computes y = xW (+ b), fusing the bias broadcast into the
+// matmul store so no intermediate is materialized.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkRank("Linear", x, 2)
 	l.x = x
-	y := tensor.MatMul(x, l.Weight.W)
+	l.y = tensor.Ensure(l.y, x.Dim(0), l.Out)
 	if l.Bias != nil {
-		y = tensor.AddRowVector(y, l.Bias.W)
+		tensor.MatMulBiasInto(l.y, x, l.Weight.W, l.Bias.W)
+	} else {
+		tensor.MatMulInto(l.y, x, l.Weight.W)
 	}
-	return y
+	return l.y
 }
 
-// Backward accumulates dW = xᵀdy, db = Σrows dy, and returns
-// dx = dy Wᵀ.
+// Backward accumulates dW += xᵀdy, db += Σrows dy directly into the
+// gradient accumulators, and returns dx = dy Wᵀ.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	checkRank("Linear", dy, 2)
-	l.Weight.Grad.AddInPlace(tensor.MatMulTransA(l.x, dy))
+	tensor.MatMulTransAAccInto(l.Weight.Grad, l.x, dy)
 	if l.Bias != nil {
-		l.Bias.Grad.AddInPlace(tensor.SumRows(dy))
+		tensor.SumRowsAccInto(l.Bias.Grad, dy)
 	}
-	return tensor.MatMulTransB(dy, l.Weight.W)
+	l.dx = tensor.Ensure(l.dx, dy.Dim(0), l.In)
+	return tensor.MatMulTransBInto(l.dx, dy, l.Weight.W)
 }
 
 // Params returns the layer's trainable parameters.

@@ -9,7 +9,10 @@ import "orbit/internal/tensor"
 type MLP struct {
 	FC1, FC2 *Linear
 
-	h *tensor.Tensor // cached pre-activation for GELU backward
+	h  *tensor.Tensor // cached pre-activation for GELU backward
+	g  *tensor.Tensor // owned GELU output buffer
+	th *tensor.Tensor // cached tanh values from the GELU forward
+	dh *tensor.Tensor // owned pre-activation gradient buffer
 }
 
 // NewMLP builds an MLP with the given input and hidden widths.
@@ -20,17 +23,21 @@ func NewMLP(name string, dim, hidden int, rng *tensor.RNG) *MLP {
 	}
 }
 
-// Forward computes the feed-forward transform on [rows, dim].
+// Forward computes the feed-forward transform on [rows, dim]. The
+// GELU's tanh values are cached so Backward reconstructs the
+// derivative arithmetically instead of re-evaluating tanh.
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	m.h = m.FC1.Forward(x)
-	return m.FC2.Forward(tensor.GELU(m.h))
+	m.g = tensor.Ensure(m.g, m.h.Shape()...)
+	m.th = tensor.Ensure(m.th, m.h.Shape()...)
+	return m.FC2.Forward(tensor.GELUCachedInto(m.g, m.th, m.h))
 }
 
 // Backward propagates through FC2, GELU, FC1.
 func (m *MLP) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dGelu := m.FC2.Backward(dy)
-	dh := tensor.GELUBackward(m.h, dGelu)
-	return m.FC1.Backward(dh)
+	m.dh = tensor.Ensure(m.dh, m.h.Shape()...)
+	return m.FC1.Backward(tensor.GELUBackwardCachedInto(m.dh, m.h, m.th, dGelu))
 }
 
 // Params returns both projections' parameters.
@@ -45,6 +52,9 @@ type TransformerBlock struct {
 	Attn *MultiHeadAttention
 	LN2  *LayerNorm
 	MLP  *MLP
+
+	h, out *tensor.Tensor // owned residual-sum buffers
+	dh, dx *tensor.Tensor // owned backward buffers
 }
 
 // NewTransformerBlock builds a block with hidden = 4×dim, matching the
@@ -60,14 +70,18 @@ func NewTransformerBlock(name string, dim, heads int, qkNorm bool, rng *tensor.R
 
 // Forward applies the block to a token sequence [T, D].
 func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	h := tensor.Add(x, b.Attn.Forward(b.LN1.Forward(x)))
-	return tensor.Add(h, b.MLP.Forward(b.LN2.Forward(h)))
+	b.h = tensor.Ensure(b.h, x.Shape()...)
+	tensor.AddInto(b.h, x, b.Attn.Forward(b.LN1.Forward(x)))
+	b.out = tensor.Ensure(b.out, x.Shape()...)
+	return tensor.AddInto(b.out, b.h, b.MLP.Forward(b.LN2.Forward(b.h)))
 }
 
 // Backward propagates through both residual branches.
 func (b *TransformerBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dh := tensor.Add(dy, b.LN2.Backward(b.MLP.Backward(dy)))
-	return tensor.Add(dh, b.LN1.Backward(b.Attn.Backward(dh)))
+	b.dh = tensor.Ensure(b.dh, dy.Shape()...)
+	tensor.AddInto(b.dh, dy, b.LN2.Backward(b.MLP.Backward(dy)))
+	b.dx = tensor.Ensure(b.dx, dy.Shape()...)
+	return tensor.AddInto(b.dx, b.dh, b.LN1.Backward(b.Attn.Backward(b.dh)))
 }
 
 // Params returns all block parameters.

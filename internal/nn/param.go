@@ -10,6 +10,19 @@
 // one fused batch matrix) at a time, which is how the trainer drives
 // it. Gradients accumulate into Param.Grad until explicitly zeroed, so
 // micro-batching sums gradients naturally.
+//
+// # Buffer ownership
+//
+// Forward and Backward write into buffers owned by the layer and
+// reused on its next call (ggml-style destination passing): the
+// returned tensor is valid until that layer's next Forward or
+// Backward respectively — callers that need a value to survive longer
+// must copy it (see parallel.Pipeline's cross-stage sends). In
+// exchange, a steady-state transformer forward+backward step performs
+// zero heap allocations (asserted by this package's AllocsPerRun
+// tests). A layer instance is not safe for concurrent use; the
+// simulated-cluster engines give each rank its own module instances,
+// matching how each real GPU owns its activation memory.
 package nn
 
 import (

@@ -127,11 +127,19 @@ func (p *Pipeline) Step(xs []*tensor.Tensor, lossGrad func(i int, y *tensor.Tens
 				out := stageForward(stage, in)
 				p.chargeTransfer(s, out)
 				if s < stages-1 {
-					p.links[s].fwd <- out
+					// Block outputs are module-owned buffers overwritten
+					// by the next micro-batch, so the cross-stage send is
+					// a private copy — mirroring the real device-to-device
+					// activation transfer this link simulates.
+					p.links[s].fwd <- out.Clone()
 				} else {
 					loss, grad := lossGrad(i, out)
 					losses[i] = loss
-					lossGrads[i] = grad
+					// Private copy: gradients are held across the whole
+					// backward phase, and lossGrad implementations may
+					// legitimately reuse one workspace buffer per call
+					// (the module buffer-ownership convention).
+					lossGrads[i] = grad.Clone()
 				}
 			}
 			// Backward phase: reverse micro-batch order.
@@ -144,7 +152,7 @@ func (p *Pipeline) Step(xs []*tensor.Tensor, lossGrad func(i int, y *tensor.Tens
 				}
 				dx := stageBackward(stage, saved[s][i], dy)
 				if s > 0 {
-					p.links[s-1].bwd <- dx
+					p.links[s-1].bwd <- dx.Clone()
 				}
 			}
 		}(s)

@@ -2,7 +2,6 @@ package parallel
 
 import (
 	"fmt"
-	"math"
 
 	"orbit/internal/comm"
 	"orbit/internal/nn"
@@ -13,7 +12,9 @@ import (
 // self-attention sub-layer: this rank owns heads [k·H/K, (k+1)·H/K),
 // i.e. column shards of W_Q/W_K/W_V and the matching row shard of
 // W_O — the alternating column/row sharding of the paper's Eqn. (2)
-// applied to softmax(QKᵀ)V.
+// applied to softmax(QKᵀ)V. The local heads run through the same
+// nn.AttentionCore as the serial reference, so the TP slice computes
+// exactly what the serial block computes.
 type ShardedAttention struct {
 	Dim, LocalHeads, HeadDim int
 	QKNorm                   bool
@@ -25,12 +26,8 @@ type ShardedAttention struct {
 	WO           *nn.Linear // LocalDim -> Dim row shard
 	QNorm, KNorm *nn.LayerNorm
 
-	qHeads, kHeads, vHeads []*tensor.Tensor
-	probs                  []*tensor.Tensor
+	core nn.AttentionCore
 }
-
-// localDim returns the width of this rank's attention slice.
-func (a *ShardedAttention) localDim() int { return a.LocalHeads * a.HeadDim }
 
 // NewShardedAttention cuts shard k of K out of a serial reference
 // attention block so that the TP group reproduces it exactly.
@@ -68,66 +65,25 @@ func NewShardedAttention(ref *nn.MultiHeadAttention, k, kTotal int) *ShardedAtte
 		a.KNorm.Gamma.W.CopyFrom(ref.KNorm.Gamma.W)
 		a.KNorm.Beta.W.CopyFrom(ref.KNorm.Beta.W)
 	}
+	a.core = nn.AttentionCore{Heads: a.LocalHeads, HeadDim: a.HeadDim, QNorm: a.QNorm, KNorm: a.KNorm}
 	return a
 }
 
 // Forward computes this rank's partial attention output [T, Dim]; the
 // TP group must all-reduce-sum the partials (done by TPBlock).
 func (a *ShardedAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
-	t := x.Dim(0)
-	q := a.WQ.Forward(x)
-	k := a.WK.Forward(x)
-	v := a.WV.Forward(x)
-	if a.QKNorm {
-		q = a.QNorm.Forward(q.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
-		k = a.KNorm.Forward(k.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
-	}
-	a.qHeads = tensor.Split(q, 1, a.LocalHeads)
-	a.kHeads = tensor.Split(k, 1, a.LocalHeads)
-	a.vHeads = tensor.Split(v, 1, a.LocalHeads)
-	a.probs = make([]*tensor.Tensor, a.LocalHeads)
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
-	outHeads := make([]*tensor.Tensor, a.LocalHeads)
-	for h := 0; h < a.LocalHeads; h++ {
-		s := tensor.MatMulTransB(a.qHeads[h], a.kHeads[h])
-		s.ScaleInPlace(scale)
-		p := tensor.Softmax(s)
-		a.probs[h] = p
-		outHeads[h] = tensor.MatMul(p, a.vHeads[h])
-	}
-	return a.WO.Forward(tensor.Concat(1, outHeads...))
+	concat := a.core.Forward(a.WQ.Forward(x), a.WK.Forward(x), a.WV.Forward(x))
+	return a.WO.Forward(concat)
 }
 
 // Backward takes the (replicated) upstream gradient and returns this
 // rank's partial input gradient; the TP group must all-reduce-sum the
 // partials.
 func (a *ShardedAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	t := dy.Dim(0)
-	dConcat := a.WO.Backward(dy)
-	dHeads := tensor.Split(dConcat, 1, a.LocalHeads)
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
-	dq := make([]*tensor.Tensor, a.LocalHeads)
-	dk := make([]*tensor.Tensor, a.LocalHeads)
-	dv := make([]*tensor.Tensor, a.LocalHeads)
-	for h := 0; h < a.LocalHeads; h++ {
-		p := a.probs[h]
-		dv[h] = tensor.MatMulTransA(p, dHeads[h])
-		dp := tensor.MatMulTransB(dHeads[h], a.vHeads[h])
-		ds := tensor.SoftmaxBackward(p, dp)
-		ds.ScaleInPlace(scale)
-		dq[h] = tensor.MatMul(ds, a.kHeads[h])
-		dk[h] = tensor.MatMulTransA(ds, a.qHeads[h])
-	}
-	dqAll := tensor.Concat(1, dq...)
-	dkAll := tensor.Concat(1, dk...)
-	dvAll := tensor.Concat(1, dv...)
-	if a.QKNorm {
-		dqAll = a.QNorm.Backward(dqAll.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
-		dkAll = a.KNorm.Backward(dkAll.Reshape(t*a.LocalHeads, a.HeadDim)).Reshape(t, a.localDim())
-	}
-	dx := a.WQ.Backward(dqAll)
-	dx.AddInPlace(a.WK.Backward(dkAll))
-	dx.AddInPlace(a.WV.Backward(dvAll))
+	dq, dk, dv := a.core.Backward(a.WO.Backward(dy))
+	dx := a.WQ.Backward(dq)
+	dx.AddInPlace(a.WK.Backward(dk))
+	dx.AddInPlace(a.WV.Backward(dv))
 	return dx
 }
 
@@ -154,7 +110,7 @@ type ShardedMLP struct {
 	// HasOutBias marks the single rank owning FC2's bias.
 	HasOutBias bool
 
-	h *tensor.Tensor
+	h, g, th, dh *tensor.Tensor // pre-activation, GELU out, tanh cache, grad
 }
 
 // NewShardedMLP cuts shard k of K out of a serial reference MLP.
@@ -174,13 +130,16 @@ func NewShardedMLP(ref *nn.MLP, k, kTotal int) *ShardedMLP {
 // Forward computes the partial feed-forward output x·A_k·B_k.
 func (m *ShardedMLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	m.h = m.FC1.Forward(x)
-	return m.FC2.Forward(tensor.GELU(m.h))
+	m.g = tensor.Ensure(m.g, m.h.Shape()...)
+	m.th = tensor.Ensure(m.th, m.h.Shape()...)
+	return m.FC2.Forward(tensor.GELUCachedInto(m.g, m.th, m.h))
 }
 
 // Backward returns the partial input gradient.
 func (m *ShardedMLP) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dGelu := m.FC2.Backward(dy)
-	return m.FC1.Backward(tensor.GELUBackward(m.h, dGelu))
+	m.dh = tensor.Ensure(m.dh, m.h.Shape()...)
+	return m.FC1.Backward(tensor.GELUBackwardCachedInto(m.dh, m.h, m.th, dGelu))
 }
 
 // Params returns the shard's parameters.

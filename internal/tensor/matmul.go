@@ -1,163 +1,200 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// matmulParallelThreshold is the minimum number of multiply-adds below
-// which MatMul stays single-threaded; goroutine fan-out costs more than
-// it saves on tiny matrices.
-const matmulParallelThreshold = 1 << 16
+// All matrix products reduce to one packed dot-product kernel
+// (dotRange in pool.go): operands whose k-axis is not already
+// innermost are transposed once into a pooled packing buffer, and the
+// kernel then streams both panels contiguously with a 2×4 register
+// accumulator block. The *Into variants write into caller-owned
+// destinations so steady-state training steps allocate nothing; the
+// allocating forms below them are thin compatibility wrappers.
 
-// MatMul returns t @ u for 2-D tensors [m,k] @ [k,n] -> [m,n]. Large
-// products are computed by a pool of goroutines over row blocks.
-func MatMul(t, u *Tensor) *Tensor {
+func check2D(t, u *Tensor, op string) {
 	if len(t.shape) != 2 || len(u.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v @ %v", t.shape, u.shape))
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors, got %v, %v", op, t.shape, u.shape))
 	}
+}
+
+func checkDst(dst *Tensor, m, n int, op string) {
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+// MatMulInto computes dst = t @ u for [m,k] @ [k,n] -> [m,n].
+func MatMulInto(dst, t, u *Tensor) *Tensor {
+	check2D(t, u, "MatMulInto")
 	m, k := t.shape[0], t.shape[1]
 	k2, n := u.shape[0], u.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", t.shape, u.shape))
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v @ %v", t.shape, u.shape))
 	}
-	out := New(m, n)
-	matmulInto(out.data, t.data, u.data, m, k, n)
-	return out
+	checkDst(dst, m, n, "MatMulInto")
+	mmPacked(dst.data, t.data, u.data, m, k, n, nil, dotOverwrite)
+	return dst
 }
 
-// MatMulTransB returns t @ uᵀ for [m,k] @ ([n,k])ᵀ -> [m,n] without
-// materializing the transpose. This is the hot path of attention
-// (Q @ Kᵀ) and of weight-gradient computation.
-func MatMulTransB(t, u *Tensor) *Tensor {
-	if len(t.shape) != 2 || len(u.shape) != 2 {
-		panic("tensor: MatMulTransB requires 2-D tensors")
+// MatMulBiasInto computes dst = t @ u + bias, broadcasting the
+// length-n bias over rows — the fused linear-layer forward.
+func MatMulBiasInto(dst, t, u, bias *Tensor) *Tensor {
+	check2D(t, u, "MatMulBiasInto")
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 || bias.Len() != n {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto shapes %v @ %v + %v", t.shape, u.shape, bias.shape))
 	}
+	checkDst(dst, m, n, "MatMulBiasInto")
+	mmPacked(dst.data, t.data, u.data, m, k, n, bias.data, dotBias)
+	return dst
+}
+
+// mmPacked runs dst = a @ b (a: m×k, b: k×n) by packing bᵀ and
+// dispatching the dot kernel.
+func mmPacked(dst, a, b []float32, m, k, n int, bias []float32, mode dotMode) {
+	pb := getPack(k * n)
+	bt := *pb
+	packTranspose(bt, b, k, n)
+	dispatchDot(dotTask{dst: dst, a: a, bt: bt, bias: bias, k: k, n: n, scale: 1, mode: mode}, m)
+	putPack(pb)
+}
+
+// MatMulTransBInto computes dst = t @ uᵀ for [m,k] @ ([n,k])ᵀ -> [m,n]
+// without materializing the transpose: u's layout is already the
+// packed panel the dot kernel wants. This is the hot path of attention
+// (Q @ Kᵀ) and of input-gradient computation.
+func MatMulTransBInto(dst, t, u *Tensor) *Tensor {
+	check2D(t, u, "MatMulTransBInto")
 	m, k := t.shape[0], t.shape[1]
 	n, k2 := u.shape[0], u.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v @ %vᵀ", t.shape, u.shape))
+		panic(fmt.Sprintf("tensor: MatMulTransBInto inner dimension mismatch %v @ %vᵀ", t.shape, u.shape))
 	}
-	out := New(m, n)
-	work := func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			tr := t.data[r*k : (r+1)*k]
-			or := out.data[r*n : (r+1)*n]
-			for c := 0; c < n; c++ {
-				uc := u.data[c*k : (c+1)*k]
-				var acc float32
-				for i := range tr {
-					acc += tr[i] * uc[i]
-				}
-				or[c] = acc
-			}
-		}
-	}
-	parallelRows(m, m*k*n, work)
-	return out
+	checkDst(dst, m, n, "MatMulTransBInto")
+	dispatchDot(dotTask{dst: dst.data, a: t.data, bt: u.data, k: k, n: n, scale: 1, mode: dotOverwrite}, m)
+	return dst
 }
 
-// MatMulTransA returns tᵀ @ u for ([k,m])ᵀ @ [k,n] -> [m,n] without
-// materializing the transpose. This is the weight-gradient path
-// dW = xᵀ @ dy.
-func MatMulTransA(t, u *Tensor) *Tensor {
-	if len(t.shape) != 2 || len(u.shape) != 2 {
-		panic("tensor: MatMulTransA requires 2-D tensors")
-	}
+// MatMulTransAInto computes dst = tᵀ @ u for ([k,m])ᵀ @ [k,n] -> [m,n].
+func MatMulTransAInto(dst, t, u *Tensor) *Tensor {
+	return matMulTransA(dst, t, u, dotOverwrite)
+}
+
+// MatMulTransAAccInto accumulates dst += tᵀ @ u — the weight-gradient
+// update dW += xᵀ @ dy, fused so no gradient temporary is allocated.
+func MatMulTransAAccInto(dst, t, u *Tensor) *Tensor {
+	return matMulTransA(dst, t, u, dotAccumulate)
+}
+
+func matMulTransA(dst, t, u *Tensor, mode dotMode) *Tensor {
+	check2D(t, u, "MatMulTransAInto")
 	k, m := t.shape[0], t.shape[1]
 	k2, n := u.shape[0], u.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ @ %v", t.shape, u.shape))
+		panic(fmt.Sprintf("tensor: MatMulTransAInto inner dimension mismatch %vᵀ @ %v", t.shape, u.shape))
 	}
-	out := New(m, n)
-	// out[r,c] = sum_i t[i,r]*u[i,c]; iterate i outer for streaming
-	// access, parallelized over output row blocks.
-	work := func(r0, r1 int) {
-		for i := 0; i < k; i++ {
-			ti := t.data[i*m : (i+1)*m]
-			ui := u.data[i*n : (i+1)*n]
-			for r := r0; r < r1; r++ {
-				v := ti[r]
-				if v == 0 {
-					continue
-				}
-				or := out.data[r*n : (r+1)*n]
-				for c := 0; c < n; c++ {
-					or[c] += v * ui[c]
-				}
-			}
-		}
-	}
-	parallelRows(m, m*k*n, work)
-	return out
+	checkDst(dst, m, n, "MatMulTransAInto")
+	pa := getPack(k * m)
+	at := *pa
+	packTranspose(at, t.data, k, m)
+	pb := getPack(k * n)
+	bt := *pb
+	packTranspose(bt, u.data, k, n)
+	dispatchDot(dotTask{dst: dst.data, a: at, bt: bt, k: k, n: n, scale: 1, mode: mode}, m)
+	putPack(pb)
+	putPack(pa)
+	return dst
 }
 
-// matmulInto computes out = a @ b with a: m×k, b: k×n. It uses an
-// ikj loop order so the inner loop streams both b and out rows.
-func matmulInto(out, a, b []float32, m, k, n int) {
-	work := func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			ar := a[r*k : (r+1)*k]
-			or := out[r*n : (r+1)*n]
-			for i, av := range ar {
-				if av == 0 {
-					continue
-				}
-				bi := b[i*n : (i+1)*n]
-				for c := range bi {
-					or[c] += av * bi[c]
-				}
-			}
-		}
+// --- batched (head-major) products over rank-3 tensors ---
+
+func checkBatched(dst, t, u *Tensor, op string) (b, m, k, k2, n int) {
+	if len(t.shape) != 3 || len(u.shape) != 3 || len(dst.shape) != 3 ||
+		t.shape[0] != u.shape[0] || dst.shape[0] != t.shape[0] {
+		panic(fmt.Sprintf("tensor: %s shapes %v, %v -> %v", op, t.shape, u.shape, dst.shape))
 	}
-	parallelRows(m, m*k*n, work)
+	return t.shape[0], t.shape[1], t.shape[2], u.shape[1], u.shape[2]
 }
 
-// parallelRows splits [0,m) row ranges across GOMAXPROCS workers when
-// the operation is large enough to amortize goroutine startup.
-func parallelRows(m, flops int, work func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if flops < matmulParallelThreshold || workers == 1 || m == 1 {
-		work(0, m)
-		return
+// BatchedMatMulInto computes dst[i] = t[i] @ u[i] batchwise:
+// [b,m,k] @ [b,k,n] -> [b,m,n].
+func BatchedMatMulInto(dst, t, u *Tensor) *Tensor {
+	b, m, k, k2, n := checkBatched(dst, t, u, "BatchedMatMulInto")
+	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
+		panic(fmt.Sprintf("tensor: BatchedMatMulInto shapes %v @ %v -> %v", t.shape, u.shape, dst.shape))
 	}
-	if workers > m {
-		workers = m
+	pb := getPack(k * n)
+	bt := *pb
+	for i := 0; i < b; i++ {
+		packTranspose(bt, u.data[i*k*n:(i+1)*k*n], k, n)
+		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: t.data[i*m*k : (i+1)*m*k], bt: bt, k: k, n: n, scale: 1, mode: dotOverwrite}, m)
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		if r0 >= m {
-			break
-		}
-		r1 := min(r0+chunk, m)
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			work(r0, r1)
-		}(r0, r1)
+	putPack(pb)
+	return dst
+}
+
+// BatchedMatMulTransBScaledInto computes dst[i] = scale·(t[i] @ u[i]ᵀ)
+// batchwise: [b,m,k] @ ([b,n,k])ᵀ -> [b,m,n]. With scale = 1/√d this
+// is the fused attention-score kernel for all heads at once.
+func BatchedMatMulTransBScaledInto(dst, t, u *Tensor, scale float32) *Tensor {
+	b, m, k, n, k2 := checkBatched(dst, t, u, "BatchedMatMulTransBScaledInto")
+	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransBScaledInto shapes %v @ %vᵀ -> %v", t.shape, u.shape, dst.shape))
 	}
-	wg.Wait()
+	for i := 0; i < b; i++ {
+		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: t.data[i*m*k : (i+1)*m*k], bt: u.data[i*n*k : (i+1)*n*k], k: k, n: n, scale: scale, mode: dotOverwrite}, m)
+	}
+	return dst
+}
+
+// BatchedMatMulTransAInto computes dst[i] = t[i]ᵀ @ u[i] batchwise:
+// ([b,k,m])ᵀ @ [b,k,n] -> [b,m,n].
+func BatchedMatMulTransAInto(dst, t, u *Tensor) *Tensor {
+	b, k, m, k2, n := checkBatched(dst, t, u, "BatchedMatMulTransAInto")
+	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransAInto shapes %vᵀ @ %v -> %v", t.shape, u.shape, dst.shape))
+	}
+	pa := getPack(k * m)
+	at := *pa
+	pb := getPack(k * n)
+	bt := *pb
+	for i := 0; i < b; i++ {
+		packTranspose(at, t.data[i*k*m:(i+1)*k*m], k, m)
+		packTranspose(bt, u.data[i*k*n:(i+1)*k*n], k, n)
+		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: at, bt: bt, k: k, n: n, scale: 1, mode: dotOverwrite}, m)
+	}
+	putPack(pb)
+	putPack(pa)
+	return dst
+}
+
+// --- allocating compatibility wrappers ---
+
+// MatMul returns t @ u for 2-D tensors [m,k] @ [k,n] -> [m,n].
+func MatMul(t, u *Tensor) *Tensor {
+	check2D(t, u, "MatMul")
+	return MatMulInto(New(t.shape[0], u.shape[1]), t, u)
+}
+
+// MatMulTransB returns t @ uᵀ for [m,k] @ ([n,k])ᵀ -> [m,n].
+func MatMulTransB(t, u *Tensor) *Tensor {
+	check2D(t, u, "MatMulTransB")
+	return MatMulTransBInto(New(t.shape[0], u.shape[0]), t, u)
+}
+
+// MatMulTransA returns tᵀ @ u for ([k,m])ᵀ @ [k,n] -> [m,n].
+func MatMulTransA(t, u *Tensor) *Tensor {
+	check2D(t, u, "MatMulTransA")
+	return MatMulTransAInto(New(t.shape[1], u.shape[1]), t, u)
 }
 
 // BatchedMatMul multiplies two 3-D tensors batchwise:
 // [b,m,k] @ [b,k,n] -> [b,m,n].
 func BatchedMatMul(t, u *Tensor) *Tensor {
-	if len(t.shape) != 3 || len(u.shape) != 3 || t.shape[0] != u.shape[0] {
+	if len(t.shape) != 3 || len(u.shape) != 3 {
 		panic(fmt.Sprintf("tensor: BatchedMatMul shapes %v @ %v", t.shape, u.shape))
 	}
-	b, m, k := t.shape[0], t.shape[1], t.shape[2]
-	k2, n := u.shape[1], u.shape[2]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: BatchedMatMul inner dimension mismatch %v @ %v", t.shape, u.shape))
-	}
-	out := New(b, m, n)
-	for i := 0; i < b; i++ {
-		matmulInto(out.data[i*m*n:(i+1)*m*n], t.data[i*m*k:(i+1)*m*k], u.data[i*k*n:(i+1)*k*n], m, k, n)
-	}
-	return out
+	return BatchedMatMulInto(New(t.shape[0], t.shape[1], u.shape[2]), t, u)
 }
 
 // MatMulFLOPs returns the floating-point operation count of an

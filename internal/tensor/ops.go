@@ -5,24 +5,38 @@ import (
 	"math"
 )
 
+// AddInto computes dst = t + u elementwise. dst may alias t or u.
+func AddInto(dst, t, u *Tensor) *Tensor {
+	t.mustMatch(u, "AddInto")
+	dst.mustMatch(t, "AddInto")
+	d, ud := dst.data, u.data
+	for i, v := range t.data {
+		d[i] = v + ud[i]
+	}
+	return dst
+}
+
 // Add returns t + u elementwise.
 func Add(t, u *Tensor) *Tensor {
 	t.mustMatch(u, "Add")
-	out := New(t.shape...)
+	return AddInto(New(t.shape...), t, u)
+}
+
+// SubInto computes dst = t - u elementwise. dst may alias t or u.
+func SubInto(dst, t, u *Tensor) *Tensor {
+	t.mustMatch(u, "SubInto")
+	dst.mustMatch(t, "SubInto")
+	d, ud := dst.data, u.data
 	for i, v := range t.data {
-		out.data[i] = v + u.data[i]
+		d[i] = v - ud[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns t - u elementwise.
 func Sub(t, u *Tensor) *Tensor {
 	t.mustMatch(u, "Sub")
-	out := New(t.shape...)
-	for i, v := range t.data {
-		out.data[i] = v - u.data[i]
-	}
-	return out
+	return SubInto(New(t.shape...), t, u)
 }
 
 // Mul returns t * u elementwise (Hadamard product).
@@ -67,22 +81,49 @@ func (t *Tensor) AddScaled(u *Tensor, s float32) {
 	}
 }
 
+// AddRowVectorInto computes dst = t + v with the length-cols vector v
+// broadcast over rows. dst may alias t.
+func AddRowVectorInto(dst, t, v *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(v.shape) != 1 || v.shape[0] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto shapes %v, %v", t.shape, v.shape))
+	}
+	dst.mustMatch(t, "AddRowVectorInto")
+	rows, cols := t.shape[0], t.shape[1]
+	vd := v.data
+	for r := 0; r < rows; r++ {
+		tr := t.data[r*cols : (r+1)*cols]
+		or := dst.data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			or[c] = tr[c] + vd[c]
+		}
+	}
+	return dst
+}
+
 // AddRowVector adds a length-cols vector to every row of a 2-D tensor,
 // returning a new tensor. This is the bias-add used by linear layers.
 func AddRowVector(t *Tensor, v *Tensor) *Tensor {
-	if len(t.shape) != 2 || len(v.shape) != 1 || v.shape[0] != t.shape[1] {
-		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", t.shape, v.shape))
+	return AddRowVectorInto(New(t.shape...), t, v)
+}
+
+// SumRowsAccInto accumulates dst += Σrows t for a 2-D tensor into the
+// length-cols vector dst — the fused bias-gradient reduction.
+func SumRowsAccInto(dst, t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRowsAccInto requires a 2-D tensor")
 	}
-	out := New(t.shape...)
 	rows, cols := t.shape[0], t.shape[1]
+	if dst.Len() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsAccInto destination %v, want %d elements", dst.shape, cols))
+	}
+	d := dst.data
 	for r := 0; r < rows; r++ {
 		tr := t.data[r*cols : (r+1)*cols]
-		or := out.data[r*cols : (r+1)*cols]
 		for c := 0; c < cols; c++ {
-			or[c] = tr[c] + v.data[c]
+			d[c] += tr[c]
 		}
 	}
-	return out
+	return dst
 }
 
 // SumRows reduces a 2-D tensor over its rows, producing a length-cols
@@ -91,15 +132,7 @@ func SumRows(t *Tensor) *Tensor {
 	if len(t.shape) != 2 {
 		panic("tensor: SumRows requires a 2-D tensor")
 	}
-	rows, cols := t.shape[0], t.shape[1]
-	out := New(cols)
-	for r := 0; r < rows; r++ {
-		tr := t.data[r*cols : (r+1)*cols]
-		for c := 0; c < cols; c++ {
-			out.data[c] += tr[c]
-		}
-	}
-	return out
+	return SumRowsAccInto(New(t.shape[1]), t)
 }
 
 // Sum returns the sum of all elements, accumulated in float64.
@@ -157,18 +190,24 @@ func Transpose(t *Tensor) *Tensor {
 	return out
 }
 
+// SoftmaxInto applies a numerically stable softmax along the last
+// dimension, writing into dst. dst may alias t (in-place softmax).
+func SoftmaxInto(dst, t *Tensor) *Tensor {
+	dst.mustMatch(t, "SoftmaxInto")
+	cols := t.shape[len(t.shape)-1]
+	rows := len(t.data) / cols
+	for r := 0; r < rows; r++ {
+		in := t.data[r*cols : (r+1)*cols]
+		o := dst.data[r*cols : (r+1)*cols]
+		softmaxRow(in, o)
+	}
+	return dst
+}
+
 // Softmax applies a numerically stable softmax along the last
 // dimension, returning a new tensor.
 func Softmax(t *Tensor) *Tensor {
-	cols := t.shape[len(t.shape)-1]
-	rows := len(t.data) / cols
-	out := New(t.shape...)
-	for r := 0; r < rows; r++ {
-		in := t.data[r*cols : (r+1)*cols]
-		o := out.data[r*cols : (r+1)*cols]
-		softmaxRow(in, o)
-	}
-	return out
+	return SoftmaxInto(New(t.shape...), t)
 }
 
 func softmaxRow(in, out []float32) {
@@ -180,9 +219,9 @@ func softmaxRow(in, out []float32) {
 	}
 	var sum float64
 	for i, v := range in {
-		e := math.Exp(float64(v - maxv))
-		out[i] = float32(e)
-		sum += e
+		e := exp32(v - maxv)
+		out[i] = e
+		sum += float64(e)
 	}
 	inv := float32(1 / sum)
 	for i := range out {
@@ -190,17 +229,18 @@ func softmaxRow(in, out []float32) {
 	}
 }
 
-// SoftmaxBackward computes the gradient of a softmax output: given
-// y = softmax(x) and dL/dy, returns dL/dx = y ⊙ (dy − sum(dy ⊙ y)).
-func SoftmaxBackward(y, dy *Tensor) *Tensor {
+// SoftmaxBackwardInto computes the gradient of a softmax output into
+// dst: given y = softmax(x) and dL/dy, dst = y ⊙ (dy − sum(dy ⊙ y)).
+// dst may alias dy.
+func SoftmaxBackwardInto(dst, y, dy *Tensor) *Tensor {
 	y.mustMatch(dy, "SoftmaxBackward")
+	dst.mustMatch(y, "SoftmaxBackward")
 	cols := y.shape[len(y.shape)-1]
 	rows := len(y.data) / cols
-	out := New(y.shape...)
 	for r := 0; r < rows; r++ {
 		yr := y.data[r*cols : (r+1)*cols]
 		dr := dy.data[r*cols : (r+1)*cols]
-		or := out.data[r*cols : (r+1)*cols]
+		or := dst.data[r*cols : (r+1)*cols]
 		var dot float64
 		for i := range yr {
 			dot += float64(yr[i]) * float64(dr[i])
@@ -209,16 +249,28 @@ func SoftmaxBackward(y, dy *Tensor) *Tensor {
 			or[i] = yr[i] * (dr[i] - float32(dot))
 		}
 	}
-	return out
+	return dst
+}
+
+// SoftmaxBackward computes the gradient of a softmax output: given
+// y = softmax(x) and dL/dy, returns dL/dx = y ⊙ (dy − sum(dy ⊙ y)).
+func SoftmaxBackward(y, dy *Tensor) *Tensor {
+	return SoftmaxBackwardInto(New(y.shape...), y, dy)
+}
+
+// GELUInto applies the tanh-approximate GELU into dst (may alias t).
+func GELUInto(dst, t *Tensor) *Tensor {
+	dst.mustMatch(t, "GELUInto")
+	d := dst.data
+	for i, v := range t.data {
+		d[i] = geluScalar(v)
+	}
+	return dst
 }
 
 // GELU applies the tanh-approximate Gaussian error linear unit.
 func GELU(t *Tensor) *Tensor {
-	out := New(t.shape...)
-	for i, v := range t.data {
-		out.data[i] = geluScalar(v)
-	}
-	return out
+	return GELUInto(New(t.shape...), t)
 }
 
 const (
@@ -227,32 +279,70 @@ const (
 )
 
 func geluScalar(x float32) float32 {
-	xf := float64(x)
-	return float32(0.5 * xf * (1 + math.Tanh(geluC0*(xf+geluC1*xf*xf*xf))))
+	return 0.5 * x * (1 + tanh32(geluC0*(x+geluC1*x*x*x)))
+}
+
+// GELUBackwardInto computes dst = dy ⊙ gelu'(x) given the
+// pre-activation x. dst may alias dy.
+func GELUBackwardInto(dst, x, dy *Tensor) *Tensor {
+	x.mustMatch(dy, "GELUBackward")
+	dst.mustMatch(x, "GELUBackward")
+	d, dyd := dst.data, dy.data
+	for i, v := range x.data {
+		d[i] = dyd[i] * geluGradScalar(v)
+	}
+	return dst
 }
 
 // GELUBackward returns dL/dx given the pre-activation x and dL/dy.
 func GELUBackward(x, dy *Tensor) *Tensor {
-	x.mustMatch(dy, "GELUBackward")
-	out := New(x.shape...)
+	return GELUBackwardInto(New(x.shape...), x, dy)
+}
+
+// GELUCachedInto computes dst = gelu(x) while storing tanh(u) (the
+// expensive inner transcendental) into th, so the backward pass can
+// reconstruct the derivative without recomputing any tanh. dst may
+// alias x; th must not alias either.
+func GELUCachedInto(dst, th, x *Tensor) *Tensor {
+	dst.mustMatch(x, "GELUCachedInto")
+	th.mustMatch(x, "GELUCachedInto")
+	d, td := dst.data, th.data
 	for i, v := range x.data {
-		out.data[i] = dy.data[i] * geluGradScalar(v)
+		t := tanh32(geluC0 * (v + geluC1*v*v*v))
+		td[i] = t
+		d[i] = 0.5 * v * (1 + t)
 	}
-	return out
+	return dst
+}
+
+// GELUBackwardCachedInto computes dst = dy ⊙ gelu'(x) using the tanh
+// values cached by GELUCachedInto: with th = tanh(u),
+// gelu'(x) = ½(1+th) + ½·x·(1−th²)·u' and no transcendental is
+// evaluated. dst may alias dy.
+func GELUBackwardCachedInto(dst, x, th, dy *Tensor) *Tensor {
+	x.mustMatch(dy, "GELUBackwardCached")
+	dst.mustMatch(x, "GELUBackwardCached")
+	th.mustMatch(x, "GELUBackwardCached")
+	d, td, dyd := dst.data, th.data, dy.data
+	for i, v := range x.data {
+		t := td[i]
+		sech2 := 1 - t*t
+		du := float32(geluC0) * (1 + 3*geluC1*v*v)
+		d[i] = dyd[i] * (0.5*(1+t) + 0.5*v*sech2*du)
+	}
+	return dst
 }
 
 func geluGradScalar(x float32) float32 {
-	xf := float64(x)
-	u := geluC0 * (xf + geluC1*xf*xf*xf)
-	th := math.Tanh(u)
+	u := geluC0 * (x + geluC1*x*x*x)
+	th := tanh32(u)
 	sech2 := 1 - th*th
-	du := geluC0 * (1 + 3*geluC1*xf*xf)
-	return float32(0.5*(1+th) + 0.5*xf*sech2*du)
+	du := float32(geluC0) * (1 + 3*geluC1*x*x)
+	return 0.5*(1+th) + 0.5*x*sech2*du
 }
 
-// Concat concatenates tensors along dimension dim. All inputs must
-// agree on every other dimension.
-func Concat(dim int, ts ...*Tensor) *Tensor {
+// concatShape validates Concat inputs and returns the output shape.
+func concatShape(dim int, ts []*Tensor) []int {
 	if len(ts) == 0 {
 		panic("tensor: Concat of zero tensors")
 	}
@@ -274,26 +364,86 @@ func Concat(dim int, ts ...*Tensor) *Tensor {
 		total += t.shape[dim]
 	}
 	outShape[dim] = total
-	out := New(outShape...)
+	return outShape
+}
+
+// ConcatInto concatenates tensors along dimension dim into dst, which
+// must already have the concatenated shape.
+func ConcatInto(dst *Tensor, dim int, ts ...*Tensor) *Tensor {
+	rank := ts[0].Rank()
+	if dst.Rank() != rank {
+		panic("tensor: ConcatInto destination rank mismatch")
+	}
 	// Elements are copied in contiguous runs of inner*dimSize.
 	inner := 1
 	for i := dim + 1; i < rank; i++ {
-		inner *= outShape[i]
+		inner *= dst.shape[i]
 	}
 	outer := 1
 	for i := 0; i < dim; i++ {
-		outer *= outShape[i]
+		outer *= dst.shape[i]
 	}
-	outRun := outShape[dim] * inner
+	outRun := dst.shape[dim] * inner
 	off := 0
 	for _, t := range ts {
 		run := t.shape[dim] * inner
 		for o := 0; o < outer; o++ {
-			copy(out.data[o*outRun+off:o*outRun+off+run], t.data[o*run:(o+1)*run])
+			copy(dst.data[o*outRun+off:o*outRun+off+run], t.data[o*run:(o+1)*run])
 		}
 		off += run
 	}
-	return out
+	if off != outRun {
+		panic(fmt.Sprintf("tensor: ConcatInto inputs fill %d of %d along dim %d", off, outRun, dim))
+	}
+	return dst
+}
+
+// Concat concatenates tensors along dimension dim. All inputs must
+// agree on every other dimension.
+func Concat(dim int, ts ...*Tensor) *Tensor {
+	return ConcatInto(New(concatShape(dim, ts)...), dim, ts...)
+}
+
+// SplitHeadsInto regroups a token-major sequence [T, H·d] into the
+// head-major layout [H, T, d]: dst[h,t,:] = src[t, h·d:(h+1)·d]. This
+// is the one data movement fused attention performs per projection,
+// replacing the per-head Split copies of the naive path.
+func SplitHeadsInto(dst, src *Tensor, heads int) *Tensor {
+	if len(src.shape) != 2 || src.shape[1]%heads != 0 {
+		panic(fmt.Sprintf("tensor: SplitHeadsInto src %v with %d heads", src.shape, heads))
+	}
+	t, hd := src.shape[0], src.shape[1]/heads
+	if len(dst.shape) != 3 || dst.shape[0] != heads || dst.shape[1] != t || dst.shape[2] != hd {
+		panic(fmt.Sprintf("tensor: SplitHeadsInto dst %v, want [%d %d %d]", dst.shape, heads, t, hd))
+	}
+	d := src.shape[1]
+	for ti := 0; ti < t; ti++ {
+		row := src.data[ti*d : (ti+1)*d]
+		for h := 0; h < heads; h++ {
+			copy(dst.data[(h*t+ti)*hd:(h*t+ti+1)*hd], row[h*hd:(h+1)*hd])
+		}
+	}
+	return dst
+}
+
+// MergeHeadsInto is the inverse of SplitHeadsInto: head-major
+// [H, T, d] back to token-major [T, H·d].
+func MergeHeadsInto(dst, src *Tensor, heads int) *Tensor {
+	if len(src.shape) != 3 || src.shape[0] != heads {
+		panic(fmt.Sprintf("tensor: MergeHeadsInto src %v with %d heads", src.shape, heads))
+	}
+	t, hd := src.shape[1], src.shape[2]
+	if len(dst.shape) != 2 || dst.shape[0] != t || dst.shape[1] != heads*hd {
+		panic(fmt.Sprintf("tensor: MergeHeadsInto dst %v, want [%d %d]", dst.shape, t, heads*hd))
+	}
+	d := heads * hd
+	for ti := 0; ti < t; ti++ {
+		row := dst.data[ti*d : (ti+1)*d]
+		for h := 0; h < heads; h++ {
+			copy(row[h*hd:(h+1)*hd], src.data[(h*t+ti)*hd:(h*t+ti+1)*hd])
+		}
+	}
+	return dst
 }
 
 // Split slices a tensor into n equal parts along dimension dim.

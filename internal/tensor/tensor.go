@@ -57,11 +57,19 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panicBadShape(shape)
 		}
 		n *= d
 	}
 	return n
+}
+
+// panicBadShape formats its message from a copy of shape so the
+// variadic shape slices of New/Ensure/Get never escape to the heap on
+// the non-panicking path (hot-path callers rely on this staying
+// allocation-free).
+func panicBadShape(shape []int) {
+	panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", append([]int(nil), shape...)))
 }
 
 // Shape returns the tensor's dimensions. The returned slice must not
@@ -176,18 +184,16 @@ func (t *Tensor) String() string {
 }
 
 // MaxAbs returns the maximum absolute value, or 0 for an empty tensor.
+// The scan is branchless on the sign (clearing the IEEE sign bit)
+// so it runs at streaming speed on random-sign data.
 func (t *Tensor) MaxAbs() float32 {
-	var m float32
+	var m uint32
 	for _, v := range t.data {
-		a := v
-		if a < 0 {
-			a = -a
-		}
-		if a > m {
-			m = a
+		if b := math.Float32bits(v) &^ (1 << 31); b > m {
+			m = b
 		}
 	}
-	return m
+	return math.Float32frombits(m)
 }
 
 // HasNaNOrInf reports whether any element is NaN or infinite.

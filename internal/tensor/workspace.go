@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Ensure returns a tensor of the given shape, reusing t's header and
+// backing storage when its capacity allows and allocating a fresh
+// tensor otherwise. It is the idiom for module-owned scratch buffers:
+//
+//	l.y = tensor.Ensure(l.y, rows, cols)
+//
+// After the first call with a given shape the buffer is stable, so a
+// steady-state training step performs no heap allocations. Contents
+// are unspecified after Ensure; kernels writing into the buffer must
+// not assume it is zeroed.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t == nil || cap(t.data) < n || cap(t.shape) < len(shape) {
+		return New(shape...)
+	}
+	t.shape = append(t.shape[:0], shape...)
+	t.data = t.data[:n]
+	return t
+}
+
+// EnsureZeroed is Ensure followed by zero-filling.
+func EnsureZeroed(t *Tensor, shape ...int) *Tensor {
+	t = Ensure(t, shape...)
+	t.Zero()
+	return t
+}
+
+// Workspace is a size-bucketed free-list pool of tensors for
+// transient values whose shapes vary call to call. Get returns a
+// tensor with unspecified contents; Put recycles it. Buffers are
+// bucketed by power-of-two capacity, so a Get is served by any
+// previously Put tensor of the same size class and reaches
+// steady-state zero allocations.
+//
+// A Workspace is not safe for concurrent use; each training goroutine
+// owns its own (the simulated-cluster engines each run single-
+// threaded, matching how one GPU's stream owns its arena).
+type Workspace struct {
+	buckets map[uint][]*Tensor
+}
+
+// NewWorkspace returns an empty pool.
+func NewWorkspace() *Workspace {
+	return &Workspace{buckets: make(map[uint][]*Tensor)}
+}
+
+// sizeClass returns the bucket exponent whose capacity 2^e holds n.
+func sizeClass(n int) uint { return uint(bits.Len(uint(n - 1))) }
+
+// Get returns a tensor of the given shape with unspecified contents.
+func (w *Workspace) Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	class := sizeClass(n)
+	free := w.buckets[class]
+	if len(free) == 0 {
+		t := &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n, 1<<class)}
+		return t
+	}
+	t := free[len(free)-1]
+	free[len(free)-1] = nil
+	w.buckets[class] = free[:len(free)-1]
+	return Ensure(t, shape...)
+}
+
+// GetZeroed returns a zero-filled tensor of the given shape.
+func (w *Workspace) GetZeroed(shape ...int) *Tensor {
+	t := w.Get(shape...)
+	t.Zero()
+	return t
+}
+
+// Put recycles a tensor into the pool. The caller must not use t
+// afterwards. Tensors from any source may be Put; each lands in the
+// largest bucket its capacity fully covers.
+func (w *Workspace) Put(t *Tensor) {
+	if t == nil || cap(t.data) == 0 {
+		return
+	}
+	// Largest class with 2^e <= cap, so every tensor in a bucket can
+	// serve any request routed to it.
+	class := uint(bits.Len(uint(cap(t.data)))) - 1
+	w.buckets[class] = append(w.buckets[class], t)
+}
+
+// Stats reports the pooled tensor count and total pooled floats,
+// for diagnostics and tests.
+func (w *Workspace) Stats() (tensors, floats int) {
+	for _, free := range w.buckets {
+		tensors += len(free)
+		for _, t := range free {
+			floats += cap(t.data)
+		}
+	}
+	return tensors, floats
+}
+
+// String summarizes bucket occupancy.
+func (w *Workspace) String() string {
+	t, f := w.Stats()
+	return fmt.Sprintf("Workspace{%d tensors, %d floats}", t, f)
+}

@@ -61,7 +61,10 @@ type LossPoint struct {
 	Loss    float64
 }
 
-// Trainer drives gradient steps on a ViT model.
+// Trainer drives gradient steps on a ViT model. Per-sample
+// temporaries (loss gradients, residual targets) come from a
+// size-bucketed tensor.Workspace so steady-state steps reuse the same
+// buffers instead of allocating.
 type Trainer struct {
 	Model  *vit.Model
 	Opt    *optim.AdamW
@@ -69,6 +72,7 @@ type Trainer struct {
 	Cfg    Config
 	Scaler *bf16.GradScaler
 
+	ws      *tensor.Workspace
 	step    int
 	samples int
 }
@@ -83,6 +87,7 @@ func NewTrainer(m *vit.Model, cfg Config) *Trainer {
 			WarmupSteps: cfg.WarmupSteps, TotalSteps: cfg.TotalSteps,
 		},
 		Cfg: cfg,
+		ws:  tensor.NewWorkspace(),
 	}
 	if cfg.MixedPrecision {
 		t.Scaler = bf16.NewGradScaler()
@@ -108,11 +113,14 @@ func (t *Trainer) Step(batch []climate.Sample) float64 {
 	}
 	for _, s := range batch {
 		target := s.Target
+		var residual *tensor.Tensor
 		if t.Cfg.ResidualChans != nil {
-			target = tensor.Sub(target, climate.SelectChannels(s.Input, t.Cfg.ResidualChans))
+			residual = t.ws.Get(target.Shape()...)
+			target = tensor.SubInto(residual, target, climate.SelectChannels(s.Input, t.Cfg.ResidualChans))
 		}
 		pred := t.Model.Forward(s.Input, s.LeadHours)
-		loss, grad := metrics.WeightedMSE(pred, target)
+		grad := t.ws.Get(pred.Shape()...)
+		loss, _ := metrics.WeightedMSEInto(grad, pred, target)
 		total += loss
 		grad.ScaleInPlace(scale * lossScale)
 		if t.Scaler != nil {
@@ -120,6 +128,10 @@ func (t *Trainer) Step(batch []climate.Sample) float64 {
 			bf16.RoundTensorInPlace(grad)
 		}
 		t.Model.Backward(grad)
+		t.ws.Put(grad)
+		if residual != nil {
+			t.ws.Put(residual)
+		}
 	}
 	params := t.Model.Params()
 	if t.Scaler != nil {

@@ -18,6 +18,41 @@
 //     (MaxModelSize, StepTime, and the experiment runners re-exported
 //     from internal/experiments).
 //
+// # Performance architecture
+//
+// The compute substrate (internal/tensor) is built for steady-state
+// zero-allocation training steps, because on the CPU the seed
+// implementation spent more time in the garbage collector than in
+// floating point:
+//
+//   - Every kernel has a destination-passing form (MatMulInto,
+//     MatMulTransAInto, MatMulTransBInto, SoftmaxInto, ConcatInto, …)
+//     writing into caller-owned buffers; the allocating forms remain
+//     as thin wrappers.
+//   - Matrix products reduce to one packed dot-product micro-kernel:
+//     operands whose reduction axis is not innermost are transposed
+//     once into pooled packing buffers, then a 2×4 register-blocked
+//     kernel streams both panels. On amd64 with AVX2+FMA the block
+//     runs in assembly at eight lanes per instruction (runtime
+//     feature detection; the portable scalar kernel is the reference
+//     the property tests compare against).
+//   - Large dispatches run on a lazily-started persistent worker pool
+//     shared by all kernels — no per-call goroutine fan-out.
+//   - Modules (Linear, LayerNorm, MLP, attention) own their output
+//     and scratch buffers and reuse them across steps: a returned
+//     tensor is valid until the module's next call. Multi-head
+//     attention computes all heads in one batched head-major pass
+//     with no per-head Split/Concat copies, and caches the maximum
+//     attention logit during Forward. Transient, shape-varying values
+//     come from tensor.Workspace, a size-bucketed free-list pool.
+//   - The FFT caches twiddle-factor and bit-reversal tables per size
+//     and transforms 2-D grids in column panels, feeding the AFNO
+//     spectral layer's reused grid buffers.
+//
+// Run `go test -bench=. -benchmem` and compare against
+// BENCH_PR1.json; the transformer step benchmarks must stay at
+// 0 allocs/op (enforced by nn's AllocsPerRun tests).
+//
 // See the examples/ directory for runnable programs and EXPERIMENTS.md
 // for the paper-versus-measured record of every table and figure.
 package orbit

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# CI entry point: build, vet, full tests, and a one-iteration
+# benchmark smoke over the attention hot path.
+set -eu
+cd "$(dirname "$0")/.."
+make ci
