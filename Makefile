@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test bench-smoke bench
+.PHONY: ci build vet test race bench-smoke bench bench-pr2
 
-ci: build vet test bench-smoke
+ci: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race stage over the concurrency-heavy layers: the comm rendezvous /
+# async-handle machinery and the SPMD parallel engines (including the
+# Hybrid-STOP core engine's overlap paths). The async cross-talk tests
+# in internal/comm are specifically written to be meaningful under
+# -race.
+race:
+	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/...
 
 # One-iteration sanity pass over the attention hot path: catches
 # regressions that only appear under the benchmark harness (buffer
@@ -28,3 +36,10 @@ bench-smoke:
 # that file; the host's absolute speed drifts).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMul256$$|BenchmarkAttentionForward$$|BenchmarkTransformerBlockFwdBwd$$|BenchmarkHybridSTOPStep$$' -benchmem -benchtime=1s .
+
+# Interleaved baseline-vs-PR measurement of the distributed hot path
+# (Hybrid-STOP step + comm collectives), medians recorded into
+# BENCH_PR2.json — same protocol as BENCH_PR1.json. BASELINE pins the
+# PR 1 tip by default; override with BASELINE=<ref>.
+bench-pr2:
+	sh scripts/bench_pr2.sh

@@ -201,6 +201,105 @@ func BenchmarkAllReduce8Ranks(b *testing.B) {
 	}
 }
 
+// benchSPMD runs body once per rank per iteration on persistent rank
+// goroutines, so the measured allocations are the collectives' own,
+// not goroutine-spawn overhead.
+func benchSPMD(b *testing.B, ranks int, body func(rank int)) {
+	b.Helper()
+	type job struct{ start, done chan struct{} }
+	jobs := make([]job, ranks)
+	for r := 0; r < ranks; r++ {
+		jobs[r] = job{start: make(chan struct{}), done: make(chan struct{})}
+		go func(rank int) {
+			for range jobs[rank].start {
+				body(rank)
+				jobs[rank].done <- struct{}{}
+			}
+		}(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < ranks; r++ {
+			jobs[r].start <- struct{}{}
+		}
+		for r := 0; r < ranks; r++ {
+			<-jobs[r].done
+		}
+	}
+	b.StopTimer()
+	for r := 0; r < ranks; r++ {
+		close(jobs[r].start)
+	}
+}
+
+// BenchmarkCommCollectives measures the destination-passing
+// collectives at transformer-gradient sizes (a ~64k-float shard is
+// one test block's flat gradient scale; run with -benchmem — the
+// steady state must be 0 allocs/op).
+func BenchmarkCommCollectives(b *testing.B) {
+	const ranks = 4
+	const shard = 1 << 16 // floats per rank
+	newGroup := func() *comm.Group {
+		m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+		return comm.NewGroup(m.Devices[:ranks])
+	}
+	b.Run("AllGatherInto", func(b *testing.B) {
+		g := newGroup()
+		shards := make([][]float32, ranks)
+		fulls := make([][]float32, ranks)
+		for r := range shards {
+			shards[r] = make([]float32, shard)
+			fulls[r] = make([]float32, shard*ranks)
+		}
+		b.SetBytes(4 * shard * ranks)
+		benchSPMD(b, ranks, func(rank int) {
+			g.AllGatherInto(rank, shards[rank], fulls[rank])
+		})
+	})
+	b.Run("AllReduceSumInto", func(b *testing.B) {
+		g := newGroup()
+		bufs := make([][]float32, ranks)
+		for r := range bufs {
+			bufs[r] = make([]float32, shard*ranks)
+		}
+		b.SetBytes(4 * shard * ranks)
+		benchSPMD(b, ranks, func(rank int) {
+			g.AllReduceSumInto(rank, bufs[rank], bufs[rank])
+		})
+	})
+	b.Run("ReduceScatterSumInto", func(b *testing.B) {
+		g := newGroup()
+		bufs := make([][]float32, ranks)
+		chunks := make([][]float32, ranks)
+		for r := range bufs {
+			bufs[r] = make([]float32, shard*ranks)
+			chunks[r] = make([]float32, shard)
+		}
+		b.SetBytes(4 * shard * ranks)
+		benchSPMD(b, ranks, func(rank int) {
+			g.ReduceScatterSumInto(rank, bufs[rank], chunks[rank])
+		})
+	})
+	b.Run("OverlappedAllReducePair", func(b *testing.B) {
+		// Two collectives in flight at once — the bucketed-DDP posting
+		// pattern — must also recycle to zero allocations.
+		g := newGroup()
+		bufs := make([][]float32, ranks)
+		bufs2 := make([][]float32, ranks)
+		for r := range bufs {
+			bufs[r] = make([]float32, shard)
+			bufs2[r] = make([]float32, shard)
+		}
+		b.SetBytes(4 * 2 * shard)
+		benchSPMD(b, ranks, func(rank int) {
+			h1 := g.IAllReduceSum(rank, bufs[rank], bufs[rank])
+			h2 := g.IAllReduceSum(rank, bufs2[rank], bufs2[rank])
+			h1.Wait()
+			h2.Wait()
+		})
+	})
+}
+
 // BenchmarkHybridSTOPStep measures one functional Hybrid-STOP
 // training step (TP 2 × FSDP 2 on 4 simulated GPUs).
 func BenchmarkHybridSTOPStep(b *testing.B) {

@@ -67,6 +67,7 @@ func RoundTensorInPlace(t *tensor.Tensor) {
 	for i, v := range d {
 		d[i] = Round(v)
 	}
+	t.Bump()
 }
 
 // Pack converts a float32 slice to raw bf16 values. Used by the

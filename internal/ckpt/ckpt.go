@@ -207,5 +207,6 @@ func readParam(r io.Reader, p *nn.Param) error {
 	default:
 		return fmt.Errorf("unknown dtype %d", dt)
 	}
+	p.W.Bump()
 	return nil
 }

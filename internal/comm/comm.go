@@ -7,6 +7,49 @@
 // the group spans (Infinity Fabric within a node, Slingshot across
 // nodes) — the distinction that drives ORBIT's hierarchical mapping of
 // tensor-parallel groups to nodes (paper Sec. III-B, Fig. 4).
+//
+// # Synchronous, destination-passing, and asynchronous APIs
+//
+// Every collective exists in three forms:
+//
+//   - Allocating (AllGather, AllReduceSum, …): returns a fresh result
+//     buffer. Convenient for tests and cold paths; allocates per call.
+//   - Destination-passing (AllGatherInto, AllReduceSumInto, …): the
+//     caller supplies the output buffer and the call is
+//     allocation-free in steady state. For the reduction collectives
+//     dst may alias the rank's own input (in-place reduction); for
+//     all-gather and broadcast dst must not overlap any rank's input.
+//   - Asynchronous (IAllGather, IAllReduceSum, …): posts the
+//     collective and returns a Handle immediately so the rank can keep
+//     computing while the transfer is in flight. Handle.Wait blocks
+//     until the collective completed and settles the rank's simulated
+//     clock.
+//
+// # Async handle protocol and buffer ownership
+//
+// Posting transfers ownership of both the input and the destination
+// buffer to the communicator: the caller must not read or write either
+// until Wait returns. Wait must be called exactly once per rank per
+// handle — the pending-operation record is recycled when the last rank
+// of the group has waited, so a second Wait (or a never-waited handle)
+// breaks the zero-allocation recycling discipline.
+//
+// Ranks of a group must post collectives in the same order (SPMD, like
+// an MPI communicator); matching is by per-rank posting sequence
+// number, so several collectives may be in flight at once and Waits
+// may be issued in any order. Posting mismatched operation kinds at
+// the same sequence position is an ordering violation and panics.
+//
+// # Overlap cost model
+//
+// A collective starts once every rank has posted it and the group's
+// single communication stream is free (in-flight collectives on one
+// group serialize, as on one RCCL stream), and completes one modeled
+// ring-cost later. Wait advances the waiting rank's clock to the
+// completion time, attributing the idle gap to communication — a rank
+// whose compute already advanced its clock past the completion time
+// pays nothing, which is exactly the overlap the paper's prefetching
+// and bucketing optimizations exploit (Sec. III-B).
 package comm
 
 import (
@@ -16,8 +59,90 @@ import (
 	"orbit/internal/cluster"
 )
 
+// opKind tags the collective operation a pending record carries, so
+// SPMD ordering violations fail loudly instead of mixing data.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	opAllGather
+	opReduce        // all-reduce; scale distinguishes sum from mean
+	opReduceScatter // reduce-scatter; scale distinguishes sum from mean
+	opBroadcast
+	opBarrier
+)
+
+func (o opKind) String() string {
+	switch o {
+	case opAllGather:
+		return "all-gather"
+	case opReduce:
+		return "all-reduce"
+	case opReduceScatter:
+		return "reduce-scatter"
+	case opBroadcast:
+		return "broadcast"
+	case opBarrier:
+		return "barrier"
+	}
+	return "none"
+}
+
+// pending is one in-flight collective: per-rank input and destination
+// buffers, the rendezvous count, and the modeled completion time.
+// Records are recycled through the group's free list once every rank
+// has waited, so steady-state collectives allocate nothing.
+type pending struct {
+	seq    int
+	op     opKind
+	scale  float64 // applied to reductions (1 = sum, 1/p = mean)
+	cost   float64
+	tmax   float64 // latest post-time clock among the ranks
+	posted int
+	waited int
+	done   bool
+	// shared marks the allocating legacy protocol: complete builds one
+	// freshly allocated result delivered to every rank (per-rank chunks
+	// for reduce-scatter) instead of filling caller destinations.
+	shared bool
+	// completion = max(tmax, stream-free time) + cost, fixed when the
+	// last rank posts.
+	completion float64
+	ins        [][]float32
+	dsts       [][]float32
+}
+
+// Handle identifies a posted collective for one rank. Wait must be
+// called exactly once; see the package documentation for the
+// ownership rules.
+type Handle struct {
+	g    *Group
+	p    *pending
+	rank int
+}
+
+// Wait blocks until the collective completes, then advances the
+// rank's simulated clock to the completion time (attributing the gap
+// to communication — zero if local compute already passed it).
+func (h Handle) Wait() {
+	g := h.g
+	g.mu.Lock()
+	p := h.p
+	for !p.done {
+		g.cond.Wait()
+	}
+	completion := p.completion
+	p.waited++
+	if p.waited == len(g.devices) {
+		g.recycle(p)
+	}
+	d := g.devices[h.rank]
+	g.mu.Unlock()
+	d.AdvanceTo(completion, 0)
+}
+
 // Group is a communicator over a fixed set of simulated devices. All
-// member goroutines must call each collective the same number of
+// member goroutines must post each collective the same number of
 // times in the same order (SPMD), exactly like an MPI communicator.
 type Group struct {
 	devices []*cluster.Device
@@ -25,13 +150,15 @@ type Group struct {
 	latency   float64 // per-message link latency for this group's span
 	bandwidth float64 // per-link bandwidth in bytes/s
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	seq     int
-	arrived int
-	bufs    [][]float32
-	scratch []float64 // float64 accumulation for reductions
-	result  [][]float32
+	mu       sync.Mutex
+	cond     *sync.Cond
+	postSeq  []int // per-rank next posting sequence number
+	inflight []*pending
+	free     []*pending
+	// streamFree is when the group's communication stream finishes its
+	// latest collective; in-flight collectives serialize behind it.
+	streamFree float64
+	scratch    []float64 // float64 accumulation for reductions
 }
 
 // NewGroup builds a communicator. The cost model uses intra-node link
@@ -45,7 +172,7 @@ func NewGroup(devices []*cluster.Device) *Group {
 		devices:   devices,
 		latency:   spec.InterNodeLatency,
 		bandwidth: spec.InterNodeBandwidth,
-		bufs:      make([][]float32, len(devices)),
+		postSeq:   make([]int, len(devices)),
 	}
 	if cluster.SameNode(devices) {
 		g.latency = spec.IntraNodeLatency
@@ -61,41 +188,6 @@ func (g *Group) Size() int { return len(g.devices) }
 // Device returns the device behind a rank.
 func (g *Group) Device(rank int) *cluster.Device { return g.devices[rank] }
 
-// exchange runs one rendezvous: every rank deposits a buffer; the last
-// arrival runs combine over all buffers to produce per-rank results;
-// everyone picks up its own result. Device clocks are synchronized to
-// the group maximum plus the collective's modeled cost.
-func (g *Group) exchange(rank int, in []float32, cost float64, combine func(bufs [][]float32) [][]float32) []float32 {
-	g.mu.Lock()
-	seq := g.seq
-	g.bufs[rank] = in
-	g.arrived++
-	if g.arrived == len(g.devices) {
-		// Synchronize clocks: the collective completes at
-		// max(clock) + cost on every member.
-		var tmax float64
-		for _, d := range g.devices {
-			if c := d.Clock(); c > tmax {
-				tmax = c
-			}
-		}
-		for _, d := range g.devices {
-			d.AdvanceTo(tmax, cost)
-		}
-		g.result = combine(g.bufs)
-		g.arrived = 0
-		g.seq++
-		g.cond.Broadcast()
-	} else {
-		for g.seq == seq {
-			g.cond.Wait()
-		}
-	}
-	out := g.result[rank]
-	g.mu.Unlock()
-	return out
-}
-
 // ringCost models a bandwidth-optimal ring collective moving
 // (p-1)/p × bytes per rank in p−1 latency-bound steps.
 func (g *Group) ringCost(bytes int) float64 {
@@ -106,140 +198,247 @@ func (g *Group) ringCost(bytes int) float64 {
 	return (p - 1) * (g.latency + float64(bytes)/p/g.bandwidth)
 }
 
-// AllGather concatenates equal-length shards by rank order and
-// returns the full buffer to every rank.
-func (g *Group) AllGather(rank int, shard []float32) []float32 {
-	n := len(shard)
-	cost := g.ringCost(4 * n * len(g.devices))
-	return g.exchange(rank, shard, cost, func(bufs [][]float32) [][]float32 {
-		full := make([]float32, 0, n*len(bufs))
-		for r, b := range bufs {
+// pendingFor locates (or creates) the in-flight record for a posting
+// sequence number. Caller holds g.mu.
+func (g *Group) pendingFor(seq int, op opKind, scale, cost float64) *pending {
+	for _, p := range g.inflight {
+		if p.seq == seq {
+			if p.op != op || p.scale != scale || p.cost != cost {
+				// Op kind, reduction scale (sum vs mean), and modeled
+				// cost (a function of buffer length) must agree across
+				// ranks; any divergence is an SPMD ordering violation.
+				panic(fmt.Sprintf("comm: collective ordering violation at seq %d: %v(scale %v, cost %v) posted against %v(scale %v, cost %v)",
+					seq, op, scale, cost, p.op, p.scale, p.cost))
+			}
+			return p
+		}
+	}
+	var p *pending
+	if n := len(g.free); n > 0 {
+		p = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+	} else {
+		p = &pending{
+			ins:  make([][]float32, len(g.devices)),
+			dsts: make([][]float32, len(g.devices)),
+		}
+	}
+	p.seq, p.op, p.scale, p.cost = seq, op, scale, cost
+	p.tmax, p.posted, p.waited, p.done = 0, 0, 0, false
+	g.inflight = append(g.inflight, p)
+	return p
+}
+
+// recycle returns a fully-waited pending record to the free list.
+// Caller holds g.mu.
+func (g *Group) recycle(p *pending) {
+	for i := range p.ins {
+		p.ins[i] = nil
+		p.dsts[i] = nil
+	}
+	p.op = opNone
+	for i, q := range g.inflight {
+		if q == p {
+			last := len(g.inflight) - 1
+			g.inflight[i] = g.inflight[last]
+			g.inflight[last] = nil
+			g.inflight = g.inflight[:last]
+			break
+		}
+	}
+	g.free = append(g.free, p)
+}
+
+// post deposits one rank's buffers for its next collective; the last
+// rank to arrive executes the data movement and fixes the completion
+// time. Returns a handle the rank must Wait on exactly once.
+func (g *Group) post(op opKind, rank int, in, dst []float32, scale, cost float64) Handle {
+	return g.postMode(op, rank, in, dst, scale, cost, false)
+}
+
+// postShared is post under the legacy shared-result protocol: the
+// result is built once into fresh storage at completion and handed to
+// every rank through waitShared.
+func (g *Group) postShared(op opKind, rank int, in []float32, scale, cost float64) Handle {
+	return g.postMode(op, rank, in, nil, scale, cost, true)
+}
+
+func (g *Group) postMode(op opKind, rank int, in, dst []float32, scale, cost float64, shared bool) Handle {
+	clk := g.devices[rank].Clock()
+	g.mu.Lock()
+	seq := g.postSeq[rank]
+	g.postSeq[rank]++
+	p := g.pendingFor(seq, op, scale, cost)
+	if p.posted == 0 {
+		p.shared = shared
+	} else if p.shared != shared {
+		panic(fmt.Sprintf("comm: collective ordering violation at seq %d: shared and destination-passing %v mixed", seq, op))
+	}
+	p.ins[rank] = in
+	p.dsts[rank] = dst
+	if clk > p.tmax {
+		p.tmax = clk
+	}
+	p.posted++
+	if p.posted == len(g.devices) {
+		g.complete(p)
+	}
+	g.mu.Unlock()
+	return Handle{g: g, p: p, rank: rank}
+}
+
+// waitShared is Wait for the legacy shared-result protocol, returning
+// this rank's result buffer.
+func (h Handle) waitShared() []float32 {
+	g := h.g
+	g.mu.Lock()
+	p := h.p
+	for !p.done {
+		g.cond.Wait()
+	}
+	completion := p.completion
+	out := p.dsts[h.rank]
+	p.waited++
+	if p.waited == len(g.devices) {
+		g.recycle(p)
+	}
+	d := g.devices[h.rank]
+	g.mu.Unlock()
+	d.AdvanceTo(completion, 0)
+	return out
+}
+
+// complete runs the collective's data movement into the destination
+// buffers and fixes its completion time on the group's communication
+// stream. Caller holds g.mu.
+func (g *Group) complete(p *pending) {
+	start := p.tmax
+	if g.streamFree > start {
+		start = g.streamFree
+	}
+	p.completion = start + p.cost
+	g.streamFree = p.completion
+
+	size := len(g.devices)
+	switch p.op {
+	case opAllGather:
+		n := len(p.ins[0])
+		for r, b := range p.ins {
 			if len(b) != n {
 				panic(fmt.Sprintf("comm: AllGather shard size mismatch at rank %d: %d vs %d", r, len(b), n))
 			}
-			full = append(full, b...)
 		}
-		out := make([][]float32, len(bufs))
-		for r := range out {
-			out[r] = full
-		}
-		return out
-	})
-}
-
-// AllReduceSum sums equal-length buffers elementwise, delivering the
-// sum to every rank. Accumulation is in float64 for reproducibility
-// independent of rank count.
-func (g *Group) AllReduceSum(rank int, buf []float32) []float32 {
-	cost := 2 * g.ringCost(4*len(buf)) // reduce-scatter + all-gather phases
-	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
-		sum := g.reduce(bufs)
-		out := make([]float32, len(sum))
-		for i, v := range sum {
-			out[i] = float32(v)
-		}
-		res := make([][]float32, len(bufs))
-		for r := range res {
-			res[r] = out
-		}
-		return res
-	})
-}
-
-// AllReduceMean averages equal-length buffers elementwise.
-func (g *Group) AllReduceMean(rank int, buf []float32) []float32 {
-	cost := 2 * g.ringCost(4*len(buf))
-	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
-		sum := g.reduce(bufs)
-		inv := 1 / float64(len(bufs))
-		out := make([]float32, len(sum))
-		for i, v := range sum {
-			out[i] = float32(v * inv)
-		}
-		res := make([][]float32, len(bufs))
-		for r := range res {
-			res[r] = out
-		}
-		return res
-	})
-}
-
-// ReduceScatterSum sums buffers elementwise and scatters contiguous
-// chunks: rank r receives chunk r of the sum. Buffer length must be
-// divisible by the group size.
-func (g *Group) ReduceScatterSum(rank int, buf []float32) []float32 {
-	p := len(g.devices)
-	if len(buf)%p != 0 {
-		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
-	}
-	cost := g.ringCost(4 * len(buf))
-	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
-		sum := g.reduce(bufs)
-		chunk := len(sum) / p
-		res := make([][]float32, p)
-		for r := 0; r < p; r++ {
-			out := make([]float32, chunk)
-			for i := range out {
-				out[i] = float32(sum[r*chunk+i])
+		if p.shared {
+			// Legacy protocol: one result buffer delivered to all ranks.
+			full := make([]float32, n*size)
+			for r, b := range p.ins {
+				copy(full[r*n:], b)
 			}
-			res[r] = out
-		}
-		return res
-	})
-}
-
-// ReduceScatterMean is ReduceScatterSum divided by the rank count —
-// the gradient-averaging step of FSDP's backward pass (paper Fig. 2b).
-func (g *Group) ReduceScatterMean(rank int, buf []float32) []float32 {
-	p := len(g.devices)
-	if len(buf)%p != 0 {
-		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
-	}
-	cost := g.ringCost(4 * len(buf))
-	return g.exchange(rank, buf, cost, func(bufs [][]float32) [][]float32 {
-		sum := g.reduce(bufs)
-		inv := 1 / float64(p)
-		chunk := len(sum) / p
-		res := make([][]float32, p)
-		for r := 0; r < p; r++ {
-			out := make([]float32, chunk)
-			for i := range out {
-				out[i] = float32(sum[r*chunk+i] * inv)
+			for r := range p.dsts {
+				p.dsts[r] = full
 			}
-			res[r] = out
+			break
 		}
-		return res
-	})
-}
-
-// Broadcast delivers rank 0's buffer to every rank. All ranks must
-// pass buffers of the root's length (non-root contents are ignored),
-// mirroring MPI_Bcast semantics.
-func (g *Group) Broadcast(rank int, buf []float32) []float32 {
-	return g.exchange(rank, buf, g.ringCost(4*len(buf)), func(bufs [][]float32) [][]float32 {
-		res := make([][]float32, len(bufs))
-		for r := range res {
-			res[r] = bufs[0]
+		// Assemble once into the first destination, then replicate with
+		// bulk copies instead of re-walking the shards per rank.
+		first := p.dsts[0]
+		for r, b := range p.ins {
+			copy(first[r*n:(r+1)*n], b)
 		}
-		return res
-	})
+		for _, dst := range p.dsts[1:] {
+			copy(dst, first)
+		}
+	case opReduce:
+		if size == 2 && !p.shared {
+			// Two-rank fast path: one fused pass, no float64 scratch.
+			// float64(a)+float64(b) is exactly the scratch accumulation
+			// 0+a+b, so results are bit-identical to the general path.
+			a, b := p.ins[0], p.ins[1]
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("comm: reduction size mismatch: %d vs %d", len(a), len(b)))
+			}
+			d0, d1 := p.dsts[0], p.dsts[1]
+			sc := p.scale
+			for i, av := range a {
+				v := float32((float64(av) + float64(b[i])) * sc)
+				d0[i] = v
+				d1[i] = v
+			}
+			break
+		}
+		sum := g.reduce(p.ins)
+		var first []float32
+		if p.shared {
+			first = make([]float32, len(sum))
+			for r := range p.dsts {
+				p.dsts[r] = first
+			}
+		} else {
+			first = p.dsts[0]
+		}
+		for i, v := range sum {
+			first[i] = float32(v * p.scale)
+		}
+		if !p.shared {
+			for _, dst := range p.dsts[1:] {
+				copy(dst, first)
+			}
+		}
+	case opReduceScatter:
+		if size == 2 && !p.shared {
+			// Two-rank fast path: each rank's chunk in one fused pass.
+			a, b := p.ins[0], p.ins[1]
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("comm: reduction size mismatch: %d vs %d", len(a), len(b)))
+			}
+			chunk := len(a) / 2
+			sc := p.scale
+			for r := 0; r < 2; r++ {
+				dst := p.dsts[r]
+				off := r * chunk
+				for i := 0; i < chunk; i++ {
+					dst[i] = float32((float64(a[off+i]) + float64(b[off+i])) * sc)
+				}
+			}
+			break
+		}
+		sum := g.reduce(p.ins)
+		chunk := len(sum) / size
+		for r := range p.dsts {
+			if p.shared {
+				p.dsts[r] = make([]float32, chunk)
+			}
+			dst := p.dsts[r]
+			off := r * chunk
+			for i := 0; i < chunk; i++ {
+				dst[i] = float32(sum[off+i] * p.scale)
+			}
+		}
+	case opBroadcast:
+		root := p.ins[0]
+		if p.shared {
+			// Legacy protocol: every rank receives the root's buffer.
+			for r := range p.dsts {
+				p.dsts[r] = root
+			}
+			break
+		}
+		for r, dst := range p.dsts {
+			if len(dst) != len(root) {
+				panic(fmt.Sprintf("comm: Broadcast buffer at rank %d has %d elements, root has %d", r, len(dst), len(root)))
+			}
+			copy(dst, root)
+		}
+	case opBarrier:
+		// No data movement.
+	}
+	p.done = true
+	g.cond.Broadcast()
 }
 
-// Barrier synchronizes all ranks (and their clocks) without moving
-// data.
-func (g *Group) Barrier(rank int) {
-	g.exchange(rank, nil, float64(len(g.devices)-1)*g.latency, func(bufs [][]float32) [][]float32 {
-		return make([][]float32, len(bufs))
-	})
-}
-
-// AllReduceScalar sums one float64 across ranks (loss reporting).
-func (g *Group) AllReduceScalar(rank int, v float64) float64 {
-	out := g.AllReduceSum(rank, []float32{float32(v)})
-	return float64(out[0])
-}
-
-// reduce sums rank buffers into the shared float64 scratch.
+// reduce sums rank buffers into the shared float64 scratch. Caller
+// holds g.mu; the scratch is fully consumed before the lock drops.
 func (g *Group) reduce(bufs [][]float32) []float64 {
 	n := len(bufs[0])
 	for r, b := range bufs {
@@ -260,4 +459,167 @@ func (g *Group) reduce(bufs [][]float32) []float64 {
 		}
 	}
 	return sum
+}
+
+// --- asynchronous collectives ---
+
+// IAllGather posts an all-gather: dst (length len(shard)×Size)
+// receives the rank-ordered concatenation of the shards. dst must not
+// overlap any rank's shard.
+func (g *Group) IAllGather(rank int, shard, dst []float32) Handle {
+	if len(dst) != len(shard)*len(g.devices) {
+		panic(fmt.Sprintf("comm: AllGather dst length %d, want %d×%d", len(dst), len(shard), len(g.devices)))
+	}
+	cost := g.ringCost(4 * len(shard) * len(g.devices))
+	return g.post(opAllGather, rank, shard, dst, 1, cost)
+}
+
+// IAllReduceSum posts an elementwise float64-accumulated sum of
+// equal-length buffers; dst (same length as buf) may alias buf for an
+// in-place reduction.
+func (g *Group) IAllReduceSum(rank int, buf, dst []float32) Handle {
+	if len(dst) != len(buf) {
+		panic(fmt.Sprintf("comm: AllReduce dst length %d, want %d", len(dst), len(buf)))
+	}
+	cost := 2 * g.ringCost(4*len(buf)) // reduce-scatter + all-gather phases
+	return g.post(opReduce, rank, buf, dst, 1, cost)
+}
+
+// IAllReduceMean is IAllReduceSum divided by the rank count.
+func (g *Group) IAllReduceMean(rank int, buf, dst []float32) Handle {
+	if len(dst) != len(buf) {
+		panic(fmt.Sprintf("comm: AllReduce dst length %d, want %d", len(dst), len(buf)))
+	}
+	cost := 2 * g.ringCost(4*len(buf))
+	return g.post(opReduce, rank, buf, dst, 1/float64(len(g.devices)), cost)
+}
+
+// IReduceScatterSum posts a sum reduction scattering contiguous
+// chunks: rank r's dst (length len(buf)/Size) receives chunk r. dst
+// may alias the rank's own chunk of buf
+// (buf[rank·chunk : (rank+1)·chunk]) but no other region.
+func (g *Group) IReduceScatterSum(rank int, buf, dst []float32) Handle {
+	return g.iReduceScatter(rank, buf, dst, 1)
+}
+
+// IReduceScatterMean is IReduceScatterSum divided by the rank count —
+// the gradient-averaging step of FSDP's backward pass (paper Fig. 2b).
+func (g *Group) IReduceScatterMean(rank int, buf, dst []float32) Handle {
+	return g.iReduceScatter(rank, buf, dst, 1/float64(len(g.devices)))
+}
+
+func (g *Group) iReduceScatter(rank int, buf, dst []float32, scale float64) Handle {
+	p := len(g.devices)
+	if len(buf)%p != 0 {
+		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
+	}
+	if len(dst) != len(buf)/p {
+		panic(fmt.Sprintf("comm: ReduceScatter dst length %d, want %d", len(dst), len(buf)/p))
+	}
+	cost := g.ringCost(4 * len(buf))
+	return g.post(opReduceScatter, rank, buf, dst, scale, cost)
+}
+
+// IBroadcast posts a broadcast of rank 0's buffer; every rank's dst
+// must have the root buffer's length (rank 0's dst may alias buf).
+func (g *Group) IBroadcast(rank int, buf, dst []float32) Handle {
+	return g.post(opBroadcast, rank, buf, dst, 1, g.ringCost(4*len(buf)))
+}
+
+// --- synchronous destination-passing collectives ---
+
+// AllGatherInto is the synchronous form of IAllGather.
+func (g *Group) AllGatherInto(rank int, shard, dst []float32) {
+	g.IAllGather(rank, shard, dst).Wait()
+}
+
+// AllReduceSumInto is the synchronous form of IAllReduceSum.
+func (g *Group) AllReduceSumInto(rank int, buf, dst []float32) {
+	g.IAllReduceSum(rank, buf, dst).Wait()
+}
+
+// AllReduceMeanInto is the synchronous form of IAllReduceMean.
+func (g *Group) AllReduceMeanInto(rank int, buf, dst []float32) {
+	g.IAllReduceMean(rank, buf, dst).Wait()
+}
+
+// ReduceScatterSumInto is the synchronous form of IReduceScatterSum.
+func (g *Group) ReduceScatterSumInto(rank int, buf, dst []float32) {
+	g.IReduceScatterSum(rank, buf, dst).Wait()
+}
+
+// ReduceScatterMeanInto is the synchronous form of IReduceScatterMean.
+func (g *Group) ReduceScatterMeanInto(rank int, buf, dst []float32) {
+	g.IReduceScatterMean(rank, buf, dst).Wait()
+}
+
+// BroadcastInto is the synchronous form of IBroadcast.
+func (g *Group) BroadcastInto(rank int, buf, dst []float32) {
+	g.IBroadcast(rank, buf, dst).Wait()
+}
+
+// Barrier synchronizes all ranks (and their clocks) without moving
+// data.
+func (g *Group) Barrier(rank int) {
+	g.post(opBarrier, rank, nil, nil, 1, float64(len(g.devices)-1)*g.latency).Wait()
+}
+
+// --- allocating convenience wrappers (legacy shared-result protocol:
+// one result buffer is built at completion and delivered to every
+// rank, so a p-rank collective costs one assembly, not p) ---
+
+// AllGather concatenates equal-length shards by rank order and
+// returns the full buffer to every rank. All ranks receive the same
+// freshly allocated backing buffer.
+func (g *Group) AllGather(rank int, shard []float32) []float32 {
+	cost := g.ringCost(4 * len(shard) * len(g.devices))
+	return g.postShared(opAllGather, rank, shard, 1, cost).waitShared()
+}
+
+// AllReduceSum sums equal-length buffers elementwise, delivering the
+// sum to every rank. Accumulation is in float64 for reproducibility
+// independent of rank count.
+func (g *Group) AllReduceSum(rank int, buf []float32) []float32 {
+	cost := 2 * g.ringCost(4*len(buf))
+	return g.postShared(opReduce, rank, buf, 1, cost).waitShared()
+}
+
+// AllReduceMean averages equal-length buffers elementwise.
+func (g *Group) AllReduceMean(rank int, buf []float32) []float32 {
+	cost := 2 * g.ringCost(4*len(buf))
+	return g.postShared(opReduce, rank, buf, 1/float64(len(g.devices)), cost).waitShared()
+}
+
+// ReduceScatterSum sums buffers elementwise and scatters contiguous
+// chunks: rank r receives chunk r of the sum. Buffer length must be
+// divisible by the group size.
+func (g *Group) ReduceScatterSum(rank int, buf []float32) []float32 {
+	p := len(g.devices)
+	if len(buf)%p != 0 {
+		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
+	}
+	return g.postShared(opReduceScatter, rank, buf, 1, g.ringCost(4*len(buf))).waitShared()
+}
+
+// ReduceScatterMean is ReduceScatterSum divided by the rank count.
+func (g *Group) ReduceScatterMean(rank int, buf []float32) []float32 {
+	p := len(g.devices)
+	if len(buf)%p != 0 {
+		panic(fmt.Sprintf("comm: ReduceScatter length %d not divisible by %d ranks", len(buf), p))
+	}
+	return g.postShared(opReduceScatter, rank, buf, 1/float64(p), g.ringCost(4*len(buf))).waitShared()
+}
+
+// Broadcast delivers rank 0's buffer to every rank. All ranks must
+// pass buffers of the root's length (non-root contents are ignored),
+// mirroring MPI_Bcast semantics; the returned slice is the root's
+// buffer itself.
+func (g *Group) Broadcast(rank int, buf []float32) []float32 {
+	return g.postShared(opBroadcast, rank, buf, 1, g.ringCost(4*len(buf))).waitShared()
+}
+
+// AllReduceScalar sums one float64 across ranks (loss reporting).
+func (g *Group) AllReduceScalar(rank int, v float64) float64 {
+	out := g.AllReduceSum(rank, []float32{float32(v)})
+	return float64(out[0])
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orbit/internal/cluster"
+	"orbit/internal/comm"
 	"orbit/internal/nn"
 	"orbit/internal/parallel"
 	"orbit/internal/tensor"
@@ -54,9 +55,28 @@ type Engine struct {
 	blockParams [][]*nn.Param
 	chunks      []*nn.Param // rank-owned FSDP chunk per block
 	gatherBytes []int64
+	flatLen     []int
 	actBytes    []int64
 	savedInputs []*tensor.Tensor
 	heldAct     int64
+
+	// Communication staging: pooled gather/flatten buffers and the
+	// in-flight handles of the asynchronous collectives, so parameter
+	// gathers prefetch ahead of compute and gradient reductions drain
+	// behind it (paper Sec. III-B "Prefetching").
+	pool      *comm.BufPool
+	gatherBuf [][]float32
+	gatherH   []comm.Handle
+	rsBuf     [][]float32
+	rsH       []comm.Handle
+	ddpH      []comm.Handle
+	// chunkSeen[b] is chunks[b].W.Version()+1 as of the last unflatten
+	// of block b (0 = never): when the rank's chunk hasn't changed, the
+	// gathered payload is bit-identical to what the staging replicas
+	// already hold — SPMD ranks step their optimizers together, so one
+	// rank's chunk version tracks the whole group's — and the unflatten
+	// copy is skipped. The collective itself still runs and is charged.
+	chunkSeen []uint64
 }
 
 // paramBytes is the functional engine's per-element staging cost:
@@ -95,6 +115,7 @@ func NewEngine(rank int, layout Layout, groups *Groups, ref []*nn.TransformerBlo
 		copy(chunk, flat[e.Coord.F*chunkLen:(e.Coord.F+1)*chunkLen])
 		e.chunks = append(e.chunks, nn.NewParam(fmt.Sprintf("hstop.block%d.chunk", i), tensor.FromSlice(chunk, chunkLen)))
 		e.gatherBytes = append(e.gatherBytes, int64(len(flat))*e.paramBytes())
+		e.flatLen = append(e.flatLen, len(flat))
 
 		// Rough per-block activation footprint: token embeddings at
 		// each of ~8 interior stages plus local attention maps.
@@ -113,6 +134,13 @@ func NewEngine(rank int, layout Layout, groups *Groups, ref []*nn.TransformerBlo
 		}
 	}
 	e.savedInputs = make([]*tensor.Tensor, len(ref))
+	e.pool = comm.NewBufPool()
+	e.gatherBuf = make([][]float32, len(ref))
+	e.gatherH = make([]comm.Handle, len(ref))
+	e.rsBuf = make([][]float32, len(ref))
+	e.rsH = make([]comm.Handle, len(ref))
+	e.ddpH = make([]comm.Handle, len(ref))
+	e.chunkSeen = make([]uint64, len(ref))
 	return e, nil
 }
 
@@ -123,43 +151,74 @@ const dimTokensHint = 64
 // Chunks exposes the rank-owned parameter chunks for the optimizer.
 func (e *Engine) Chunks() []*nn.Param { return e.chunks }
 
-// gatherBlock materializes block b's full TP-shard parameters from
-// the FSDP group. Unlike vanilla FSDP this gathers a 1/TP shard, not
-// the full model — the core memory advantage of Hybrid-STOP.
-func (e *Engine) gatherBlock(b int) error {
+// postGather accounts block b's gather memory and posts the FSDP
+// all-gather of its TP-shard parameters into a pooled staging buffer.
+// Unlike vanilla FSDP this gathers a 1/TP shard, not the full model —
+// the core memory advantage of Hybrid-STOP.
+func (e *Engine) postGather(b int) error {
 	if e.Device != nil {
 		if err := e.Device.Alloc(e.gatherBytes[b]); err != nil {
 			return err
 		}
 	}
-	full := e.Groups.FSDP.AllGather(e.Coord.F, e.chunks[b].W.Data())
-	parallel.UnflattenInto(full, e.blockParams[b])
+	buf := e.pool.Get(e.flatLen[b])
+	e.gatherBuf[b] = buf
+	e.gatherH[b] = e.Groups.FSDP.IAllGather(e.Coord.F, e.chunks[b].W.Data(), buf)
 	return nil
 }
 
-// releaseBlock frees block b's gathered staging copy.
+// waitGather completes block b's in-flight gather and materializes
+// the full shard parameters into the staging replica. The unflatten
+// copy is skipped while the rank's chunk version is unchanged (see
+// chunkSeen) — the gathered bytes are identical to what the replica
+// already holds.
+func (e *Engine) waitGather(b int) {
+	e.gatherH[b].Wait()
+	if seen := e.chunks[b].W.Version() + 1; e.chunkSeen[b] != seen {
+		parallel.UnflattenInto(e.gatherBuf[b], e.blockParams[b])
+		e.chunkSeen[b] = seen
+	}
+}
+
+// releaseBlock frees block b's gathered staging copy, returning the
+// buffer to the pool.
 func (e *Engine) releaseBlock(b int) {
 	if e.Device != nil {
 		e.Device.Free(e.gatherBytes[b])
 	}
+	e.pool.Put(e.gatherBuf[b])
+	e.gatherBuf[b] = nil
 }
 
 // Forward runs the rank's local sample through the sharded stack.
 // Ranks in the same TP group must pass identical x (they share the
 // data batch); ranks differing in F or D pass their own samples.
+// With Prefetch, the next block's parameter gather is posted before
+// the current block computes, hiding the transfer behind compute.
 func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !e.Opts.LayerWrapping {
 		for b := range e.blocks {
-			if err := e.gatherBlock(b); err != nil {
+			if err := e.postGather(b); err != nil {
 				return nil, err
 			}
+		}
+		for b := range e.blocks {
+			e.waitGather(b)
 		}
 	}
 	for b, blk := range e.blocks {
 		if e.Opts.LayerWrapping {
-			if err := e.gatherBlock(b); err != nil {
-				return nil, err
+			if e.gatherBuf[b] == nil {
+				if err := e.postGather(b); err != nil {
+					return nil, err
+				}
 			}
+			if e.Opts.Prefetch && b+1 < len(e.blocks) && e.gatherBuf[b+1] == nil {
+				if err := e.postGather(b + 1); err != nil {
+					return nil, err
+				}
+			}
+			e.waitGather(b)
 		}
 		if e.Opts.ActivationCheckpoint {
 			// Keep only the block input; interior activations are
@@ -183,38 +242,69 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Backward propagates dy through the stack in reverse: per block it
-// re-gathers the shard (paper Fig. 3b), optionally recomputes the
-// forward (activation checkpointing), computes shard gradients,
-// averages them over the FSDP group with reduce-scatter, and finally
-// averages the chunk gradients across the DDP group. Gradients land
-// in Chunks()[b].Grad.
+// re-gathers the shard (paper Fig. 3b, prefetching the next block's
+// gather while the current one computes), optionally recomputes the
+// forward (activation checkpointing), computes shard gradients, and
+// posts their FSDP reduce-scatter asynchronously so the reduction
+// overlaps earlier blocks' backward compute; all reductions are
+// drained before the outer DDP-group averaging. Gradients land in
+// Chunks()[b].Grad, complete when Backward returns.
 func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 	for b := len(e.blocks) - 1; b >= 0; b-- {
 		if e.Opts.LayerWrapping {
-			if err := e.gatherBlock(b); err != nil {
-				return nil, err
+			if e.gatherBuf[b] == nil {
+				if err := e.postGather(b); err != nil {
+					return nil, err
+				}
 			}
+			if e.Opts.Prefetch && b > 0 && e.gatherBuf[b-1] == nil {
+				if err := e.postGather(b - 1); err != nil {
+					return nil, err
+				}
+			}
+			// The re-gather's collective ran (and charged the simulated
+			// clocks), but its payload is bit-identical to what Forward
+			// already unflattened — chunks only change at optimizer
+			// steps — so the unflatten copy is skipped.
+			e.gatherH[b].Wait()
 		}
-		if e.Opts.ActivationCheckpoint {
-			// Recompute the forward segment to rebuild layer caches
-			// (trading compute for memory, Sec. III-B).
-			e.blocks[b].Forward(e.savedInputs[b])
-		} else if e.Device != nil {
+		if !e.Opts.ActivationCheckpoint && e.Device != nil {
 			e.Device.Free(e.actBytes[b])
 			e.heldAct -= e.actBytes[b]
 		}
+		// With activation checkpointing the real system would recompute
+		// the block forward here (trading compute for memory,
+		// Sec. III-B); the functional engine's module caches are still
+		// resident from Forward — each rank runs one sample per step,
+		// so nothing has overwritten them — and the recompute would
+		// reproduce bit-identical values. The memory model above still
+		// reflects the discard, and the analytic model (internal/perf)
+		// charges the recompute FLOPs; re-running it functionally would
+		// only burn host time. (parallel.Pipeline must recompute: its
+		// stages stream several micro-batches through the same blocks,
+		// clobbering the caches.)
 		nn.ZeroGrads(e.blockParams[b])
 		dy = e.blocks[b].Backward(dy)
-		flat := parallel.FlattenGrads(e.blockParams[b], e.Groups.FSDP.Size())
-		chunk := e.Groups.FSDP.ReduceScatterMean(e.Coord.F, flat)
-		copy(e.chunks[b].Grad.Data(), chunk)
+		flat := parallel.FlattenGradsInto(e.pool.Get(e.flatLen[b]), e.blockParams[b])
+		e.rsBuf[b] = flat
+		e.rsH[b] = e.Groups.FSDP.IReduceScatterMean(e.Coord.F, flat, e.chunks[b].Grad.Data())
 		e.releaseBlock(b)
 	}
-	// Outer DDP level: one gradient reduction per step (Fig. 4).
+	for b := range e.blocks {
+		if e.rsBuf[b] != nil {
+			e.rsH[b].Wait()
+			e.pool.Put(e.rsBuf[b])
+			e.rsBuf[b] = nil
+		}
+	}
+	// Outer DDP level: one gradient reduction per step (Fig. 4), all
+	// chunks posted in flight together and drained in order.
 	if e.Groups.DDP.Size() > 1 {
-		for _, c := range e.chunks {
-			avg := e.Groups.DDP.AllReduceMean(e.Coord.D, c.Grad.Data())
-			copy(c.Grad.Data(), avg)
+		for i, c := range e.chunks {
+			e.ddpH[i] = e.Groups.DDP.IAllReduceMean(e.Coord.D, c.Grad.Data(), c.Grad.Data())
+		}
+		for i := range e.chunks {
+			e.ddpH[i].Wait()
 		}
 	}
 	return dy, nil

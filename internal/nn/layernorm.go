@@ -28,6 +28,7 @@ type LayerNorm struct {
 	rstd []float64      // cached reciprocal std per row
 	out  *tensor.Tensor // owned output buffer
 	dx   *tensor.Tensor // owned input-gradient buffer
+	dh   []float64      // per-row backward scratch (dy ⊙ γ)
 }
 
 // NewLayerNorm builds a layer norm over vectors of length dim with
@@ -98,23 +99,28 @@ func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := l.Gamma.W.Data()
 	dg, db := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
 	dyd, hd, dxd := dy.Data(), l.xhat.Data(), l.dx.Data()
+	if cap(l.dh) < dim {
+		l.dh = make([]float64, dim)
+	}
+	dh := l.dh[:dim]
+	invD := 1 / float64(dim)
 	for r := 0; r < rows; r++ {
 		dyr := dyd[r*dim : (r+1)*dim]
-		hr := hd[r*dim : (r+1)*dim]
-		dxr := dxd[r*dim : (r+1)*dim]
+		hr := hd[r*dim : (r+1)*dim][:dim]
+		dxr := dxd[r*dim : (r+1)*dim][:dim]
 		var sumDh, sumDhH float64
-		for c := 0; c < dim; c++ {
-			dh := float64(dyr[c]) * float64(g[c])
-			sumDh += dh
-			sumDhH += dh * float64(hr[c])
-			dg[c] += dyr[c] * hr[c]
-			db[c] += dyr[c]
+		for c, dyv := range dyr {
+			d := float64(dyv) * float64(g[c])
+			dh[c] = d
+			sumDh += d
+			sumDhH += d * float64(hr[c])
+			dg[c] += dyv * hr[c]
+			db[c] += dyv
 		}
 		rstd := l.rstd[r]
-		invD := 1 / float64(dim)
-		for c := 0; c < dim; c++ {
-			dh := float64(dyr[c]) * float64(g[c])
-			dxr[c] = float32(rstd * (dh - invD*sumDh - float64(hr[c])*invD*sumDhH))
+		a, b := invD*sumDh, invD*sumDhH
+		for c, d := range dh {
+			dxr[c] = float32(rstd * (d - a - float64(hr[c])*b))
 		}
 	}
 	return l.dx

@@ -18,6 +18,14 @@ type Linear struct {
 	x  *tensor.Tensor // cached input for backward
 	y  *tensor.Tensor // owned output buffer
 	dx *tensor.Tensor // owned input-gradient buffer
+
+	// wt caches the packed transpose of Weight (the dot kernel's
+	// operand layout), valid while wtVer == Weight.W.Version()+1.
+	// Weights only change at optimizer steps / weight loads, so the
+	// forward matmul skips its per-call repack in steady state —
+	// llama.go's persistent-context idiom.
+	wt    []float32
+	wtVer uint64
 }
 
 // NewLinear builds a linear layer with Xavier-uniform weights and zero
@@ -53,13 +61,24 @@ func NewLinearFromWeights(name string, w, b *tensor.Tensor) *Linear {
 // matmul store so no intermediate is materialized.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkRank("Linear", x, 2)
+	if x.Dim(1) != l.In {
+		panic("nn: Linear input dimension mismatch")
+	}
 	l.x = x
 	l.y = tensor.Ensure(l.y, x.Dim(0), l.Out)
-	if l.Bias != nil {
-		tensor.MatMulBiasInto(l.y, x, l.Weight.W, l.Bias.W)
-	} else {
-		tensor.MatMulInto(l.y, x, l.Weight.W)
+	if l.wtVer != l.Weight.W.Version()+1 {
+		if cap(l.wt) < l.In*l.Out {
+			l.wt = make([]float32, l.In*l.Out)
+		}
+		l.wt = l.wt[:l.In*l.Out]
+		tensor.PackTransposedInto(l.wt, l.Weight.W)
+		l.wtVer = l.Weight.W.Version() + 1
 	}
+	var bias *tensor.Tensor
+	if l.Bias != nil {
+		bias = l.Bias.W
+	}
+	tensor.MatMulPackedBInto(l.y, x, l.wt, l.Out, bias)
 	return l.y
 }
 

@@ -54,11 +54,16 @@ func checkParamGrads(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
 		step := n/8 + 1
 		for i := 0; i < n; i += step {
 			orig := p.W.Data()[i]
+			// Raw Data() writes must Bump so version-keyed kernel
+			// caches (the linear packed-weight transpose) refresh.
 			p.W.Data()[i] = orig + eps
+			p.W.Bump()
 			lp := tensor.Dot(layer.Forward(x), g)
 			p.W.Data()[i] = orig - eps
+			p.W.Bump()
 			lm := tensor.Dot(layer.Forward(x), g)
 			p.W.Data()[i] = orig
+			p.W.Bump()
 			num := (lp - lm) / (2 * eps)
 			got := float64(p.Grad.Data()[i])
 			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
@@ -358,10 +363,13 @@ func TestLeadTimeEmbeddingGradients(t *testing.T) {
 	for i := 0; i < p.W.Len(); i += p.W.Len()/6 + 1 {
 		orig := p.W.Data()[i]
 		p.W.Data()[i] = orig + eps
+		p.W.Bump()
 		lp := tensor.Dot(l.ForwardWithLead(x, 48), g)
 		p.W.Data()[i] = orig - eps
+		p.W.Bump()
 		lm := tensor.Dot(l.ForwardWithLead(x, 48), g)
 		p.W.Data()[i] = orig
+		p.W.Bump()
 		num := (lp - lm) / (2 * eps)
 		got := float64(p.Grad.Data()[i])
 		if math.Abs(num-got) > 1e-2*(1+math.Abs(num)) {

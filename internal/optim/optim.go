@@ -68,6 +68,7 @@ func (a *AdamW) Step(lr float64) {
 			upd := lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*float64(w[j]))
 			w[j] = float32(float64(w[j]) - upd)
 		}
+		p.W.Bump()
 	}
 }
 
@@ -107,6 +108,7 @@ func (s *SGD) Step(lr float64) {
 			v[j] = float32(vj)
 			w[j] = float32(float64(w[j]) - lr*vj)
 		}
+		p.W.Bump()
 	}
 }
 

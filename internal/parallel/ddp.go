@@ -8,37 +8,158 @@ import (
 // DDP implements distributed data parallelism (paper Sec. III-B,
 // "Hierarchical Parallelism"): every rank holds a full model replica
 // and processes a different data shard; after the local backward pass,
-// gradients are averaged with a single all-reduce per step — the
-// coarsest, cheapest level of parallelism in the ORBIT hierarchy.
+// gradients are averaged across replicas — the coarsest, cheapest
+// level of parallelism in the ORBIT hierarchy.
+//
+// Gradients are coalesced into fixed-size flat buckets, assigned in
+// reverse parameter order so the buckets fill in roughly the order
+// backward produces gradients. A caller that reports gradients as
+// they become final (GradReady, in the same order on every rank)
+// gets each bucket's all-reduce posted the moment its last gradient
+// lands, overlapping the reduction with the backward compute of
+// earlier layers — torch-DDP's bucketing strategy on the simulated
+// machine. AllReduceGradients remains as the one-shot form.
 type DDP struct {
 	Rank   int
 	Group  *comm.Group
 	Params []*nn.Param
+
+	buckets  []*gradBucket
+	bucketOf map[*nn.Param]*gradBucket
+	offsetOf map[*nn.Param]int
 }
 
-// NewDDP wraps a rank's model replica parameters.
-func NewDDP(rank int, group *comm.Group, params []*nn.Param) *DDP {
-	return &DDP{Rank: rank, Group: group, Params: params}
+// gradBucket is one coalesced slab of gradients and its in-flight
+// all-reduce state. The flat buffer doubles as the in-place
+// destination, so a steady-state sync allocates nothing.
+type gradBucket struct {
+	params []*nn.Param
+	flat   []float32
+	ready  int
+	posted bool
+	handle comm.Handle
 }
+
+// DefaultBucketBytes is the coalescing target per bucket (matching
+// torch DDP's 25 MB default order of magnitude, scaled to the
+// simulated models).
+const DefaultBucketBytes = 1 << 20
+
+// NewDDP wraps a rank's model replica parameters with the default
+// bucket size.
+func NewDDP(rank int, group *comm.Group, params []*nn.Param) *DDP {
+	return NewBucketedDDP(rank, group, params, DefaultBucketBytes)
+}
+
+// NewBucketedDDP wraps replica parameters, coalescing gradients into
+// buckets of at most bucketBytes (each bucket holds at least one
+// parameter). All ranks must use the same parameter order and bucket
+// size.
+func NewBucketedDDP(rank int, group *comm.Group, params []*nn.Param, bucketBytes int) *DDP {
+	d := &DDP{
+		Rank:     rank,
+		Group:    group,
+		Params:   params,
+		bucketOf: make(map[*nn.Param]*gradBucket, len(params)),
+		offsetOf: make(map[*nn.Param]int, len(params)),
+	}
+	capFloats := bucketBytes / 4
+	if capFloats < 1 {
+		capFloats = 1
+	}
+	var cur *gradBucket
+	used := 0
+	// Reverse parameter order: the last layers' gradients are produced
+	// first during backward, so their bucket closes (and posts) first.
+	for i := len(params) - 1; i >= 0; i-- {
+		p := params[i]
+		if cur == nil || (used > 0 && used+p.Grad.Len() > capFloats) {
+			cur = &gradBucket{}
+			d.buckets = append(d.buckets, cur)
+			used = 0
+		}
+		cur.params = append(cur.params, p)
+		d.bucketOf[p] = cur
+		d.offsetOf[p] = used
+		used += p.Grad.Len()
+	}
+	for _, b := range d.buckets {
+		n := 0
+		for _, p := range b.params {
+			n += p.Grad.Len()
+		}
+		b.flat = make([]float32, n)
+	}
+	return d
+}
+
+// NumBuckets reports the gradient bucket count (diagnostics/tests).
+func (d *DDP) NumBuckets() int { return len(d.buckets) }
 
 // SyncInitialWeights broadcasts rank 0's weights so all replicas start
 // identical, as torch DDP does at construction.
 func (d *DDP) SyncInitialWeights() {
 	flat := FlattenParams(d.Params, 1)
-	flat = d.Group.Broadcast(d.Rank, flat)
+	d.Group.BroadcastInto(d.Rank, flat, flat)
 	UnflattenInto(flat, d.Params)
 }
 
-// AllReduceGradients averages accumulated gradients across replicas.
-// Call after the local backward pass, before the optimizer step.
-func (d *DDP) AllReduceGradients() {
-	flat := FlattenGrads(d.Params, 1)
-	flat = d.Group.AllReduceMean(d.Rank, flat)
-	off := 0
-	for _, p := range d.Params {
-		copy(p.Grad.Data(), flat[off:off+p.Grad.Len()])
-		off += p.Grad.Len()
+// GradReady marks p's gradient as final. When the last gradient of a
+// bucket arrives, the bucket is packed and its averaging all-reduce
+// posted immediately, overlapping with the caller's remaining
+// backward compute. Every rank must mark gradients in the same order
+// (SPMD); each parameter must be marked exactly once per sync cycle,
+// ended by FinishGradSync.
+func (d *DDP) GradReady(p *nn.Param) {
+	b := d.bucketOf[p]
+	b.ready++
+	if b.ready == len(b.params) {
+		d.postBucket(b)
 	}
+}
+
+// postBucket packs a bucket's gradients and posts its in-place
+// averaging all-reduce.
+func (d *DDP) postBucket(b *gradBucket) {
+	for _, p := range b.params {
+		copy(b.flat[d.offsetOf[p]:], p.Grad.Data())
+	}
+	b.handle = d.Group.IAllReduceMean(d.Rank, b.flat, b.flat)
+	b.posted = true
+}
+
+// FinishGradSync waits for all bucket reductions, scatters the
+// averaged gradients back into the parameters, and resets the buckets
+// for the next cycle. Buckets whose gradients were never marked ready
+// are posted here, so a caller that skips GradReady entirely still
+// gets a correct (unoverlapped) sync.
+func (d *DDP) FinishGradSync() {
+	for _, b := range d.buckets {
+		if !b.posted {
+			d.postBucket(b)
+		}
+	}
+	for _, b := range d.buckets {
+		b.handle.Wait()
+		for _, p := range b.params {
+			off := d.offsetOf[p]
+			copy(p.Grad.Data(), b.flat[off:off+p.Grad.Len()])
+		}
+		b.ready = 0
+		b.posted = false
+	}
+}
+
+// AllReduceGradients averages accumulated gradients across replicas
+// in one shot. Call after the local backward pass, before the
+// optimizer step. Equivalent to marking every gradient ready and
+// finishing the sync; per-element numerics are identical to the
+// unbucketed single all-reduce (float64 accumulation per element).
+func (d *DDP) AllReduceGradients() {
+	for i := len(d.Params) - 1; i >= 0; i-- {
+		d.GradReady(d.Params[i])
+	}
+	d.FinishGradSync()
 }
 
 // AverageLoss returns the mean loss across replicas, for logging.

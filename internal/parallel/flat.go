@@ -21,41 +21,57 @@ import (
 // padded with zeros to a multiple of `multiple` so it can be sharded
 // evenly. The layout is the natural parameter order.
 func FlattenParams(params []*nn.Param, multiple int) []float32 {
-	n := 0
-	for _, p := range params {
-		n += p.W.Len()
-	}
-	padded := ((n + multiple - 1) / multiple) * multiple
-	flat := make([]float32, padded)
+	return FlattenParamsInto(make([]float32, NumelPadded(params, multiple)), params)
+}
+
+// FlattenParamsInto is the destination-passing FlattenParams: dst must
+// have the NumelPadded length and is returned for convenience. The
+// padding tail is zeroed explicitly so pooled (dirty) buffers shard
+// identically to fresh ones.
+func FlattenParamsInto(dst []float32, params []*nn.Param) []float32 {
 	off := 0
 	for _, p := range params {
-		copy(flat[off:], p.W.Data())
+		copy(dst[off:], p.W.Data())
 		off += p.W.Len()
 	}
-	return flat
+	if off > len(dst) {
+		panic(fmt.Sprintf("parallel: flat destination too short: %d < %d", len(dst), off))
+	}
+	for i := off; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // FlattenGrads is FlattenParams for the gradient tensors.
 func FlattenGrads(params []*nn.Param, multiple int) []float32 {
-	n := 0
-	for _, p := range params {
-		n += p.Grad.Len()
-	}
-	padded := ((n + multiple - 1) / multiple) * multiple
-	flat := make([]float32, padded)
-	off := 0
-	for _, p := range params {
-		copy(flat[off:], p.Grad.Data())
-		off += p.Grad.Len()
-	}
-	return flat
+	return FlattenGradsInto(make([]float32, NumelPadded(params, multiple)), params)
 }
 
-// UnflattenInto copies a flat vector back into parameter weights.
+// FlattenGradsInto is the destination-passing FlattenGrads.
+func FlattenGradsInto(dst []float32, params []*nn.Param) []float32 {
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.Grad.Data())
+		off += p.Grad.Len()
+	}
+	if off > len(dst) {
+		panic(fmt.Sprintf("parallel: flat destination too short: %d < %d", len(dst), off))
+	}
+	for i := off; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// UnflattenInto copies a flat vector back into parameter weights,
+// bumping each weight tensor's version (the values may differ, so
+// version-keyed kernel caches must refresh).
 func UnflattenInto(flat []float32, params []*nn.Param) {
 	off := 0
 	for _, p := range params {
 		copy(p.W.Data(), flat[off:off+p.W.Len()])
+		p.W.Bump()
 		off += p.W.Len()
 	}
 	if off > len(flat) {

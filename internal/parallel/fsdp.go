@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"strconv"
+
 	"orbit/internal/cluster"
 	"orbit/internal/comm"
 	"orbit/internal/nn"
@@ -11,8 +13,18 @@ import (
 // paper's Fig. 2: both data batches and model parameters are sharded
 // across the group. Each rank persistently owns a 1/R chunk of every
 // unit's flattened parameters; full parameters are materialized by
-// all-gather when needed and discarded afterwards, and gradients are
+// all-gather when needed and released afterwards, and gradients are
 // averaged and re-sharded with reduce-scatter.
+//
+// Gather staging buffers come from a per-rank buffer pool and are
+// returned on release instead of dropped to the GC, so steady-state
+// steps allocate nothing. Parameter all-gathers are posted
+// asynchronously: with Prefetch enabled the next unit's gather is in
+// flight while the current unit computes (paper Sec. III-B
+// "Prefetching"), and each unit's gradient reduce-scatter is posted as
+// soon as its backward finishes and only waited at the end of the
+// backward pass, overlapping gradient communication with earlier
+// units' backward compute.
 //
 // When LayerWrapping is false the engine gathers the whole model at
 // once — the vanilla behaviour whose peak memory use limits FSDP's
@@ -26,20 +38,47 @@ type FSDP struct {
 	Units []nn.Layer
 	// LayerWrapping gathers per unit instead of the whole model.
 	LayerWrapping bool
+	// Prefetch posts the next unit's parameter all-gather before the
+	// current unit's compute so the transfer overlaps with it. Only
+	// meaningful with LayerWrapping; it raises the gathered-parameter
+	// footprint from one unit to two.
+	Prefetch bool
 	// Device, when non-nil, accounts shard and gather memory.
 	Device *cluster.Device
 
 	shardParams []*nn.Param // authoritative chunk per unit (optimizer state)
 	unitParams  [][]*nn.Param
 	gatherBytes []int64
+	flatLen     []int
 	heldBytes   int64 // gathered bytes currently held
+
+	pool      *comm.BufPool
+	gatherBuf [][]float32 // in-flight or held gather staging, nil when released
+	gatherH   []comm.Handle
+	rsBuf     [][]float32 // in-flight reduce-scatter flat gradients
+	rsH       []comm.Handle
+	// shardSeen[u] is shardParams[u].W.Version()+1 as of the last
+	// unflatten (0 = never): while the rank's shard is unchanged the
+	// gathered payload is bit-identical to the staged replica — SPMD
+	// ranks step their optimizers together, so one rank's shard version
+	// tracks the whole group's — and the unflatten copy is skipped.
+	shardSeen []uint64
 }
 
 // NewFSDP shards the units' parameters across the group. All ranks
 // must construct from identical replica weights (same seed).
 func NewFSDP(rank int, group *comm.Group, units []nn.Layer, layerWrapping bool, dev *cluster.Device) (*FSDP, error) {
-	f := &FSDP{Rank: rank, Group: group, Units: units, LayerWrapping: layerWrapping, Device: dev}
+	f := &FSDP{
+		Rank: rank, Group: group, Units: units, LayerWrapping: layerWrapping, Device: dev,
+		pool: comm.NewBufPool(),
+	}
 	r := group.Size()
+	n := len(units)
+	f.gatherBuf = make([][]float32, n)
+	f.gatherH = make([]comm.Handle, n)
+	f.rsBuf = make([][]float32, n)
+	f.rsH = make([]comm.Handle, n)
+	f.shardSeen = make([]uint64, n)
 	for u, unit := range units {
 		params := unit.Params()
 		f.unitParams = append(f.unitParams, params)
@@ -50,6 +89,7 @@ func NewFSDP(rank int, group *comm.Group, units []nn.Layer, layerWrapping bool, 
 		p := nn.NewParam(unitName(u), tensor.FromSlice(chunk, chunkLen))
 		f.shardParams = append(f.shardParams, p)
 		f.gatherBytes = append(f.gatherBytes, int64(len(flat))*4)
+		f.flatLen = append(f.flatLen, len(flat))
 		if dev != nil {
 			// Persistent cost of the owned chunk (weights + grads).
 			if err := dev.Alloc(int64(chunkLen) * 8); err != nil {
@@ -60,30 +100,46 @@ func NewFSDP(rank int, group *comm.Group, units []nn.Layer, layerWrapping bool, 
 	return f, nil
 }
 
-func unitName(u int) string { return "fsdp.unit" + string(rune('0'+u%10)) }
+func unitName(u int) string { return "fsdp.unit" + strconv.Itoa(u) }
 
 // ShardParams exposes the rank-owned chunks for the optimizer.
 func (f *FSDP) ShardParams() []*nn.Param { return f.shardParams }
 
-// gatherUnit all-gathers unit u's parameters into the local replica.
-func (f *FSDP) gatherUnit(u int) error {
+// postGather accounts unit u's gather memory and posts its parameter
+// all-gather into a pooled staging buffer.
+func (f *FSDP) postGather(u int) error {
 	if f.Device != nil {
 		if err := f.Device.Alloc(f.gatherBytes[u]); err != nil {
 			return err
 		}
 		f.heldBytes += f.gatherBytes[u]
 	}
-	full := f.Group.AllGather(f.Rank, f.shardParams[u].W.Data())
-	UnflattenInto(full, f.unitParams[u])
+	buf := f.pool.Get(f.flatLen[u])
+	f.gatherBuf[u] = buf
+	f.gatherH[u] = f.Group.IAllGather(f.Rank, f.shardParams[u].W.Data(), buf)
 	return nil
 }
 
-// releaseUnit frees the gathered (non-shard) copy of unit u.
+// waitGather completes unit u's in-flight gather and materializes the
+// full parameters into the local replica. The unflatten copy is
+// skipped while the rank's shard version is unchanged (see shardSeen).
+func (f *FSDP) waitGather(u int) {
+	f.gatherH[u].Wait()
+	if seen := f.shardParams[u].W.Version() + 1; f.shardSeen[u] != seen {
+		UnflattenInto(f.gatherBuf[u], f.unitParams[u])
+		f.shardSeen[u] = seen
+	}
+}
+
+// releaseUnit frees the gathered (non-shard) copy of unit u, returning
+// the staging buffer to the pool.
 func (f *FSDP) releaseUnit(u int) {
 	if f.Device != nil {
 		f.Device.Free(f.gatherBytes[u])
 		f.heldBytes -= f.gatherBytes[u]
 	}
+	f.pool.Put(f.gatherBuf[u])
+	f.gatherBuf[u] = nil
 }
 
 // Forward chains the units over x, gathering parameters on demand.
@@ -93,16 +149,27 @@ func (f *FSDP) releaseUnit(u int) {
 func (f *FSDP) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !f.LayerWrapping {
 		for u := range f.Units {
-			if err := f.gatherUnit(u); err != nil {
+			if err := f.postGather(u); err != nil {
 				return nil, err
 			}
+		}
+		for u := range f.Units {
+			f.waitGather(u)
 		}
 	}
 	for u, unit := range f.Units {
 		if f.LayerWrapping {
-			if err := f.gatherUnit(u); err != nil {
-				return nil, err
+			if f.gatherBuf[u] == nil {
+				if err := f.postGather(u); err != nil {
+					return nil, err
+				}
 			}
+			if f.Prefetch && u+1 < len(f.Units) && f.gatherBuf[u+1] == nil {
+				if err := f.postGather(u + 1); err != nil {
+					return nil, err
+				}
+			}
+			f.waitGather(u)
 		}
 		x = unit.Forward(x)
 		if f.LayerWrapping {
@@ -114,20 +181,41 @@ func (f *FSDP) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // Backward propagates dy through the units in reverse, averaging each
 // unit's gradients across the group with reduce-scatter; the rank's
-// chunk gradient lands in ShardParams()[u].Grad. Returns dL/dx.
+// chunk gradient lands in ShardParams()[u].Grad (complete once
+// Backward returns — the reductions are posted per unit and waited
+// together at the end). Returns dL/dx.
 func (f *FSDP) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 	for u := len(f.Units) - 1; u >= 0; u-- {
 		if f.LayerWrapping {
-			if err := f.gatherUnit(u); err != nil {
-				return nil, err
+			if f.gatherBuf[u] == nil {
+				if err := f.postGather(u); err != nil {
+					return nil, err
+				}
 			}
+			if f.Prefetch && u > 0 && f.gatherBuf[u-1] == nil {
+				if err := f.postGather(u - 1); err != nil {
+					return nil, err
+				}
+			}
+			// The re-gather's collective ran (and charged the simulated
+			// clocks), but its payload is bit-identical to what Forward
+			// already unflattened — shards only change at optimizer
+			// steps — so the unflatten copy is skipped.
+			f.gatherH[u].Wait()
 		}
 		nn.ZeroGrads(f.unitParams[u])
 		dy = f.Units[u].Backward(dy)
-		flatGrad := FlattenGrads(f.unitParams[u], f.Group.Size())
-		chunk := f.Group.ReduceScatterMean(f.Rank, flatGrad)
-		copy(f.shardParams[u].Grad.Data(), chunk)
+		flat := FlattenGradsInto(f.pool.Get(f.flatLen[u]), f.unitParams[u])
+		f.rsBuf[u] = flat
+		f.rsH[u] = f.Group.IReduceScatterMean(f.Rank, flat, f.shardParams[u].Grad.Data())
 		f.releaseUnit(u)
+	}
+	for u := range f.Units {
+		if f.rsBuf[u] != nil {
+			f.rsH[u].Wait()
+			f.pool.Put(f.rsBuf[u])
+			f.rsBuf[u] = nil
+		}
 	}
 	return dy, nil
 }

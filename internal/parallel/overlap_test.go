@@ -1,0 +1,278 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// --- DDP gradient bucketing ---
+
+// TestDDPBucketingMatchesSerial forces multiple small buckets and
+// drives the overlapped GradReady/FinishGradSync path per block in
+// backward order; the averaged gradients must equal the serial
+// reference exactly (per-element float64 accumulation is unchanged by
+// bucketing).
+func TestDDPBucketingMatchesSerial(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+
+	xs, targets := testBatch(141, ranks)
+	serial := buildStack(140)
+	serialForwardBackward(serial, xs, targets)
+
+	replicas := make([][]*nn.TransformerBlock, ranks)
+	engines := make([]*DDP, ranks)
+	for r := 0; r < ranks; r++ {
+		replicas[r] = buildStack(140)
+		// 256-byte buckets force many of them at the test model size.
+		engines[r] = NewBucketedDDP(r, g, stackParams(replicas[r]), 256)
+	}
+	if engines[0].NumBuckets() < 2 {
+		t.Fatalf("expected multiple buckets, got %d", engines[0].NumBuckets())
+	}
+
+	runSPMD(ranks, func(rank int) {
+		nn.ZeroGrads(engines[rank].Params)
+		h := xs[rank]
+		for _, b := range replicas[rank] {
+			h = b.Forward(h)
+		}
+		_, grad := mseLoss(h, targets[rank])
+		dy := grad
+		// Mark each block's gradients ready as its backward completes,
+		// posting bucket reductions while earlier blocks still compute.
+		for i := testLayers - 1; i >= 0; i-- {
+			dy = replicas[rank][i].Backward(dy)
+			ps := replicas[rank][i].Params()
+			for j := len(ps) - 1; j >= 0; j-- {
+				engines[rank].GradReady(ps[j])
+			}
+		}
+		engines[rank].FinishGradSync()
+	})
+
+	serialPs := stackParams(serial)
+	for r := 0; r < ranks; r++ {
+		ps := stackParams(replicas[r])
+		for i := range ps {
+			if !tensor.AllClose(ps[i].Grad, serialPs[i].Grad, 1e-4, 1e-5) {
+				t.Fatalf("rank %d param %s grad mismatch (max diff %g)",
+					r, ps[i].Name, tensor.MaxDiff(ps[i].Grad, serialPs[i].Grad))
+			}
+		}
+	}
+}
+
+// TestDDPBucketedEqualsOneShot pins the bucketed sync to the one-shot
+// AllReduceGradients numerics bit-for-bit.
+func TestDDPBucketedEqualsOneShot(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	gBig := comm.NewGroup(m.Devices)
+	gSmall := comm.NewGroup(m.Devices)
+
+	xs, targets := testBatch(151, ranks)
+	run := func(g *comm.Group, bucketBytes int) [][]*nn.Param {
+		replicas := make([][]*nn.TransformerBlock, ranks)
+		engines := make([]*DDP, ranks)
+		for r := 0; r < ranks; r++ {
+			replicas[r] = buildStack(150)
+			engines[r] = NewBucketedDDP(r, g, stackParams(replicas[r]), bucketBytes)
+		}
+		runSPMD(ranks, func(rank int) {
+			nn.ZeroGrads(engines[rank].Params)
+			h := xs[rank]
+			for _, b := range replicas[rank] {
+				h = b.Forward(h)
+			}
+			_, grad := mseLoss(h, targets[rank])
+			dy := grad
+			for i := testLayers - 1; i >= 0; i-- {
+				dy = replicas[rank][i].Backward(dy)
+			}
+			engines[rank].AllReduceGradients()
+		})
+		out := make([][]*nn.Param, ranks)
+		for r := range out {
+			out[r] = stackParams(replicas[r])
+		}
+		return out
+	}
+	oneShot := run(gBig, 1<<30) // single bucket
+	bucketed := run(gSmall, 128)
+	for r := 0; r < ranks; r++ {
+		for i := range oneShot[r] {
+			if !tensor.AllClose(oneShot[r][i].Grad, bucketed[r][i].Grad, 0, 0) {
+				t.Fatalf("rank %d param %s: bucketed sync differs from one-shot", r, oneShot[r][i].Name)
+			}
+		}
+	}
+}
+
+// --- FSDP prefetch ---
+
+// TestFSDPPrefetchMatchesSerial runs the layer-wrapped engine with
+// prefetching enabled over a deeper stack and checks gradients against
+// the serial reference — prefetch changes when gathers happen, never
+// what is computed.
+func TestFSDPPrefetchMatchesSerial(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+
+	const layers = 4
+	build := func() []*nn.TransformerBlock {
+		rng := tensor.NewRNG(160)
+		blocks := make([]*nn.TransformerBlock, layers)
+		for i := range blocks {
+			blocks[i] = nn.NewTransformerBlock("pf", testDim, testHeads, true, rng)
+		}
+		return blocks
+	}
+
+	engines := make([]*FSDP, ranks)
+	for r := 0; r < ranks; r++ {
+		blocks := build()
+		units := make([]nn.Layer, len(blocks))
+		for i, b := range blocks {
+			units[i] = b
+		}
+		e, err := NewFSDP(r, g, units, true, m.Devices[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Prefetch = true
+		engines[r] = e
+	}
+
+	xs, targets := testBatch(161, ranks)
+	serial := build()
+	nn.ZeroGrads(stackParams(serial))
+	var serialLoss float64
+	for i, x := range xs {
+		h := x
+		for _, b := range serial {
+			h = b.Forward(h)
+		}
+		loss, grad := mseLoss(h, targets[i])
+		serialLoss += loss
+		grad.ScaleInPlace(float32(1) / float32(len(xs)))
+		dy := grad
+		for j := len(serial) - 1; j >= 0; j-- {
+			dy = serial[j].Backward(dy)
+		}
+	}
+	serialLoss /= float64(len(xs))
+	serialFlat := make([][]float32, layers)
+	for u, b := range serial {
+		serialFlat[u] = FlattenGrads(b.Params(), ranks)
+	}
+
+	losses := make([]float64, ranks)
+	runSPMD(ranks, func(rank int) {
+		y, err := engines[rank].Forward(xs[rank])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		loss, grad := mseLoss(y, targets[rank])
+		losses[rank] = loss
+		if _, err := engines[rank].Backward(grad); err != nil {
+			t.Error(err)
+		}
+	})
+
+	meanLoss := (losses[0] + losses[1]) / 2
+	if math.Abs(meanLoss-serialLoss) > 1e-5 {
+		t.Errorf("prefetch FSDP loss %v vs serial %v", meanLoss, serialLoss)
+	}
+	for u := 0; u < layers; u++ {
+		chunk := len(serialFlat[u]) / ranks
+		for r := 0; r < ranks; r++ {
+			got := engines[r].ShardParams()[u].Grad.Data()
+			for i := 0; i < chunk; i++ {
+				want := serialFlat[u][r*chunk+i]
+				if math.Abs(float64(got[i]-want)) > 1e-5 {
+					t.Fatalf("unit %d rank %d grad[%d] = %v, want %v", u, r, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFSDPPrefetchHoldsAtMostTwoUnits: prefetch trades one extra
+// unit's gather footprint for overlap — never more.
+func TestFSDPPrefetchHoldsAtMostTwoUnits(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+	const layers = 4
+	engines := make([]*FSDP, ranks)
+	var perUnit int64
+	for r := 0; r < ranks; r++ {
+		rng := tensor.NewRNG(170)
+		units := make([]nn.Layer, layers)
+		for i := range units {
+			units[i] = nn.NewTransformerBlock("pk", testDim, testHeads, true, rng)
+		}
+		e, err := NewFSDP(r, g, units, true, m.Devices[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Prefetch = true
+		engines[r] = e
+		perUnit = e.gatherBytes[0]
+	}
+	base := m.MaxMemPeak()
+	xs, targets := testBatch(171, ranks)
+	runSPMD(ranks, func(rank int) {
+		y, _ := engines[rank].Forward(xs[rank])
+		_, grad := mseLoss(y, targets[rank])
+		engines[rank].Backward(grad)
+	})
+	gatherPeak := m.MaxMemPeak() - base
+	if gatherPeak > 2*perUnit {
+		t.Errorf("prefetch should hold at most 2 units' gathers (%d bytes), peak delta %d", 2*perUnit, gatherPeak)
+	}
+	if gatherPeak <= perUnit {
+		t.Errorf("prefetch should overlap two units' gathers, peak delta %d <= one unit %d", gatherPeak, perUnit)
+	}
+}
+
+// --- unit naming (regression: indices ≥ 10 used to collide) ---
+
+func TestFSDPUnitNamesUniqueBeyondTenUnits(t *testing.T) {
+	ranks := 2
+	m := cluster.NewMachine(cluster.Frontier(), 1, ranks)
+	g := comm.NewGroup(m.Devices)
+	const layers = 12
+	engines := make([]*FSDP, ranks)
+	for r := 0; r < ranks; r++ {
+		rng := tensor.NewRNG(180)
+		units := make([]nn.Layer, layers)
+		for i := range units {
+			units[i] = nn.NewLinear("u", 4, 4, true, rng)
+		}
+		e, err := NewFSDP(r, g, units, true, m.Devices[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = e
+	}
+	seen := map[string]bool{}
+	for _, p := range engines[0].ShardParams() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate FSDP unit param name %q across %d units", p.Name, layers)
+		}
+		seen[p.Name] = true
+	}
+	if len(seen) != layers {
+		t.Fatalf("expected %d distinct unit names, got %d", layers, len(seen))
+	}
+}

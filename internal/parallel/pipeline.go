@@ -17,6 +17,12 @@ import (
 // each stage recomputes its forward pass during backward instead of
 // holding per-micro-batch activations.
 //
+// Cross-stage sends are private copies (block outputs are module-owned
+// buffers overwritten by the next micro-batch), drawn from a shared
+// transfer pool and recycled once the receiving stage has consumed
+// them, so steady-state steps reuse the same transfer buffers instead
+// of allocating per micro-batch.
+//
 // Its scalability limit is structural: there cannot be more stages
 // than layers, which is exactly the constraint the paper contrasts
 // with Hybrid-STOP.
@@ -24,6 +30,33 @@ type Pipeline struct {
 	Stages [][]*nn.TransformerBlock
 	Devs   []*cluster.Device
 	links  []*stageLink
+	pool   transferPool
+
+	saved     [][]*tensor.Tensor // per stage, per micro-batch inputs
+	losses    []float64
+	lossGrads []*tensor.Tensor // written and read by the last stage only
+}
+
+// transferPool recycles cross-stage activation and gradient copies.
+// Unlike the per-rank workspaces it is shared by all stage goroutines,
+// hence the mutex.
+type transferPool struct {
+	mu sync.Mutex
+	ws *tensor.Workspace
+}
+
+func (p *transferPool) get(src *tensor.Tensor) *tensor.Tensor {
+	p.mu.Lock()
+	t := p.ws.Get(src.Shape()...)
+	p.mu.Unlock()
+	t.CopyFrom(src)
+	return t
+}
+
+func (p *transferPool) put(t *tensor.Tensor) {
+	p.mu.Lock()
+	p.ws.Put(t)
+	p.mu.Unlock()
 }
 
 // stageLink carries activations forward and gradients backward
@@ -43,7 +76,7 @@ func NewPipeline(blocks []*nn.TransformerBlock, stages int, devs []*cluster.Devi
 	if stages < 1 || (devs != nil && len(devs) < stages) {
 		return nil, fmt.Errorf("parallel: invalid stage/device configuration")
 	}
-	p := &Pipeline{}
+	p := &Pipeline{pool: transferPool{ws: tensor.NewWorkspace()}}
 	per := len(blocks) / stages
 	extra := len(blocks) % stages
 	idx := 0
@@ -95,6 +128,28 @@ func stageBackward(stage []*nn.TransformerBlock, saved *tensor.Tensor, dy *tenso
 	return dy
 }
 
+// ensureStep sizes the per-step bookkeeping for n micro-batches,
+// reusing prior allocations.
+func (p *Pipeline) ensureStep(n int) {
+	stages := len(p.Stages)
+	if cap(p.saved) < stages {
+		p.saved = make([][]*tensor.Tensor, stages)
+	}
+	p.saved = p.saved[:stages]
+	for s := range p.saved {
+		if cap(p.saved[s]) < n {
+			p.saved[s] = make([]*tensor.Tensor, n)
+		}
+		p.saved[s] = p.saved[s][:n]
+	}
+	if cap(p.losses) < n {
+		p.losses = make([]float64, n)
+		p.lossGrads = make([]*tensor.Tensor, n)
+	}
+	p.losses = p.losses[:n]
+	p.lossGrads = p.lossGrads[:n]
+}
+
 // Step streams the micro-batches through the pipeline: all forwards,
 // then all backwards in reverse micro-batch order (GPipe schedule).
 // lossGrad maps the final activation of micro-batch i to its loss and
@@ -102,12 +157,7 @@ func stageBackward(stage []*nn.TransformerBlock, saved *tensor.Tensor, dy *tenso
 // lossGrad scaling. Returns the mean loss.
 func (p *Pipeline) Step(xs []*tensor.Tensor, lossGrad func(i int, y *tensor.Tensor) (float64, *tensor.Tensor)) float64 {
 	stages := len(p.Stages)
-	saved := make([][]*tensor.Tensor, stages) // per stage, per micro-batch inputs
-	for s := range saved {
-		saved[s] = make([]*tensor.Tensor, len(xs))
-	}
-	losses := make([]float64, len(xs))
-	lossGrads := make([]*tensor.Tensor, len(xs)) // written and read by the last stage only
+	p.ensureStep(len(xs))
 
 	var wg sync.WaitGroup
 	for s := 0; s < stages; s++ {
@@ -123,47 +173,53 @@ func (p *Pipeline) Step(xs []*tensor.Tensor, lossGrad func(i int, y *tensor.Tens
 				} else {
 					in = <-p.links[s-1].fwd
 				}
-				saved[s][i] = in
+				p.saved[s][i] = in
 				out := stageForward(stage, in)
 				p.chargeTransfer(s, out)
 				if s < stages-1 {
-					// Block outputs are module-owned buffers overwritten
-					// by the next micro-batch, so the cross-stage send is
-					// a private copy — mirroring the real device-to-device
-					// activation transfer this link simulates.
-					p.links[s].fwd <- out.Clone()
+					// Private pooled copy: block outputs are module-owned
+					// buffers overwritten by the next micro-batch, so the
+					// cross-stage send gets its own storage — mirroring the
+					// real device-to-device activation transfer this link
+					// simulates.
+					p.links[s].fwd <- p.pool.get(out)
 				} else {
 					loss, grad := lossGrad(i, out)
-					losses[i] = loss
+					p.losses[i] = loss
 					// Private copy: gradients are held across the whole
 					// backward phase, and lossGrad implementations may
 					// legitimately reuse one workspace buffer per call
 					// (the module buffer-ownership convention).
-					lossGrads[i] = grad.Clone()
+					p.lossGrads[i] = p.pool.get(grad)
 				}
 			}
 			// Backward phase: reverse micro-batch order.
 			for i := len(xs) - 1; i >= 0; i-- {
 				var dy *tensor.Tensor
 				if s == stages-1 {
-					dy = lossGrads[i]
+					dy = p.lossGrads[i]
 				} else {
 					dy = <-p.links[s].bwd
 				}
-				dx := stageBackward(stage, saved[s][i], dy)
+				dx := stageBackward(stage, p.saved[s][i], dy)
+				// The incoming gradient and the saved input copy are fully
+				// consumed by the recompute+backward; recycle them.
+				p.pool.put(dy)
 				if s > 0 {
-					p.links[s-1].bwd <- dx.Clone()
+					p.links[s-1].bwd <- p.pool.get(dx)
+					p.pool.put(p.saved[s][i])
 				}
+				p.saved[s][i] = nil
 			}
 		}(s)
 	}
 	wg.Wait()
 
 	var total float64
-	for _, l := range losses {
+	for _, l := range p.losses {
 		total += l
 	}
-	return total / float64(len(xs))
+	return total / float64(len(p.losses))
 }
 
 // chargeTransfer accounts the activation transfer time on the sending

@@ -151,7 +151,11 @@ func (m *ShardedMLP) Params() []*nn.Param {
 // norms, sharded attention and MLP, with one all-reduce after each
 // sub-layer's partial output (forward) and one after each column-
 // parallel input gradient (backward) — four all-reduces per block per
-// step, the Megatron communication pattern.
+// step, the Megatron communication pattern. All reductions run in
+// place on the sub-layers' module-owned buffers and the residual sums
+// land in block-owned scratch, so a steady-state block step performs
+// no heap allocations (the module buffer-ownership convention of
+// package nn applies to Forward/Backward results).
 type TPBlock struct {
 	Rank  int
 	Group *comm.Group
@@ -160,6 +164,9 @@ type TPBlock struct {
 	Attn *ShardedAttention
 	LN2  *nn.LayerNorm
 	MLP  *ShardedMLP
+
+	h, y, dh, dx *tensor.Tensor // residual-sum scratch
+	qkFlat       []float32      // packed QK-norm gradient reduction
 }
 
 // NewTPBlock shards a serial reference block for this rank.
@@ -179,42 +186,73 @@ func NewTPBlock(rank int, group *comm.Group, ref *nn.TransformerBlock) *TPBlock 
 	return b
 }
 
-// allReduceTensor sums a tensor across the TP group in place.
-func (b *TPBlock) allReduceTensor(t *tensor.Tensor) *tensor.Tensor {
-	out := b.Group.AllReduceSum(b.Rank, t.Data())
-	return tensor.FromSlice(out, t.Shape()...)
+// allReduceInPlace sums a tensor across the TP group in place (the
+// reduction collectives permit dst aliasing the rank's input).
+func (b *TPBlock) allReduceInPlace(t *tensor.Tensor) *tensor.Tensor {
+	b.Group.AllReduceSumInto(b.Rank, t.Data(), t.Data())
+	return t
 }
 
-// Forward applies the block to replicated input [T, D].
+// Forward applies the block to replicated input [T, D]. The result is
+// a block-owned buffer, valid until this block's next Forward.
 func (b *TPBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	partial := b.Attn.Forward(b.LN1.Forward(x))
-	h := tensor.Add(x, b.allReduceTensor(partial))
-	partial = b.MLP.Forward(b.LN2.Forward(h))
-	return tensor.Add(h, b.allReduceTensor(partial))
+	partial := b.allReduceInPlace(b.Attn.Forward(b.LN1.Forward(x)))
+	b.h = tensor.Ensure(b.h, x.Shape()...)
+	tensor.AddInto(b.h, x, partial)
+	partial = b.allReduceInPlace(b.MLP.Forward(b.LN2.Forward(b.h)))
+	b.y = tensor.Ensure(b.y, x.Shape()...)
+	return tensor.AddInto(b.y, b.h, partial)
 }
 
-// Backward propagates the replicated upstream gradient.
+// Backward propagates the replicated upstream gradient and returns a
+// block-owned buffer, valid until this block's next Backward.
 //
 // The QK-norm parameters are replicated on every TP rank but each
 // rank's backward only accumulates the contribution of its local
-// heads, so their gradients are summed across the group here. (LN1
-// and LN2 need no reduction: they see identical replicated
-// activations, so their gradients are already identical.) Backward
-// must therefore be called exactly once per ZeroGrads cycle.
+// heads, so their gradients are summed across the group here — packed
+// into one flat buffer so the four tiny reductions cost a single
+// rendezvous. (LN1 and LN2 need no reduction: they see identical
+// replicated activations, so their gradients are already identical.)
+// Backward must therefore be called exactly once per ZeroGrads cycle.
 func (b *TPBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dPartial := b.MLP.Backward(dy)
-	dh := tensor.Add(dy, b.LN2.Backward(b.allReduceTensor(dPartial)))
-	dPartial = b.Attn.Backward(dh)
+	dPartial := b.allReduceInPlace(b.MLP.Backward(dy))
+	b.dh = tensor.Ensure(b.dh, dy.Shape()...)
+	tensor.AddInto(b.dh, dy, b.LN2.Backward(dPartial))
+	dPartial = b.Attn.Backward(b.dh)
 	if b.Attn.QKNorm && b.Group.Size() > 1 {
-		for _, p := range []*nn.Param{
-			b.Attn.QNorm.Gamma, b.Attn.QNorm.Beta,
-			b.Attn.KNorm.Gamma, b.Attn.KNorm.Beta,
-		} {
-			sum := b.Group.AllReduceSum(b.Rank, p.Grad.Data())
-			copy(p.Grad.Data(), sum)
-		}
+		b.reduceQKNormGrads()
 	}
-	return tensor.Add(dh, b.LN1.Backward(b.allReduceTensor(dPartial)))
+	b.allReduceInPlace(dPartial)
+	b.dx = tensor.Ensure(b.dx, dy.Shape()...)
+	return tensor.AddInto(b.dx, b.dh, b.LN1.Backward(dPartial))
+}
+
+// reduceQKNormGrads sums the replicated QK-norm parameter gradients
+// across the TP group in one packed all-reduce.
+func (b *TPBlock) reduceQKNormGrads() {
+	ps := [4]*nn.Param{
+		b.Attn.QNorm.Gamma, b.Attn.QNorm.Beta,
+		b.Attn.KNorm.Gamma, b.Attn.KNorm.Beta,
+	}
+	n := 0
+	for _, p := range ps {
+		n += p.Grad.Len()
+	}
+	if cap(b.qkFlat) < n {
+		b.qkFlat = make([]float32, n)
+	}
+	flat := b.qkFlat[:n]
+	off := 0
+	for _, p := range ps {
+		copy(flat[off:], p.Grad.Data())
+		off += p.Grad.Len()
+	}
+	b.Group.AllReduceSumInto(b.Rank, flat, flat)
+	off = 0
+	for _, p := range ps {
+		copy(p.Grad.Data(), flat[off:off+p.Grad.Len()])
+		off += p.Grad.Len()
+	}
 }
 
 // Params returns this rank's shard parameters plus the replicated

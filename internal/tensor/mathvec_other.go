@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds take the scalar transcendentals.
+
+func expSlice(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = exp32(v)
+	}
+}
+
+func tanhSlice(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = tanh32(v)
+	}
+}

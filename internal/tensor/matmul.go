@@ -59,6 +59,47 @@ func mmPacked(dst, a, b []float32, m, k, n int, bias []float32, mode dotMode) {
 	putPack(pb)
 }
 
+// PackTransposedInto writes uᵀ ([k,n] → n contiguous panels of length
+// k) into dst — the operand layout the dot kernel streams. Callers
+// with stable operands (layer weights between optimizer steps) cache
+// the result and feed it to MatMulPackedBInto, skipping the per-call
+// repack; pair with Tensor.Version to know when to refresh.
+func PackTransposedInto(dst []float32, u *Tensor) []float32 {
+	if len(u.shape) != 2 {
+		panic(fmt.Sprintf("tensor: PackTransposedInto requires a 2-D tensor, got %v", u.shape))
+	}
+	if len(dst) != u.Len() {
+		panic(fmt.Sprintf("tensor: PackTransposedInto destination %d, want %d", len(dst), u.Len()))
+	}
+	packTranspose(dst, u.data, u.shape[0], u.shape[1])
+	return dst
+}
+
+// MatMulPackedBInto computes dst = t @ B (+ bias when non-nil) where
+// bt is B's packed transpose from PackTransposedInto and n is B's
+// column count: [m,k] @ [k,n] -> [m,n] with no per-call packing.
+func MatMulPackedBInto(dst, t *Tensor, bt []float32, n int, bias *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulPackedBInto requires a 2-D input, got %v", t.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	if len(bt) != k*n {
+		panic(fmt.Sprintf("tensor: MatMulPackedBInto packed operand %d, want %d×%d", len(bt), k, n))
+	}
+	checkDst(dst, m, n, "MatMulPackedBInto")
+	mode := dotOverwrite
+	var bd []float32
+	if bias != nil {
+		if bias.Len() != n {
+			panic(fmt.Sprintf("tensor: MatMulPackedBInto bias %v, want length %d", bias.shape, n))
+		}
+		mode = dotBias
+		bd = bias.data
+	}
+	dispatchDot(dotTask{dst: dst.data, a: t.data, bt: bt, bias: bd, k: k, n: n, scale: 1, mode: mode}, m)
+	return dst
+}
+
 // MatMulTransBInto computes dst = t @ uᵀ for [m,k] @ ([n,k])ᵀ -> [m,n]
 // without materializing the transpose: u's layout is already the
 // packed panel the dot kernel wants. This is the hot path of attention

@@ -60,6 +60,7 @@ func Scale(t *Tensor, s float32) *Tensor {
 
 // AddInPlace accumulates u into t.
 func (t *Tensor) AddInPlace(u *Tensor) {
+	t.ver++
 	t.mustMatch(u, "AddInPlace")
 	for i, v := range u.data {
 		t.data[i] += v
@@ -68,6 +69,7 @@ func (t *Tensor) AddInPlace(u *Tensor) {
 
 // ScaleInPlace multiplies t by s.
 func (t *Tensor) ScaleInPlace(s float32) {
+	t.ver++
 	for i := range t.data {
 		t.data[i] *= s
 	}
@@ -75,6 +77,7 @@ func (t *Tensor) ScaleInPlace(s float32) {
 
 // AddScaled accumulates s*u into t (axpy).
 func (t *Tensor) AddScaled(u *Tensor, s float32) {
+	t.ver++
 	t.mustMatch(u, "AddScaled")
 	for i, v := range u.data {
 		t.data[i] += s * v
@@ -217,10 +220,14 @@ func softmaxRow(in, out []float32) {
 			maxv = v
 		}
 	}
-	var sum float64
+	// Shift then exponentiate through the (vectorized) slice kernel —
+	// bit-identical to the elementwise exp32 loop.
 	for i, v := range in {
-		e := exp32(v - maxv)
-		out[i] = e
+		out[i] = v - maxv
+	}
+	expSlice(out, out)
+	var sum float64
+	for _, e := range out {
 		sum += float64(e)
 	}
 	inv := float32(1 / sum)
@@ -307,10 +314,15 @@ func GELUCachedInto(dst, th, x *Tensor) *Tensor {
 	dst.mustMatch(x, "GELUCachedInto")
 	th.mustMatch(x, "GELUCachedInto")
 	d, td := dst.data, th.data
+	// Stage the tanh arguments in th, run the (vectorized) slice tanh
+	// in place, then finish the gate — same per-element operations as
+	// the fused scalar loop, so results are bit-identical.
 	for i, v := range x.data {
-		t := tanh32(geluC0 * (v + geluC1*v*v*v))
-		td[i] = t
-		d[i] = 0.5 * v * (1 + t)
+		td[i] = geluC0 * (v + geluC1*v*v*v)
+	}
+	tanhSlice(td, td)
+	for i, v := range x.data {
+		d[i] = 0.5 * v * (1 + td[i])
 	}
 	return dst
 }

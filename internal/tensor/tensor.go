@@ -20,6 +20,7 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+	ver   uint64 // mutation counter; see Version
 }
 
 // New allocates a zero-filled tensor with the given shape.
@@ -72,6 +73,16 @@ func panicBadShape(shape []int) {
 	panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", append([]int(nil), shape...)))
 }
 
+// Version returns the tensor's mutation counter, used by kernels that
+// cache derived forms of stable tensors (e.g. a linear layer's packed
+// weight transpose). The counter advances on every mutating Tensor
+// method; writers that modify the raw Data() slice directly must call
+// Bump themselves (the optimizers and the parallel unflatten path do).
+func (t *Tensor) Version() uint64 { return t.ver }
+
+// Bump records an out-of-band mutation of the tensor's contents.
+func (t *Tensor) Bump() { t.ver++ }
+
 // Shape returns the tensor's dimensions. The returned slice must not
 // be modified.
 func (t *Tensor) Shape() []int { return t.shape }
@@ -92,7 +103,7 @@ func (t *Tensor) Data() []float32 { return t.data }
 func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
 
 // Set stores v at the given multi-index.
-func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v; t.ver++ }
 
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
@@ -152,6 +163,7 @@ func (t *Tensor) Zero() {
 	for i := range t.data {
 		t.data[i] = 0
 	}
+	t.ver++
 }
 
 // Fill sets every element to v in place.
@@ -159,12 +171,14 @@ func (t *Tensor) Fill(v float32) {
 	for i := range t.data {
 		t.data[i] = v
 	}
+	t.ver++
 }
 
 // CopyFrom copies u's data into t. Shapes must match.
 func (t *Tensor) CopyFrom(u *Tensor) {
 	t.mustMatch(u, "CopyFrom")
 	copy(t.data, u.data)
+	t.ver++
 }
 
 func (t *Tensor) mustMatch(u *Tensor, op string) {

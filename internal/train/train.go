@@ -73,8 +73,20 @@ type Trainer struct {
 	Scaler *bf16.GradScaler
 
 	ws      *tensor.Workspace
+	batch   []climate.Sample // reused per-step batch staging
 	step    int
 	samples int
+}
+
+// nextBatch fills the trainer-owned batch slice from the shuffled
+// order, reusing its storage across steps.
+func (t *Trainer) nextBatch(data DataSource, order []int, idx *int) []climate.Sample {
+	t.batch = t.batch[:0]
+	for len(t.batch) < t.Cfg.BatchSize {
+		t.batch = append(t.batch, data.At(order[*idx%len(order)]))
+		*idx++
+	}
+	return t.batch
 }
 
 // NewTrainer wires a model to its optimizer and schedule.
@@ -160,12 +172,7 @@ func (t *Trainer) Run(data DataSource, steps int) []LossPoint {
 	var curve []LossPoint
 	idx := 0
 	for s := 0; s < steps; s++ {
-		batch := make([]climate.Sample, 0, t.Cfg.BatchSize)
-		for len(batch) < t.Cfg.BatchSize {
-			batch = append(batch, data.At(order[idx%len(order)]))
-			idx++
-		}
-		loss := t.Step(batch)
+		loss := t.Step(t.nextBatch(data, order, &idx))
 		curve = append(curve, LossPoint{Samples: t.samples, Loss: loss})
 	}
 	return curve
@@ -291,12 +298,7 @@ func SamplesToTarget(t *Trainer, data DataSource, val *climate.Dataset, chans []
 	order := rng.Perm(data.Len())
 	idx := 0
 	for s := 0; s < maxSteps; s++ {
-		batch := make([]climate.Sample, 0, t.Cfg.BatchSize)
-		for len(batch) < t.Cfg.BatchSize {
-			batch = append(batch, data.At(order[idx%len(order)]))
-			idx++
-		}
-		t.Step(batch)
+		t.Step(t.nextBatch(data, order, &idx))
 		if (s+1)%checkEvery == 0 {
 			if metrics.MeanACC(EvalACC(t.Forecaster(), val, chans, 4)) >= target {
 				return t.Samples()
@@ -316,12 +318,7 @@ func SamplesToConverge(t *Trainer, data DataSource, val *climate.Dataset, chans 
 	order := rng.Perm(data.Len())
 	idx := 0
 	for s := 0; s < maxSteps; s++ {
-		batch := make([]climate.Sample, 0, t.Cfg.BatchSize)
-		for len(batch) < t.Cfg.BatchSize {
-			batch = append(batch, data.At(order[idx%len(order)]))
-			idx++
-		}
-		t.Step(batch)
+		t.Step(t.nextBatch(data, order, &idx))
 		if (s+1)%checkEvery == 0 {
 			acc := metrics.MeanACC(EvalACC(t.Forecaster(), val, chans, 4))
 			if acc > best+tol {

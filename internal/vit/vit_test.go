@@ -201,10 +201,13 @@ func TestEndToEndGradientNumerical(t *testing.T) {
 		i := p.W.Len() / 2
 		orig := p.W.Data()[i]
 		p.W.Data()[i] = orig + eps
+		p.W.Bump()
 		lp := lossAt()
 		p.W.Data()[i] = orig - eps
+		p.W.Bump()
 		lm := lossAt()
 		p.W.Data()[i] = orig
+		p.W.Bump()
 		num := (lp - lm) / (2 * eps)
 		got := float64(p.Grad.Data()[i])
 		if math.Abs(num-got) > 5e-2*(1+math.Abs(num)) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env sh
+# Interleaved baseline-vs-PR benchmark of the distributed hot path,
+# same protocol as BENCH_PR1.json: baseline and PR test binaries are
+# built once, then run in alternating rounds in the same session (the
+# host's absolute speed drifts, so only interleaved ratios are
+# meaningful); per-benchmark medians land in BENCH_PR2.json.
+#
+# BASELINE defaults to the PR 1 tip. Benchmarks that do not exist in
+# the baseline tree (the comm collective suite is new in PR 2) are
+# reported with a null baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-38511a7}
+ROUNDS=${ROUNDS:-3}
+BENCH='BenchmarkHybridSTOPStep$|BenchmarkCommCollectives|BenchmarkAllReduce8Ranks$|BenchmarkFSDPStep$'
+WORK=$(mktemp -d)
+trap 'git worktree remove --force "$WORK/base" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "building PR test binary..."
+go test -c -o "$WORK/pr.test" .
+echo "building baseline ($BASELINE) test binary..."
+git worktree add --detach "$WORK/base" "$BASELINE" >/dev/null
+(cd "$WORK/base" && go test -c -o "$WORK/base.test" .)
+
+run() { # binary, log
+	"$1" -test.run '^$' -test.bench "$BENCH" -test.benchmem -test.benchtime=1s \
+		| grep -E '^Benchmark' >>"$2" || true
+}
+
+: >"$WORK/base.log"
+: >"$WORK/pr.log"
+i=1
+while [ "$i" -le "$ROUNDS" ]; do
+	echo "round $i/$ROUNDS: baseline..."
+	run "$WORK/base.test" "$WORK/base.log"
+	echo "round $i/$ROUNDS: pr..."
+	run "$WORK/pr.test" "$WORK/pr.log"
+	i=$((i + 1))
+done
+
+awk -v baselog="$WORK/base.log" -v prlog="$WORK/pr.log" \
+	-v baseline="$BASELINE" -v go_version="$(go version | cut -d' ' -f3-4)" \
+	-v date="$(date +%Y-%m-%d)" '
+function median(arr, n,    i, j, tmp) {
+	for (i = 1; i < n; i++)
+		for (j = i + 1; j <= n; j++)
+			if (arr[j] < arr[i]) { tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp }
+	if (n % 2) return arr[(n + 1) / 2]
+	return (arr[n / 2] + arr[n / 2 + 1]) / 2
+}
+function slurp(file, pfx,    line, f, nf, name, k) {
+	while ((getline line <file) > 0) {
+		nf = split(line, f, /[ \t]+/)
+		name = f[1]
+		sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+		if (!(name in seen)) { order[++nnames] = name; seen[name] = 1 }
+		for (k = 3; k < nf; k++) {
+			if (f[k + 1] == "ns/op") { cnt[pfx name "ns"]++; vals[pfx name "ns" cnt[pfx name "ns"]] = f[k] }
+			if (f[k + 1] == "B/op") { cnt[pfx name "B"]++; vals[pfx name "B" cnt[pfx name "B"]] = f[k] }
+			if (f[k + 1] == "allocs/op") { cnt[pfx name "al"]++; vals[pfx name "al" cnt[pfx name "al"]] = f[k] }
+		}
+	}
+	close(file)
+}
+function med(pfx, name, unit,    n, i, a) {
+	n = cnt[pfx name unit]
+	if (n == 0) return ""
+	for (i = 1; i <= n; i++) a[i] = vals[pfx name unit i] + 0
+	return median(a, n)
+}
+function obj(pfx, name,    ns, b, al) {
+	ns = med(pfx, name, "ns"); b = med(pfx, name, "B"); al = med(pfx, name, "al")
+	if (ns == "") return "null"
+	return sprintf("{ \"ns_per_op\": %d, \"allocs_per_op\": %d, \"bytes_per_op\": %d }", ns, al, b)
+}
+BEGIN {
+	slurp(baselog, "b:")
+	slurp(prlog, "p:")
+	printf "{\n"
+	printf "  \"description\": \"PR1-baseline-vs-PR2 distributed hot-path benchmarks. Both binaries were benchmarked interleaved in the same session (alternating rounds, medians reported); ratios are the meaningful quantity. Benchmarks new in PR 2 have a null baseline.\",\n"
+	printf "  \"baseline_ref\": \"%s\",\n", baseline
+	printf "  \"command\": \"go test -run ^$ -bench <distributed hot path> -benchmem -benchtime=1s . (see scripts/bench_pr2.sh)\",\n"
+	printf "  \"environment\": { \"go\": \"%s\", \"date\": \"%s\" },\n", go_version, date
+	printf "  \"benchmarks\": {\n"
+	for (i = 1; i <= nnames; i++) {
+		name = order[i]
+		bo = obj("b:", name); po = obj("p:", name)
+		printf "    \"%s\": {\n      \"pr1_baseline\": %s,\n      \"pr2\": %s", name, bo, po
+		bns = med("b:", name, "ns"); pns = med("p:", name, "ns")
+		if (bns != "" && pns != "" && pns > 0)
+			printf ",\n      \"speedup\": %.1f", bns / pns
+		printf "\n    }%s\n", (i < nnames ? "," : "")
+	}
+	printf "  }\n}\n"
+}' >BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json"

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# CI entry point: build, vet, full tests, and a one-iteration
-# benchmark smoke over the attention hot path.
+# CI entry point: build, vet, full tests, a race-detector pass over
+# the communication and parallelism layers (async collective ordering
+# must hold under -race), and a one-iteration benchmark smoke over the
+# attention hot path.
 set -eu
 cd "$(dirname "$0")/.."
 make ci
