@@ -1,18 +1,29 @@
 // Command orbit-pretrain pre-trains ORBIT models on the synthetic
 // CMIP6-like corpus. With -sweep it runs the paper's Fig. 8
-// model-size comparison; otherwise it trains a single model and can
-// save a checkpoint.
+// model-size comparison; otherwise it trains a single model with
+// optional checkpoint/resume fault tolerance.
 //
 // Usage:
 //
 //	orbit-pretrain -sweep -scale full
 //	orbit-pretrain -steps 200 -embed 32 -save model.orbt
+//
+// Fault tolerance (single-model mode):
+//
+//	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt
+//	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt -kill-step 120   # dies after step 120
+//	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt -resume run.state.orbt
+//
+// A resumed run continues the loss trajectory bit-identically as long
+// as -steps (the schedule horizon) and the data configuration match
+// the original run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	orbit "orbit"
 )
@@ -22,7 +33,11 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	steps := flag.Int("steps", 100, "optimizer steps (single-model mode)")
 	embed := flag.Int("embed", 32, "embedding dimension (single-model mode)")
-	save := flag.String("save", "", "checkpoint path (single-model mode)")
+	save := flag.String("save", "", "final weights-only checkpoint path (single-model mode)")
+	ckptEvery := flag.Int("ckpt-every", 0, "save a full training-state checkpoint every N steps")
+	statePath := flag.String("state", "orbit-pretrain.state.orbt", "training-state checkpoint path")
+	resume := flag.String("resume", "", "resume from a training-state checkpoint")
+	killStep := flag.Int("kill-step", 0, "simulate a fault: exit(1) after completing this step")
 	flag.Parse()
 
 	if *sweep {
@@ -40,12 +55,67 @@ func main() {
 	cfg.EmbedDim = *embed
 	tc := orbit.DefaultTrainConfig()
 	tc.TotalSteps = *steps
-	m, curve, err := orbit.Pretrain(cfg, tc, corpus, *steps)
-	if err != nil {
-		log.Fatal(err)
+
+	var tr *orbit.Trainer
+	done := 0
+	if *resume != "" {
+		st, err := orbit.LoadTrainerState(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = orbit.RestoreTrainer(st, tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = st.Meta.Step
+		fmt.Printf("resumed from %s at step %d (%d samples)\n", *resume, done, st.Meta.Samples)
+	} else {
+		m, err := orbit.NewModel(cfg, tc.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = orbit.NewTrainer(m, tc)
 	}
-	fmt.Printf("pre-trained %s: %d params, %d samples\n", cfg.Name, m.NumParams(), curve[len(curve)-1].Samples)
-	fmt.Printf("loss: %.4f -> %.4f\n", curve[0].Loss, curve[len(curve)-1].Loss)
+
+	var firstLoss, lastLoss float64
+	haveFirst := false // first loss seen by THIS process (not step 0 when resumed)
+	for done < *steps {
+		// Run to the next checkpoint / kill boundary.
+		n := *steps - done
+		if *ckptEvery > 0 {
+			if to := *ckptEvery - done%*ckptEvery; to < n {
+				n = to
+			}
+		}
+		if *killStep > done && *killStep-done < n {
+			n = *killStep - done
+		}
+		curve := tr.Run(corpus, n)
+		done += n
+		if !haveFirst {
+			firstLoss = curve[0].Loss
+			haveFirst = true
+		}
+		lastLoss = curve[len(curve)-1].Loss
+		if *ckptEvery > 0 && done%*ckptEvery == 0 && done < *steps {
+			if err := orbit.SaveTrainerState(*statePath, tr, false); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint: step %d -> %s\n", done, *statePath)
+		}
+		if *killStep > 0 && done == *killStep && done < *steps {
+			fmt.Printf("simulated fault: process killed after step %d\n", done)
+			fmt.Printf("resume with: orbit-pretrain -steps %d -ckpt-every %d -state %s -resume %s\n",
+				*steps, *ckptEvery, *statePath, *statePath)
+			os.Exit(1)
+		}
+	}
+
+	m := tr.Model
+	fmt.Printf("pre-trained %s: %d params, %d samples\n", cfg.Name, m.NumParams(), tr.Samples())
+	if haveFirst {
+		fmt.Printf("loss: %.4f -> %.4f\n", firstLoss, lastLoss)
+	}
 	if *save != "" {
 		if err := orbit.SaveModel(*save, m, true); err != nil {
 			log.Fatal(err)

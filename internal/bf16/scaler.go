@@ -79,6 +79,34 @@ func (s *GradScaler) Update(finite bool) bool {
 	return true
 }
 
+// ScalerState is the serializable snapshot of a GradScaler, stored in
+// training-state checkpoints so a resumed mixed-precision run keeps
+// the scale trajectory (and therefore the loss trajectory) intact.
+type ScalerState struct {
+	Scale        float64 `json:"scale"`
+	GoodSteps    int     `json:"good_steps"`
+	SkippedSteps int     `json:"skipped_steps"`
+	TotalSteps   int     `json:"total_steps"`
+}
+
+// State snapshots the scaler's dynamic state.
+func (s *GradScaler) State() ScalerState {
+	return ScalerState{
+		Scale:        s.Scale,
+		GoodSteps:    s.goodSteps,
+		SkippedSteps: s.skippedSteps,
+		TotalSteps:   s.totalSteps,
+	}
+}
+
+// Restore loads a snapshot taken with State.
+func (s *GradScaler) Restore(st ScalerState) {
+	s.Scale = st.Scale
+	s.goodSteps = st.GoodSteps
+	s.skippedSteps = st.SkippedSteps
+	s.totalSteps = st.TotalSteps
+}
+
 // SkippedSteps returns how many optimizer steps were skipped because
 // of non-finite gradients.
 func (s *GradScaler) SkippedSteps() int { return s.skippedSteps }

@@ -1,0 +1,34 @@
+package bf16
+
+import "testing"
+
+// TestScalerStateRoundTrip checks that a restored scaler continues
+// the growth/backoff trajectory exactly.
+func TestScalerStateRoundTrip(t *testing.T) {
+	s := NewGradScaler()
+	s.GrowthInterval = 3
+	s.Update(true)
+	s.Update(true)
+	s.Update(false) // backoff: scale halves, good streak resets
+	st := s.State()
+	if st.Scale != 32768 || st.SkippedSteps != 1 || st.TotalSteps != 3 {
+		t.Fatalf("unexpected snapshot %+v", st)
+	}
+
+	s2 := NewGradScaler()
+	s2.GrowthInterval = 3
+	s2.Restore(st)
+
+	// Both must grow at the same future step.
+	for i := 0; i < 3; i++ {
+		s.Update(true)
+		s2.Update(true)
+	}
+	if s.Scale != s2.Scale || s.TotalSteps() != s2.TotalSteps() || s.SkippedSteps() != s2.SkippedSteps() {
+		t.Errorf("restored scaler diverged: %v/%d/%d vs %v/%d/%d",
+			s.Scale, s.TotalSteps(), s.SkippedSteps(), s2.Scale, s2.TotalSteps(), s2.SkippedSteps())
+	}
+	if s.Scale != 65536 {
+		t.Errorf("scale = %v, want 65536 after regrow", s.Scale)
+	}
+}

@@ -1,7 +1,22 @@
-// Package ckpt serializes ORBIT model checkpoints to a compact binary
-// format: a JSON-encoded model configuration followed by raw parameter
-// tensors, optionally stored in bfloat16 to halve checkpoint size the
-// way bf16 training checkpoints do.
+// Package ckpt serializes ORBIT checkpoints.
+//
+// Three artifact kinds share the "ORBT" container format:
+//
+//   - Weights-only checkpoints (Save/Load): model configuration plus
+//     parameter tensors, optionally bfloat16 to halve the file size.
+//   - Full training-state checkpoints (SaveTrainState/LoadTrainState):
+//     weights plus AdamW moments, step counters, the data-order RNG
+//     stream, and the dynamic loss-scaler state — everything needed to
+//     resume a run with a bit-identical loss trajectory.
+//   - Sharded distributed checkpoints (shard.go): a JSON manifest plus
+//     one binary shard file per (TP, FSDP) grid position, so no rank
+//     ever materializes the full model, matching Hybrid-STOP's memory
+//     discipline. Shards reshard on load when the FSDP/DDP layout of
+//     the resumed run differs from the saved one.
+//
+// Format version history: version 1 files are weights-only with no
+// kind byte; version 2 adds a kind byte after the version field and
+// the training-state sections. Version-1 files remain loadable.
 package ckpt
 
 import (
@@ -12,6 +27,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"orbit/internal/bf16"
 	"orbit/internal/nn"
@@ -19,7 +35,16 @@ import (
 )
 
 const magic = "ORBT"
-const version = uint32(1)
+
+// Version is the current container format version written by Save and
+// SaveTrainState. Readers accept versions 1 and 2.
+const Version = uint32(2)
+
+// kind bytes distinguishing version-2 payloads.
+const (
+	kindWeights = uint8(0)
+	kindTrain   = uint8(1)
+)
 
 // dtype flags for stored tensors.
 const (
@@ -28,25 +53,61 @@ const (
 )
 
 // Save writes the model's configuration and parameters to path.
-// With half=true, weights are stored as bfloat16.
+// With half=true, weights are stored as bfloat16. The write is
+// atomic: a crash mid-save never destroys an existing checkpoint at
+// the same path.
 func Save(path string, m *vit.Model, half bool) error {
-	f, err := os.Create(path)
+	return atomicWrite(path, func(w io.Writer) error {
+		return write(w, m, half)
+	})
+}
+
+// atomicWrite streams a checkpoint into a temp file in path's
+// directory and renames it over path only on success, so the previous
+// checkpoint survives a crash mid-save — the failure mode checkpoints
+// exist to protect against.
+func atomicWrite(path string, body func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
 	w := bufio.NewWriter(f)
-	if err := write(w, m, half); err != nil {
+	if err := body(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func write(w io.Writer, m *vit.Model, half bool) error {
+	return writeModel(w, m, half, kindWeights)
+}
+
+// writeModel emits the common header + config + parameter sections.
+func writeModel(w io.Writer, m *vit.Model, half bool, kind uint8) error {
 	if _, err := w.Write([]byte(magic)); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, version); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, kind); err != nil {
 		return err
 	}
 	cfgJSON, err := json.Marshal(m.Config)
@@ -106,61 +167,84 @@ func writeParam(w io.Writer, p *nn.Param, half bool) error {
 	return err
 }
 
-// Load reconstructs a model from a checkpoint file.
+// Load reconstructs a model from a checkpoint file. It accepts both
+// version-1 (weights-only) and version-2 files; for a version-2
+// training-state checkpoint, the trailing optimizer sections are
+// ignored and just the model is returned.
 func Load(path string) (*vit.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return read(bufio.NewReader(f))
+	m, _, err := read(bufio.NewReader(f))
+	return m, err
 }
 
-func read(r io.Reader) (*vit.Model, error) {
+// readHeader consumes the magic, version, and (for version ≥ 2) kind
+// byte.
+func readHeader(r io.Reader) (ver uint32, kind uint8, err error) {
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, err
+		return 0, 0, fmt.Errorf("ckpt: truncated header: %w", err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("ckpt: bad magic %q", head)
+		return 0, 0, fmt.Errorf("ckpt: bad magic %q", head)
 	}
-	var ver uint32
 	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return nil, err
+		return 0, 0, fmt.Errorf("ckpt: truncated header: %w", err)
 	}
-	if ver != version {
-		return nil, fmt.Errorf("ckpt: unsupported version %d", ver)
+	switch ver {
+	case 1:
+		// Version 1 has no kind byte and is always weights-only.
+		return ver, kindWeights, nil
+	case 2:
+		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+			return 0, 0, fmt.Errorf("ckpt: truncated header: %w", err)
+		}
+		return ver, kind, nil
+	default:
+		return 0, 0, fmt.Errorf("ckpt: unsupported version %d", ver)
+	}
+}
+
+// read parses the header + model sections, leaving the reader at any
+// trailing training-state sections.
+func read(r io.Reader) (*vit.Model, uint8, error) {
+	_, kind, err := readHeader(r)
+	if err != nil {
+		return nil, 0, err
 	}
 	var cfgLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cfgJSON := make([]byte, cfgLen)
 	if _, err := io.ReadFull(r, cfgJSON); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var cfg vit.Config
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m, err := vit.New(cfg, 0)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	params := m.Params()
 	if int(count) != len(params) {
-		return nil, fmt.Errorf("ckpt: %d stored params, model has %d", count, len(params))
+		return nil, 0, fmt.Errorf("ckpt: %d stored params, model has %d", count, len(params))
 	}
 	for _, p := range params {
 		if err := readParam(r, p); err != nil {
-			return nil, fmt.Errorf("ckpt: reading %s: %w", p.Name, err)
+			return nil, 0, fmt.Errorf("ckpt: reading %s: %w", p.Name, err)
 		}
 	}
-	return m, nil
+	return m, kind, nil
 }
 
 func readParam(r io.Reader, p *nn.Param) error {

@@ -1,0 +1,364 @@
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"orbit/internal/tensor"
+)
+
+// Sharded training-state checkpoints. Each (TP, FSDP) grid position of
+// a Hybrid-STOP run owns 1/FSDP of its TP shard's flattened parameters
+// (plus the matching AdamW moments) and saves exactly that — no rank
+// ever materializes the full model, so checkpointing obeys the same
+// memory discipline as training (paper Sec. III). DDP replicas hold
+// identical state, so only the D=0 plane saves.
+//
+// On disk a checkpoint is a directory:
+//
+//	manifest.json                layout, counters, RNG stream, flat lengths
+//	shard-s<STEP>-t<T>-f<F>.bin  per-rank chunk weights + optimizer moments
+//
+// Saves are crash-safe even when the directory already holds an older
+// checkpoint: shard file names are scoped by step, so a new save
+// never rewrites a file the previous manifest references; every file
+// (shards and manifest) is written to a temp name and renamed into
+// place; and the manifest commits last. A crash at any point leaves
+// either the old checkpoint fully loadable or the new one — never a
+// mix. Shards from superseded steps are pruned after the manifest
+// commits.
+//
+// Loading reshards when the resumed run's FSDP (or DDP) extent differs
+// from the saved one — e.g. a 16-rank run resumed on 8 ranks after a
+// node failure. The TP extent is part of the parameter sharding itself
+// (column/row shards of each weight), so it must match; FSDP chunks
+// are plain slices of the flat vector and reshard exactly.
+
+const shardMagic = "ORBS"
+
+// ManifestName is the manifest file name inside a checkpoint dir.
+const ManifestName = "manifest.json"
+
+// ShardLayout names the parallelism extents a sharded checkpoint was
+// saved under (mirrors core.Layout without importing it).
+type ShardLayout struct {
+	TP   int `json:"tp"`
+	FSDP int `json:"fsdp"`
+	DDP  int `json:"ddp"`
+}
+
+// Manifest is the checkpoint directory's metadata.
+type Manifest struct {
+	Version int         `json:"version"`
+	Layout  ShardLayout `json:"layout"`
+	// FlatLens is the logical (unpadded) flattened parameter length of
+	// each block's TP shard; resharding needs it to strip and re-apply
+	// divisibility padding.
+	FlatLens []int `json:"flat_lens"`
+	// Step is the number of completed training steps.
+	Step int `json:"step"`
+	// OptStep is the per-rank optimizer step counter.
+	OptStep int `json:"opt_step"`
+	// GlobalBatch is the layout-independent global batch size.
+	GlobalBatch int `json:"global_batch"`
+	// RNG is the data-stream RNG state after Step steps.
+	RNG tensor.RNGState `json:"rng"`
+	// Shards lists the shard file names (one per (T,F) position).
+	Shards []string `json:"shards"`
+}
+
+// BlockShard is one rank's slice of one block: chunk weights and the
+// matching AdamW moment chunks, all padded-chunk length.
+type BlockShard struct {
+	W, M, V []float32
+}
+
+// RankShard is everything one (T,F) grid position owns.
+type RankShard struct {
+	T, F   int
+	Blocks []BlockShard
+}
+
+// ShardFileName returns the canonical shard file name for a grid
+// position at a step. The step scope is what makes overwriting saves
+// crash-safe: the old manifest's files are never touched.
+func ShardFileName(step, t, f int) string {
+	return fmt.Sprintf("shard-s%d-t%d-f%d.bin", step, t, f)
+}
+
+// PaddedLen returns the flat length after padding logical length l to
+// a multiple of the FSDP extent f (parallel.FlattenParams' rule).
+func PaddedLen(l, f int) int { return (l + f - 1) / f * f }
+
+// SaveSharded writes a complete sharded checkpoint into dir, creating
+// it if needed. Shard files (step-scoped names, atomically renamed
+// into place) are written first, the manifest commits last, and only
+// then are shards of superseded steps pruned — so a crash anywhere
+// leaves a loadable checkpoint.
+func SaveSharded(dir string, man *Manifest, shards []*RankShard) error {
+	if len(shards) != man.Layout.TP*man.Layout.FSDP {
+		return fmt.Errorf("ckpt: %d shards for a %d×%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man.Version = int(Version)
+	man.Shards = man.Shards[:0]
+	ordered := append([]*RankShard(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].T != ordered[j].T {
+			return ordered[i].T < ordered[j].T
+		}
+		return ordered[i].F < ordered[j].F
+	})
+	for _, sh := range ordered {
+		name := ShardFileName(man.Step, sh.T, sh.F)
+		if err := writeShardFile(filepath.Join(dir, name), sh); err != nil {
+			return err
+		}
+		man.Shards = append(man.Shards, name)
+	}
+	manJSON, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	err = atomicWrite(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, werr := w.Write(manJSON)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	pruneStaleShards(dir, man.Shards)
+	return nil
+}
+
+// pruneStaleShards best-effort removes shard files the committed
+// manifest does not reference (leftovers from superseded saves or
+// crashed attempts).
+func pruneStaleShards(dir string, keep []string) {
+	live := make(map[string]bool, len(keep))
+	for _, name := range keep {
+		live[name] = true
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		if !live[filepath.Base(path)] {
+			os.Remove(path)
+		}
+	}
+}
+
+// LoadSharded reads a checkpoint directory, returning the manifest and
+// all shards in (T,F) order.
+func LoadSharded(dir string) (*Manifest, []*RankShard, error) {
+	manJSON, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(manJSON, &man); err != nil {
+		return nil, nil, fmt.Errorf("ckpt: bad manifest: %w", err)
+	}
+	if man.Version != int(Version) {
+		return nil, nil, fmt.Errorf("ckpt: unsupported sharded version %d", man.Version)
+	}
+	if len(man.Shards) != man.Layout.TP*man.Layout.FSDP {
+		return nil, nil, fmt.Errorf("ckpt: manifest lists %d shards for a %d×%d grid",
+			len(man.Shards), man.Layout.TP, man.Layout.FSDP)
+	}
+	var shards []*RankShard
+	for t := 0; t < man.Layout.TP; t++ {
+		for f := 0; f < man.Layout.FSDP; f++ {
+			name := man.Shards[t*man.Layout.FSDP+f]
+			sh, err := readShardFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			if sh.T != t || sh.F != f {
+				return nil, nil, fmt.Errorf("ckpt: shard file %s claims position (%d,%d)", name, sh.T, sh.F)
+			}
+			if len(sh.Blocks) != len(man.FlatLens) {
+				return nil, nil, fmt.Errorf("ckpt: shard (%d,%d) has %d blocks, manifest has %d",
+					t, f, len(sh.Blocks), len(man.FlatLens))
+			}
+			shards = append(shards, sh)
+		}
+	}
+	return &man, shards, nil
+}
+
+// HasManifest reports whether dir contains a complete sharded
+// checkpoint.
+func HasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// Reshard redistributes a loaded checkpoint onto a new FSDP extent,
+// returning shards in (T,F') order. The TP extent cannot change — TP
+// shards partition individual weight matrices, not the flat vector.
+// Chunk weights and optimizer moments are plain slices of the logical
+// flat vector, so resharding is exact (bit-identical values).
+func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, error) {
+	if newFSDP < 1 {
+		return nil, fmt.Errorf("ckpt: reshard to FSDP=%d", newFSDP)
+	}
+	if len(shards) != man.Layout.TP*man.Layout.FSDP {
+		return nil, fmt.Errorf("ckpt: %d shards for a %d×%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+	}
+	if newFSDP == man.Layout.FSDP {
+		return shards, nil
+	}
+	oldF := man.Layout.FSDP
+	out := make([]*RankShard, 0, man.Layout.TP*newFSDP)
+	for t := 0; t < man.Layout.TP; t++ {
+		row := shards[t*oldF : (t+1)*oldF]
+		newRow := make([]*RankShard, newFSDP)
+		for f := range newRow {
+			newRow[f] = &RankShard{T: t, F: f, Blocks: make([]BlockShard, len(man.FlatLens))}
+		}
+		for b, logical := range man.FlatLens {
+			for field := 0; field < 3; field++ {
+				pick := func(bs *BlockShard) []float32 {
+					switch field {
+					case 0:
+						return bs.W
+					case 1:
+						return bs.M
+					default:
+						return bs.V
+					}
+				}
+				// Reassemble the logical flat vector from the old chunks…
+				full := make([]float32, 0, PaddedLen(logical, oldF))
+				for _, sh := range row {
+					full = append(full, pick(&sh.Blocks[b])...)
+				}
+				if len(full) < logical {
+					return nil, fmt.Errorf("ckpt: block %d flat length %d < logical %d", b, len(full), logical)
+				}
+				full = full[:logical]
+				// …then re-pad and slice for the new extent.
+				newPad := PaddedLen(logical, newFSDP)
+				chunkLen := newPad / newFSDP
+				for f := 0; f < newFSDP; f++ {
+					chunk := make([]float32, chunkLen)
+					lo := f * chunkLen
+					if lo < logical {
+						hi := lo + chunkLen
+						if hi > logical {
+							hi = logical
+						}
+						copy(chunk, full[lo:hi])
+					}
+					switch field {
+					case 0:
+						newRow[f].Blocks[b].W = chunk
+					case 1:
+						newRow[f].Blocks[b].M = chunk
+					default:
+						newRow[f].Blocks[b].V = chunk
+					}
+				}
+			}
+		}
+		out = append(out, newRow...)
+	}
+	return out, nil
+}
+
+func writeShardFile(path string, sh *RankShard) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte(shardMagic)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(sh.T)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(sh.F)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(sh.Blocks))); err != nil {
+			return err
+		}
+		for b, blk := range sh.Blocks {
+			if len(blk.M) != len(blk.W) || len(blk.V) != len(blk.W) {
+				return fmt.Errorf("ckpt: shard (%d,%d) block %d has mismatched W/M/V lengths", sh.T, sh.F, b)
+			}
+			if err := writeF32Section(w, blk.W); err != nil {
+				return err
+			}
+			if err := writeF32Section(w, blk.M); err != nil {
+				return err
+			}
+			if err := writeF32Section(w, blk.V); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func readShardFile(path string) (*RankShard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("ckpt: truncated shard %s: %w", path, err)
+	}
+	if string(head) != shardMagic {
+		return nil, fmt.Errorf("ckpt: bad shard magic %q in %s", head, path)
+	}
+	var ver uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("ckpt: unsupported shard version %d in %s", ver, path)
+	}
+	var t16, f16 uint16
+	if err := binary.Read(r, binary.LittleEndian, &t16); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &f16); err != nil {
+		return nil, err
+	}
+	var nblocks uint32
+	if err := binary.Read(r, binary.LittleEndian, &nblocks); err != nil {
+		return nil, err
+	}
+	sh := &RankShard{T: int(t16), F: int(f16)}
+	for b := uint32(0); b < nblocks; b++ {
+		w, err := readF32Section(r, -1)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: shard %s block %d weights: %w", path, b, err)
+		}
+		m, err := readF32Section(r, len(w))
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: shard %s block %d moment m: %w", path, b, err)
+		}
+		v, err := readF32Section(r, len(w))
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: shard %s block %d moment v: %w", path, b, err)
+		}
+		sh.Blocks = append(sh.Blocks, BlockShard{W: w, M: m, V: v})
+	}
+	return sh, nil
+}

@@ -70,6 +70,19 @@ func (e *OOMError) Error() string {
 		e.Device, e.Requested, e.Used, e.Capacity)
 }
 
+// DeadDeviceError reports an operation on a device that has been
+// killed by fault injection — the simulated equivalent of a GPU
+// falling off the bus or its node crashing. It surfaces from memory
+// and compute operations exactly the way OOMError does.
+type DeadDeviceError struct {
+	Device int
+	Node   int
+}
+
+func (e *DeadDeviceError) Error() string {
+	return fmt.Sprintf("cluster: device %d (node %d) is dead", e.Device, e.Node)
+}
+
 // Device is one simulated GPU.
 type Device struct {
 	ID   int
@@ -82,13 +95,69 @@ type Device struct {
 	flops    int64
 	clock    float64
 	commTime float64
+	dead     bool
+	// killAtTime, when positive, schedules the device to die as soon
+	// as its simulated clock reaches that time (checked at the next
+	// memory or health operation, like a node crash noticed at the
+	// next RCCL call).
+	killAtTime float64
 }
 
+// Kill marks the device dead immediately. Subsequent Alloc,
+// ComputeChecked, and CheckAlive calls return *DeadDeviceError.
+func (d *Device) Kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead = true
+}
+
+// KillAtTime schedules the device to die once its simulated clock
+// reaches t (seconds). The death takes effect at the next operation
+// that checks health.
+func (d *Device) KillAtTime(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.killAtTime = t
+}
+
+// evalDeathLocked evaluates (and latches) the device's time-scheduled
+// death condition. Caller holds d.mu. Only health checks evaluate the
+// time trigger: a device whose clock passed the deadline mid-step
+// "dies" silently and is noticed at the next CheckAlive — the way a
+// node crash is noticed by the job's health monitor, not by the
+// in-flight collective. Alloc/ComputeChecked only observe the latched
+// flag, so SPMD peers of a just-dead rank cannot be left stranded in
+// a rendezvous mid-step.
+func (d *Device) evalDeathLocked() bool {
+	if d.killAtTime > 0 && d.clock >= d.killAtTime {
+		d.dead = true
+	}
+	return d.dead
+}
+
+// CheckAlive returns *DeadDeviceError when the device has been killed
+// (directly or by a scheduled time-based fault), nil otherwise.
+func (d *Device) CheckAlive() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.evalDeathLocked() {
+		return &DeadDeviceError{Device: d.ID, Node: d.Node}
+	}
+	return nil
+}
+
+// Alive reports whether the device is still healthy.
+func (d *Device) Alive() bool { return d.CheckAlive() == nil }
+
 // Alloc reserves bytes of device memory, returning *OOMError when the
-// capacity would be exceeded.
+// capacity would be exceeded and *DeadDeviceError when the device has
+// been killed by fault injection.
 func (d *Device) Alloc(bytes int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.dead {
+		return &DeadDeviceError{Device: d.ID, Node: d.Node}
+	}
 	if d.memUsed+bytes > d.Spec.MemPerGPU {
 		return &OOMError{Device: d.ID, Requested: bytes, Used: d.memUsed, Capacity: d.Spec.MemPerGPU}
 	}
@@ -96,6 +165,21 @@ func (d *Device) Alloc(bytes int64) error {
 	if d.memUsed > d.memPeak {
 		d.memPeak = d.memUsed
 	}
+	return nil
+}
+
+// ComputeChecked is Compute with a health check: it records the work
+// and advances the clock only when the device is alive, returning
+// *DeadDeviceError otherwise (the error a kernel launch on a crashed
+// GPU would produce).
+func (d *Device) ComputeChecked(flops int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return &DeadDeviceError{Device: d.ID, Node: d.Node}
+	}
+	d.flops += flops
+	d.clock += float64(flops) / (d.Spec.PeakFLOPS * d.Spec.Efficiency)
 	return nil
 }
 
@@ -246,4 +330,143 @@ func (m *Machine) TotalFLOPs() int64 {
 		f += d.FLOPs()
 	}
 	return f
+}
+
+// Nodes returns the number of nodes the machine's devices span.
+func (m *Machine) Nodes() int {
+	n := 0
+	for _, d := range m.Devices {
+		if d.Node+1 > n {
+			n = d.Node + 1
+		}
+	}
+	return n
+}
+
+// KillDevice kills device id (no-op for out-of-range ids, so fault
+// plans survive machine shrinkage).
+func (m *Machine) KillDevice(id int) {
+	if id >= 0 && id < len(m.Devices) {
+		m.Devices[id].Kill()
+	}
+}
+
+// KillNode kills every device on a node — the whole-node failure mode
+// that dominates on Frontier-class machines.
+func (m *Machine) KillNode(node int) {
+	for _, d := range m.Devices {
+		if d.Node == node {
+			d.Kill()
+		}
+	}
+}
+
+// FirstDead returns the lowest dead device id, or -1 when the machine
+// is healthy. Time-scheduled kills whose deadline has passed are
+// counted (and latched) here, so a health check at a step boundary
+// observes them.
+func (m *Machine) FirstDead() int {
+	for _, d := range m.Devices {
+		if !d.Alive() {
+			return d.ID
+		}
+	}
+	return -1
+}
+
+// Fault is one scheduled failure: at simulated-training Step (when
+// Step >= 0) or simulated Time (seconds, when Time > 0), the target
+// device — or the whole Node when Device is negative — is killed.
+type Fault struct {
+	Step   int // trigger step; -1 disables step triggering
+	Time   float64
+	Device int // device id, or -1 to kill the whole Node
+	Node   int
+}
+
+// FaultInjector schedules device/node kills against a machine. Step
+// triggers fire when the training loop calls FireStep at each step
+// boundary; time triggers are armed onto the devices themselves and
+// fire as the simulated clock passes them. Each fault fires at most
+// once, even across machine rebuilds.
+type FaultInjector struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []bool
+}
+
+// NewFaultInjector builds an empty injector.
+func NewFaultInjector() *FaultInjector { return &FaultInjector{} }
+
+// KillDeviceAtStep schedules device id to die at the given step.
+func (fi *FaultInjector) KillDeviceAtStep(id, step int) {
+	fi.add(Fault{Step: step, Device: id, Node: -1})
+}
+
+// KillNodeAtStep schedules a whole node to die at the given step.
+func (fi *FaultInjector) KillNodeAtStep(node, step int) {
+	fi.add(Fault{Step: step, Device: -1, Node: node})
+}
+
+// KillDeviceAtTime schedules device id to die when its simulated
+// clock reaches t seconds; call Arm after (re)building the machine.
+func (fi *FaultInjector) KillDeviceAtTime(id int, t float64) {
+	fi.add(Fault{Step: -1, Time: t, Device: id, Node: -1})
+}
+
+func (fi *FaultInjector) add(f Fault) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.faults = append(fi.faults, f)
+	fi.fired = append(fi.fired, false)
+}
+
+// Arm applies pending time-based faults to the machine's devices.
+func (fi *FaultInjector) Arm(m *Machine) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for i, f := range fi.faults {
+		if fi.fired[i] || f.Time <= 0 || f.Step >= 0 {
+			continue
+		}
+		if f.Device >= 0 && f.Device < len(m.Devices) {
+			m.Devices[f.Device].KillAtTime(f.Time)
+		}
+	}
+}
+
+// FireStep triggers every not-yet-fired step fault with Step <= step,
+// returning true when any fired. Call at each training-step boundary.
+func (fi *FaultInjector) FireStep(m *Machine, step int) bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	any := false
+	for i, f := range fi.faults {
+		if fi.fired[i] || f.Step < 0 || f.Step > step {
+			continue
+		}
+		if f.Device >= 0 {
+			m.KillDevice(f.Device)
+		} else {
+			m.KillNode(f.Node)
+		}
+		fi.fired[i] = true
+		any = true
+	}
+	return any
+}
+
+// MarkTimeFaultsFired records time faults whose device has died so a
+// rebuilt (renumbered) machine is not re-armed with stale kills.
+func (fi *FaultInjector) MarkTimeFaultsFired(m *Machine) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for i, f := range fi.faults {
+		if fi.fired[i] || f.Time <= 0 || f.Step >= 0 {
+			continue
+		}
+		if f.Device >= 0 && f.Device < len(m.Devices) && !m.Devices[f.Device].Alive() {
+			fi.fired[i] = true
+		}
+	}
 }

@@ -56,6 +56,7 @@ type Engine struct {
 	chunks      []*nn.Param // rank-owned FSDP chunk per block
 	gatherBytes []int64
 	flatLen     []int
+	logicalLen  []int // unpadded flat length per block (checkpoint manifests)
 	actBytes    []int64
 	savedInputs []*tensor.Tensor
 	heldAct     int64
@@ -116,6 +117,7 @@ func NewEngine(rank int, layout Layout, groups *Groups, ref []*nn.TransformerBlo
 		e.chunks = append(e.chunks, nn.NewParam(fmt.Sprintf("hstop.block%d.chunk", i), tensor.FromSlice(chunk, chunkLen)))
 		e.gatherBytes = append(e.gatherBytes, int64(len(flat))*e.paramBytes())
 		e.flatLen = append(e.flatLen, len(flat))
+		e.logicalLen = append(e.logicalLen, parallel.NumelPadded(params, 1))
 
 		// Rough per-block activation footprint: token embeddings at
 		// each of ~8 interior stages plus local attention maps.
@@ -150,6 +152,44 @@ const dimTokensHint = 64
 
 // Chunks exposes the rank-owned parameter chunks for the optimizer.
 func (e *Engine) Chunks() []*nn.Param { return e.chunks }
+
+// LogicalFlatLens returns the unpadded flattened parameter length of
+// each block's TP shard — what a sharded checkpoint manifest records
+// so chunks reshard exactly across a different FSDP extent.
+func (e *Engine) LogicalFlatLens() []int {
+	return append([]int(nil), e.logicalLen...)
+}
+
+// ExportChunks snapshots the rank-owned parameter chunks (one per
+// block) for a sharded checkpoint. Like training itself, no rank ever
+// exports more than its 1/(TP·FSDP) slice of the model.
+func (e *Engine) ExportChunks() [][]float32 {
+	out := make([][]float32, len(e.chunks))
+	for b, c := range e.chunks {
+		chunk := make([]float32, c.W.Len())
+		copy(chunk, c.W.Data())
+		out[b] = chunk
+	}
+	return out
+}
+
+// ImportChunks restores chunks written by ExportChunks (possibly
+// resharded by the checkpoint layer), invalidating the staged replicas
+// so the next gather materializes the restored weights.
+func (e *Engine) ImportChunks(chunks [][]float32) {
+	if len(chunks) != len(e.chunks) {
+		panic(fmt.Sprintf("core: ImportChunks got %d chunks for %d blocks", len(chunks), len(e.chunks)))
+	}
+	for b, chunk := range chunks {
+		c := e.chunks[b]
+		if len(chunk) != c.W.Len() {
+			panic(fmt.Sprintf("core: ImportChunks block %d chunk length %d, want %d", b, len(chunk), c.W.Len()))
+		}
+		copy(c.W.Data(), chunk)
+		c.W.Bump()
+		e.chunkSeen[b] = 0
+	}
+}
 
 // postGather accounts block b's gather memory and posts the FSDP
 // all-gather of its TP-shard parameters into a pooled staging buffer.

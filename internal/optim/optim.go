@@ -75,6 +75,19 @@ func (a *AdamW) Step(lr float64) {
 // Params returns the optimized parameter set.
 func (a *AdamW) Params() []*nn.Param { return a.params }
 
+// Moments exposes the first and second moment estimates, aligned with
+// Params(), for checkpointing. The returned tensors are the live
+// optimizer state: write into their Data() to restore a checkpoint.
+func (a *AdamW) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
+// StepCount returns the number of optimizer steps taken, the quantity
+// Adam's bias correction depends on.
+func (a *AdamW) StepCount() int { return a.step }
+
+// SetStepCount restores the step counter from a checkpoint so bias
+// correction continues exactly where the saved run left off.
+func (a *AdamW) SetStepCount(n int) { a.step = n }
+
 // StateBytesPerParam is the optimizer-state footprint AdamW adds per
 // parameter (two float32 moments); the perf model uses this to compute
 // sharded memory footprints.
@@ -114,6 +127,10 @@ func (s *SGD) Step(lr float64) {
 
 // Params returns the optimized parameter set.
 func (s *SGD) Params() []*nn.Param { return s.params }
+
+// Velocity exposes the momentum buffers, aligned with Params(), for
+// checkpointing (live state, like AdamW.Moments).
+func (s *SGD) Velocity() []*tensor.Tensor { return s.vel }
 
 // ClipGradNorm scales all gradients so the global L2 norm does not
 // exceed maxNorm; returns the pre-clip norm.

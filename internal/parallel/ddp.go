@@ -166,3 +166,17 @@ func (d *DDP) AllReduceGradients() {
 func (d *DDP) AverageLoss(local float64) float64 {
 	return d.Group.AllReduceScalar(d.Rank, local) / float64(d.Group.Size())
 }
+
+// ExportWeights snapshots the replica's parameters as one flat vector
+// for checkpointing. Replicas are identical, so only one rank needs to
+// export.
+func (d *DDP) ExportWeights() []float32 {
+	return FlattenParams(d.Params, 1)
+}
+
+// ImportWeights restores a flat vector written by ExportWeights into
+// the replica's parameters. Every rank must import the same vector
+// (or rank 0 can import and then SyncInitialWeights).
+func (d *DDP) ImportWeights(flat []float32) {
+	UnflattenInto(flat, d.Params)
+}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"strconv"
 
 	"orbit/internal/cluster"
@@ -222,3 +223,45 @@ func (f *FSDP) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 
 // HeldBytes reports gathered bytes currently resident (diagnostics).
 func (f *FSDP) HeldBytes() int64 { return f.heldBytes }
+
+// ExportShards snapshots the rank-owned parameter chunks (one per
+// unit) for a sharded checkpoint: each rank exports only its 1/R slice
+// of the model, never the gathered replica.
+func (f *FSDP) ExportShards() [][]float32 {
+	out := make([][]float32, len(f.shardParams))
+	for u, p := range f.shardParams {
+		chunk := make([]float32, p.W.Len())
+		copy(chunk, p.W.Data())
+		out[u] = chunk
+	}
+	return out
+}
+
+// ImportShards restores chunks written by ExportShards (or resharded
+// by the checkpoint layer) into the rank-owned state, invalidating the
+// staged replicas so the next gather refreshes them.
+func (f *FSDP) ImportShards(chunks [][]float32) {
+	if len(chunks) != len(f.shardParams) {
+		panic(fmt.Sprintf("parallel: ImportShards got %d chunks for %d units", len(chunks), len(f.shardParams)))
+	}
+	for u, chunk := range chunks {
+		p := f.shardParams[u]
+		if len(chunk) != p.W.Len() {
+			panic(fmt.Sprintf("parallel: ImportShards unit %d chunk length %d, want %d", u, len(chunk), p.W.Len()))
+		}
+		copy(p.W.Data(), chunk)
+		p.W.Bump()
+		f.shardSeen[u] = 0
+	}
+}
+
+// ShardFlatLens returns the logical (unpadded) flattened parameter
+// length per unit — what a checkpoint manifest records so chunks can
+// be resharded across a different group size.
+func (f *FSDP) ShardFlatLens() []int {
+	lens := make([]int, len(f.unitParams))
+	for u, params := range f.unitParams {
+		lens[u] = NumelPadded(params, 1)
+	}
+	return lens
+}

@@ -15,6 +15,27 @@ type RNG struct {
 // NewRNG seeds a generator. Distinct seeds yield independent streams.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed*0x9E3779B97F4A7C15 + 1} }
 
+// RNGState is the serializable snapshot of an RNG stream, used by
+// checkpoints so a resumed run continues the exact same sequence.
+type RNGState struct {
+	State    uint64  `json:"state"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+	Spare    float64 `json:"spare,omitempty"`
+}
+
+// State snapshots the generator.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState restores a snapshot taken with State; the generator then
+// reproduces the deviate sequence that followed the snapshot.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = s.Spare
+}
+
 // Split derives an independent child generator; the parent advances.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 

@@ -1,0 +1,492 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/ckpt"
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+	"orbit/internal/nn"
+	"orbit/internal/optim"
+	"orbit/internal/tensor"
+)
+
+// Elastic fault-tolerant training over the simulated cluster.
+//
+// RunElastic drives Hybrid-STOP engines (which subsume DDP and FSDP as
+// degenerate layouts) through a training loop that survives device and
+// node failures: at every step boundary the job health-checks the
+// machine; on a failure it tears the job down, rebuilds the machine
+// without the dead node, shrinks the parallelism layout to fit the
+// surviving devices, reloads the newest sharded checkpoint (resharding
+// the FSDP chunks when the layout changed), and continues.
+//
+// Two determinism invariants make resumption testable:
+//
+//   - Same layout: the post-resume loss trajectory is bit-identical to
+//     an uninterrupted run, because checkpoints capture every stateful
+//     quantity — chunk weights, AdamW moments and step count, the
+//     schedule step, and the data-stream RNG.
+//   - Changed layout: the global batch is fixed in the config and
+//     micro-batched over however many data ranks the layout provides,
+//     and each sample is a pure function of (step seed, global sample
+//     index). Losses then match an uninterrupted run up to float32
+//     reduction-grouping error (≪ 1e-6 per step).
+type ElasticConfig struct {
+	// Layout is the initial TP×FSDP×DDP grid. TP is preserved across
+	// recoveries (TP shards partition individual weight matrices, so
+	// changing TP would need a different checkpoint transform); DDP and
+	// FSDP shrink as nodes are lost.
+	Layout core.Layout
+	// Nodes is the simulated machine size; 0 fits the layout exactly.
+	Nodes int
+	// GPUsPerNode overrides the spec's node width (0 = spec default).
+	GPUsPerNode int
+
+	// Transformer-stack shape (the functional workload).
+	Dim, Heads, Layers, Tokens int
+
+	// GlobalBatch is the layout-independent number of samples per step,
+	// micro-batched over the data ranks (must stay divisible by
+	// FSDP×DDP of every layout the job passes through).
+	GlobalBatch int
+
+	LR          float64
+	MinLR       float64
+	WarmupSteps int
+	WeightDecay float64
+	TotalSteps  int
+	// ScheduleSteps is the cosine-decay horizon (0 = TotalSteps). Set
+	// it explicitly when a process intentionally runs fewer steps than
+	// the full job (e.g. an allocation time limit before a resume), so
+	// the LR trajectory — and therefore the loss trajectory — is the
+	// same function of the step index in every process of the job.
+	ScheduleSteps int
+
+	Seed     uint64 // model initialization
+	DataSeed uint64 // data stream (0 = Seed+1)
+
+	// CkptDir receives the sharded checkpoints; CkptEvery is the saving
+	// cadence in steps (0 disables checkpointing — a fault then
+	// restarts training from scratch).
+	CkptDir   string
+	CkptEvery int
+	// Resume starts from CkptDir's checkpoint when one exists.
+	Resume bool
+
+	Opts core.Options
+}
+
+// ElasticEvent records one fault-tolerance action for reporting.
+type ElasticEvent struct {
+	Step   int
+	Kind   string // "fault", "rebuild", "resume", "checkpoint", "restart"
+	Detail string
+}
+
+// ElasticResult is the outcome of an elastic run.
+type ElasticResult struct {
+	// Losses holds the per-step global-batch mean loss, indexed by
+	// step. A run resumed from a checkpoint only fills the steps it
+	// executed.
+	Losses      []float64
+	Events      []ElasticEvent
+	Rebuilds    int
+	FinalLayout core.Layout
+	// FinalNodes is the surviving machine size.
+	FinalNodes int
+}
+
+// ShrinkLayout reduces a layout to at most `ranks` ranks, preserving
+// TP and halving DDP before FSDP (outer levels are cheapest to drop).
+func ShrinkLayout(l core.Layout, ranks int) (core.Layout, error) {
+	for l.Ranks() > ranks {
+		switch {
+		case l.DDP > 1 && l.DDP%2 == 0:
+			l.DDP /= 2
+		case l.DDP > 1:
+			l.DDP = 1
+		case l.FSDP > 1 && l.FSDP%2 == 0:
+			l.FSDP /= 2
+		case l.FSDP > 1:
+			l.FSDP = 1
+		default:
+			return l, fmt.Errorf("train: cannot shrink layout TP=%d below %d ranks", l.TP, l.Ranks())
+		}
+	}
+	return l, nil
+}
+
+// elasticJob is the mutable state of one RunElastic invocation.
+type elasticJob struct {
+	cfg     ElasticConfig
+	inj     *cluster.FaultInjector
+	res     *ElasticResult
+	layout  core.Layout
+	nodes   int
+	gpn     int
+	machine *cluster.Machine
+	engines []*core.Engine
+	opts    []*optim.AdamW
+	accum   [][][]float32 // [rank][block] micro-batch gradient accumulators
+	sched   optim.CosineSchedule
+	dataRNG *tensor.RNG
+	step    int // next step to run
+}
+
+// RunElastic executes an elastic fault-tolerant training run. inj may
+// be nil for a fault-free run (still checkpointing, still resumable).
+func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, error) {
+	if cfg.Dim == 0 || cfg.Heads == 0 || cfg.Layers == 0 || cfg.Tokens == 0 {
+		return nil, fmt.Errorf("train: elastic config needs Dim/Heads/Layers/Tokens")
+	}
+	if cfg.TotalSteps <= 0 || cfg.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("train: elastic config needs TotalSteps and GlobalBatch")
+	}
+	if cfg.DataSeed == 0 {
+		cfg.DataSeed = cfg.Seed + 1
+	}
+	if cfg.ScheduleSteps == 0 {
+		cfg.ScheduleSteps = cfg.TotalSteps
+	}
+	spec := cluster.Frontier()
+	gpn := cfg.GPUsPerNode
+	if gpn == 0 {
+		gpn = spec.GPUsPerNode
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = (cfg.Layout.Ranks() + gpn - 1) / gpn
+	}
+	j := &elasticJob{
+		cfg: cfg, inj: inj,
+		layout: cfg.Layout, nodes: nodes, gpn: gpn,
+		res: &ElasticResult{Losses: make([]float64, cfg.TotalSteps)},
+		sched: optim.CosineSchedule{
+			BaseLR: cfg.LR, MinLR: cfg.MinLR,
+			WarmupSteps: cfg.WarmupSteps, TotalSteps: cfg.ScheduleSteps,
+		},
+		dataRNG: tensor.NewRNG(cfg.DataSeed),
+	}
+	if j.sched.BaseLR == 0 {
+		j.sched.BaseLR = 1e-2
+	}
+
+	resume := cfg.Resume && cfg.CkptDir != "" && ckpt.HasManifest(cfg.CkptDir)
+	for {
+		if err := j.build(resume); err != nil {
+			return nil, err
+		}
+		if resume {
+			j.event(j.step, "resume", fmt.Sprintf("layout TP=%d FSDP=%d DDP=%d on %d nodes",
+				j.layout.TP, j.layout.FSDP, j.layout.DDP, j.nodes))
+		}
+		restart, err := j.trainUntilFaultOrDone()
+		if err != nil {
+			return nil, err
+		}
+		if !restart {
+			break
+		}
+		resume = cfg.CkptDir != "" && ckpt.HasManifest(cfg.CkptDir)
+		if !resume {
+			// No checkpoint yet: all progress is lost, start over.
+			j.step = 0
+			j.dataRNG = tensor.NewRNG(cfg.DataSeed)
+			j.event(0, "restart", "no checkpoint available, restarting from scratch")
+		}
+	}
+	j.res.FinalLayout = j.layout
+	j.res.FinalNodes = j.nodes
+	return j.res, nil
+}
+
+// trainUntilFaultOrDone runs steps until completion (false) or a fault
+// that demands a rebuild (true, with the job's layout/nodes updated).
+func (j *elasticJob) trainUntilFaultOrDone() (restart bool, err error) {
+	for j.step < j.cfg.TotalSteps {
+		if j.inj != nil {
+			j.inj.FireStep(j.machine, j.step)
+		}
+		if j.machine.FirstDead() >= 0 {
+			if err := j.handleFault(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		loss, err := j.runStep()
+		if err != nil {
+			// A failure that surfaced from inside the step (e.g. OOM on
+			// rebuild-sized devices) is not recoverable by shrinking.
+			return false, err
+		}
+		j.res.Losses[j.step] = loss
+		j.step++
+		if j.cfg.CkptEvery > 0 && j.cfg.CkptDir != "" && j.step%j.cfg.CkptEvery == 0 {
+			if err := j.save(); err != nil {
+				return false, err
+			}
+			j.event(j.step, "checkpoint", fmt.Sprintf("saved %d shards", j.layout.TP*j.layout.FSDP))
+		}
+	}
+	return false, nil
+}
+
+// handleFault records the failure and shrinks the job to the surviving
+// nodes. Every node with a dead device is dropped — simultaneous
+// multi-node failures (e.g. a shared power domain) must all be counted
+// before the rebuild, or a lost node would silently come back healthy.
+func (j *elasticJob) handleFault() error {
+	deadNodes := make(map[int]bool)
+	for _, d := range j.machine.Devices {
+		if !d.Alive() {
+			deadNodes[d.Node] = true
+			j.event(j.step, "fault", fmt.Sprintf("device %d (node %d) dead", d.ID, d.Node))
+		}
+	}
+	if j.inj != nil {
+		j.inj.MarkTimeFaultsFired(j.machine)
+	}
+	j.nodes -= len(deadNodes)
+	if j.nodes < 1 {
+		return fmt.Errorf("train: no healthy nodes left after fault at step %d", j.step)
+	}
+	newLayout, err := ShrinkLayout(j.layout, j.nodes*j.gpn)
+	if err != nil {
+		return err
+	}
+	if j.cfg.GlobalBatch%(newLayout.FSDP*newLayout.DDP) != 0 {
+		return fmt.Errorf("train: global batch %d not divisible by %d data ranks after shrink",
+			j.cfg.GlobalBatch, newLayout.FSDP*newLayout.DDP)
+	}
+	j.res.Rebuilds++
+	j.event(j.step, "rebuild", fmt.Sprintf("%d nodes, layout TP=%d FSDP=%d DDP=%d",
+		j.nodes, newLayout.TP, newLayout.FSDP, newLayout.DDP))
+	j.layout = newLayout
+	return nil
+}
+
+// refStack builds the common-seed reference blocks every rank shards.
+func (j *elasticJob) refStack() []*nn.TransformerBlock {
+	rng := tensor.NewRNG(j.cfg.Seed)
+	blocks := make([]*nn.TransformerBlock, j.cfg.Layers)
+	for i := range blocks {
+		blocks[i] = nn.NewTransformerBlock(fmt.Sprintf("elastic%d", i), j.cfg.Dim, j.cfg.Heads, true, rng)
+	}
+	return blocks
+}
+
+// build constructs the machine, engines, and optimizers for the
+// current layout, optionally loading the newest checkpoint.
+func (j *elasticJob) build(resume bool) error {
+	if j.cfg.GlobalBatch%(j.layout.FSDP*j.layout.DDP) != 0 {
+		return fmt.Errorf("train: global batch %d not divisible by %d data ranks",
+			j.cfg.GlobalBatch, j.layout.FSDP*j.layout.DDP)
+	}
+	j.machine = cluster.NewMachine(cluster.Frontier(), j.nodes, j.gpn)
+	if j.inj != nil {
+		j.inj.Arm(j.machine)
+	}
+	groups, err := core.BuildGroups(j.layout, j.machine)
+	if err != nil {
+		return err
+	}
+	ranks := j.layout.Ranks()
+	j.engines = make([]*core.Engine, ranks)
+	j.opts = make([]*optim.AdamW, ranks)
+	j.accum = make([][][]float32, ranks)
+	for r := 0; r < ranks; r++ {
+		e, err := core.NewEngine(r, j.layout, groups[r], j.refStack(), j.cfg.Opts, j.machine.Devices[r])
+		if err != nil {
+			return err
+		}
+		j.engines[r] = e
+		j.opts[r] = optim.NewAdamW(e.Chunks(), j.cfg.WeightDecay)
+		j.accum[r] = make([][]float32, len(e.Chunks()))
+		for b, c := range e.Chunks() {
+			j.accum[r][b] = make([]float32, c.W.Len())
+		}
+	}
+	if resume {
+		return j.load()
+	}
+	return nil
+}
+
+// save writes a sharded checkpoint: each (T,F) position of the D=0
+// plane contributes exactly its own chunk weights and moments.
+func (j *elasticJob) save() error {
+	man := &ckpt.Manifest{
+		Layout:      ckpt.ShardLayout{TP: j.layout.TP, FSDP: j.layout.FSDP, DDP: j.layout.DDP},
+		FlatLens:    j.engines[0].LogicalFlatLens(),
+		Step:        j.step,
+		OptStep:     j.opts[0].StepCount(),
+		GlobalBatch: j.cfg.GlobalBatch,
+		RNG:         j.dataRNG.State(),
+	}
+	var shards []*ckpt.RankShard
+	for r, e := range j.engines {
+		c := e.Coord
+		if c.D != 0 {
+			continue // DDP replicas hold identical state
+		}
+		chunks := e.ExportChunks()
+		m, v := j.opts[r].Moments()
+		sh := &ckpt.RankShard{T: c.T, F: c.F}
+		for b := range chunks {
+			sh.Blocks = append(sh.Blocks, ckpt.BlockShard{
+				W: chunks[b],
+				M: append([]float32(nil), m[b].Data()...),
+				V: append([]float32(nil), v[b].Data()...),
+			})
+		}
+		shards = append(shards, sh)
+	}
+	return ckpt.SaveSharded(j.cfg.CkptDir, man, shards)
+}
+
+// load restores the newest checkpoint into the freshly built engines,
+// resharding when the saved FSDP extent differs from the current one.
+func (j *elasticJob) load() error {
+	man, shards, err := ckpt.LoadSharded(j.cfg.CkptDir)
+	if err != nil {
+		return err
+	}
+	if man.Layout.TP != j.layout.TP {
+		return fmt.Errorf("train: checkpoint has TP=%d, layout has TP=%d (TP cannot reshard)",
+			man.Layout.TP, j.layout.TP)
+	}
+	if man.GlobalBatch != j.cfg.GlobalBatch {
+		return fmt.Errorf("train: checkpoint global batch %d, config %d", man.GlobalBatch, j.cfg.GlobalBatch)
+	}
+	lens := j.engines[0].LogicalFlatLens()
+	if len(man.FlatLens) != len(lens) {
+		return fmt.Errorf("train: checkpoint has %d blocks, model has %d", len(man.FlatLens), len(lens))
+	}
+	for b, l := range lens {
+		if man.FlatLens[b] != l {
+			return fmt.Errorf("train: block %d flat length %d in checkpoint, %d in model", b, man.FlatLens[b], l)
+		}
+	}
+	reshards, err := ckpt.Reshard(man, shards, j.layout.FSDP)
+	if err != nil {
+		return err
+	}
+	for r, e := range j.engines {
+		c := e.Coord
+		sh := reshards[c.T*j.layout.FSDP+c.F]
+		w := make([][]float32, len(sh.Blocks))
+		for b := range sh.Blocks {
+			w[b] = sh.Blocks[b].W
+		}
+		e.ImportChunks(w)
+		m, v := j.opts[r].Moments()
+		for b := range sh.Blocks {
+			copy(m[b].Data(), sh.Blocks[b].M)
+			copy(v[b].Data(), sh.Blocks[b].V)
+		}
+		j.opts[r].SetStepCount(man.OptStep)
+	}
+	j.dataRNG.SetState(man.RNG)
+	j.step = man.Step
+	return nil
+}
+
+// runStep executes one SPMD optimizer step over the global batch.
+func (j *elasticJob) runStep() (float64, error) {
+	stepSeed := j.dataRNG.Uint64() // exactly one draw per step (checkpointed stream)
+	dataRanks := j.layout.FSDP * j.layout.DDP
+	micros := j.cfg.GlobalBatch / dataRanks
+	lr := j.sched.LR(j.step)
+	ranks := j.layout.Ranks()
+	losses := make([]float64, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = j.rankStep(rank, stepSeed, micros, lr, &losses[rank])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Host-side loss averaging over the data ranks (deterministic
+	// order; TP peers duplicate their sample's loss).
+	var total float64
+	for r, e := range j.engines {
+		if e.Coord.T == 0 {
+			total += losses[r]
+		}
+	}
+	return total / float64(dataRanks), nil
+}
+
+// rankStep is one rank's contribution: `micros` forward/backward
+// passes with gradient accumulation, then the optimizer step on the
+// rank-owned chunks.
+func (j *elasticJob) rankStep(rank int, stepSeed uint64, micros int, lr float64, lossOut *float64) error {
+	e := j.engines[rank]
+	c := e.Coord
+	dataRank := c.D*j.layout.FSDP + c.F
+	chunks := e.Chunks()
+	accum := j.accum[rank]
+	for b := range accum {
+		for i := range accum[b] {
+			accum[b][i] = 0
+		}
+	}
+	invMicros := float32(1) / float32(micros)
+	var lossSum float64
+	for mu := 0; mu < micros; mu++ {
+		x, tgt := elasticSample(stepSeed, dataRank*micros+mu, j.cfg.Tokens, j.cfg.Dim)
+		y, err := e.Forward(x)
+		if err != nil {
+			return err
+		}
+		diff := tensor.Sub(y, tgt)
+		loss := tensor.Dot(diff, diff) / float64(y.Len())
+		lossSum += loss / float64(micros)
+		grad := tensor.Scale(diff, 2/float32(y.Len())*invMicros)
+		if _, err := e.Backward(grad); err != nil {
+			return err
+		}
+		for b, cp := range chunks {
+			g := cp.Grad.Data()
+			a := accum[b]
+			for i, v := range g {
+				a[i] += v
+			}
+		}
+	}
+	for b, cp := range chunks {
+		copy(cp.Grad.Data(), accum[b])
+	}
+	j.opts[rank].Step(lr)
+	*lossOut = lossSum
+	return nil
+}
+
+// elasticSample generates the deterministic sample for a global index
+// at a step: a pure function of (stepSeed, g), independent of how many
+// ranks the batch is spread over. The target is 0.5·x, a contraction
+// the residual blocks can learn, so losses visibly decrease.
+func elasticSample(stepSeed uint64, g, tokens, dim int) (x, tgt *tensor.Tensor) {
+	r := tensor.NewRNG(stepSeed ^ (uint64(g)+1)*0x9E3779B97F4A7C15)
+	x = tensor.Randn(r, 1, tokens, dim)
+	tgt = tensor.New(tokens, dim)
+	xd, td := x.Data(), tgt.Data()
+	for i, v := range xd {
+		td[i] = 0.5 * v
+	}
+	return x, tgt
+}
+
+func (j *elasticJob) event(step int, kind, detail string) {
+	j.res.Events = append(j.res.Events, ElasticEvent{Step: step, Kind: kind, Detail: detail})
+}

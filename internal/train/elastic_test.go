@@ -1,0 +1,280 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+)
+
+func elasticBase(t *testing.T, layout core.Layout, nodes, gpn int) ElasticConfig {
+	t.Helper()
+	return ElasticConfig{
+		Layout: layout, Nodes: nodes, GPUsPerNode: gpn,
+		Dim: 8, Heads: 2, Layers: 2, Tokens: 5,
+		GlobalBatch: 4, LR: 1e-2, MinLR: 1e-3, WarmupSteps: 2,
+		TotalSteps: 12, Seed: 3, DataSeed: 7,
+		CkptDir: t.TempDir(), CkptEvery: 4,
+		Opts: core.DefaultOptions(),
+	}
+}
+
+// testKillResumeBitIdentical is the tentpole property: killing the
+// active node at step 9 (after a checkpoint at step 8) and resuming at
+// the SAME layout must reproduce the uninterrupted loss trajectory
+// bit-for-bit, including the replayed steps.
+func testKillResumeBitIdentical(t *testing.T, layout core.Layout) {
+	t.Helper()
+	ref := elasticBase(t, layout, 2, 4)
+	refRes, err := RunElastic(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := elasticBase(t, layout, 2, 4)
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(0, 9)
+	gotRes, err := RunElastic(faulted, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1 (events: %+v)", gotRes.Rebuilds, gotRes.Events)
+	}
+	if gotRes.FinalLayout != layout {
+		t.Fatalf("layout changed to %+v on a machine that still fits %+v", gotRes.FinalLayout, layout)
+	}
+	if gotRes.FinalNodes != 1 {
+		t.Fatalf("FinalNodes = %d, want 1", gotRes.FinalNodes)
+	}
+	for s := range refRes.Losses {
+		if gotRes.Losses[s] != refRes.Losses[s] {
+			t.Fatalf("step %d loss %v != uninterrupted %v (must be bit-identical)",
+				s, gotRes.Losses[s], refRes.Losses[s])
+		}
+	}
+	// Sanity: training is actually learning something.
+	if refRes.Losses[len(refRes.Losses)-1] >= refRes.Losses[0] {
+		t.Errorf("loss did not decrease: %v -> %v", refRes.Losses[0], refRes.Losses[len(refRes.Losses)-1])
+	}
+}
+
+func TestKillResumeBitIdenticalDDP(t *testing.T) {
+	testKillResumeBitIdentical(t, core.Layout{TP: 1, FSDP: 1, DDP: 2})
+}
+
+func TestKillResumeBitIdenticalFSDP(t *testing.T) {
+	testKillResumeBitIdentical(t, core.Layout{TP: 1, FSDP: 2, DDP: 1})
+}
+
+func TestKillResumeBitIdenticalHybridSTOP(t *testing.T) {
+	testKillResumeBitIdentical(t, core.Layout{TP: 2, FSDP: 2, DDP: 1})
+}
+
+// TestKillReshardResume16To8 is the layout-change property: a 16-rank
+// Hybrid-STOP run (TP=2, FSDP=4, DDP=2) loses a node, resumes on the
+// surviving 8 devices (DDP halves to 1, FSDP chunks reshard), and the
+// loss trajectory matches the uninterrupted 16-rank run within 1e-6 —
+// the only divergence source is float32 reduction grouping.
+func TestKillReshardResume16To8(t *testing.T) {
+	layout := core.Layout{TP: 2, FSDP: 4, DDP: 2}
+	ref := elasticBase(t, layout, 2, 8)
+	ref.GlobalBatch = 8
+	refRes, err := RunElastic(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := elasticBase(t, layout, 2, 8)
+	faulted.GlobalBatch = 8
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(1, 9)
+	gotRes, err := RunElastic(faulted, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Layout{TP: 2, FSDP: 4, DDP: 1}
+	if gotRes.FinalLayout != want {
+		t.Fatalf("resumed layout %+v, want %+v", gotRes.FinalLayout, want)
+	}
+	// Pre-fault steps ran at the original layout: bit-identical.
+	for s := 0; s < 8; s++ {
+		if gotRes.Losses[s] != refRes.Losses[s] {
+			t.Fatalf("pre-fault step %d diverged: %v != %v", s, gotRes.Losses[s], refRes.Losses[s])
+		}
+	}
+	// Replayed + post-resume steps ran on half the ranks: within 1e-6.
+	for s := 8; s < len(refRes.Losses); s++ {
+		diff := math.Abs(gotRes.Losses[s] - refRes.Losses[s])
+		tol := 1e-6 * math.Max(1, math.Abs(refRes.Losses[s]))
+		if diff > tol {
+			t.Fatalf("post-reshard step %d: |%v - %v| = %v > %v",
+				s, gotRes.Losses[s], refRes.Losses[s], diff, tol)
+		}
+	}
+}
+
+// TestColdResumeContinuesTrajectory stops a run (as a process exit
+// would) and restarts it with Resume set; the continued trajectory
+// must match an uninterrupted run bit-identically.
+func TestColdResumeContinuesTrajectory(t *testing.T) {
+	layout := core.Layout{TP: 1, FSDP: 2, DDP: 1}
+	ref := elasticBase(t, layout, 1, 4)
+	refRes, err := RunElastic(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := elasticBase(t, layout, 1, 4)
+	first.TotalSteps = 8     // checkpoint lands exactly at step 8
+	first.ScheduleSteps = 12 // the job's horizon, not this process's
+	if _, err := RunElastic(first, nil); err != nil {
+		t.Fatal(err)
+	}
+	second := first
+	second.TotalSteps = 12
+	second.Resume = true
+	secondRes, err := RunElastic(second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 8; s < 12; s++ {
+		if secondRes.Losses[s] != refRes.Losses[s] {
+			t.Fatalf("cold-resumed step %d loss %v != uninterrupted %v", s, secondRes.Losses[s], refRes.Losses[s])
+		}
+	}
+	for s := 0; s < 8; s++ {
+		if secondRes.Losses[s] != 0 {
+			t.Errorf("step %d was not executed by the resumed run but has loss %v", s, secondRes.Losses[s])
+		}
+	}
+}
+
+// TestFaultWithoutCheckpointRestartsFromScratch covers the no-ckpt
+// path: with checkpointing disabled, a fault restarts training from
+// step 0 and still finishes all steps.
+func TestFaultWithoutCheckpointRestartsFromScratch(t *testing.T) {
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 2}
+	cfg := elasticBase(t, layout, 2, 4)
+	cfg.CkptEvery = 0
+	cfg.TotalSteps = 6
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(0, 3)
+	res, err := RunElastic(cfg, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", res.Rebuilds)
+	}
+	restarted := false
+	for _, e := range res.Events {
+		if e.Kind == "restart" {
+			restarted = true
+		}
+	}
+	if !restarted {
+		t.Error("expected a restart event when no checkpoint exists")
+	}
+	for s, l := range res.Losses {
+		if l == 0 {
+			t.Errorf("step %d never completed after restart", s)
+		}
+	}
+}
+
+// TestSimultaneousNodeFaultsAllCounted kills two of three nodes at the
+// same step; the rebuild must drop BOTH (a resurrected dead node would
+// silently train on hardware that no longer exists).
+func TestSimultaneousNodeFaultsAllCounted(t *testing.T) {
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 2}
+	cfg := elasticBase(t, layout, 3, 2)
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(0, 5)
+	inj.KillNodeAtStep(1, 5)
+	res, err := RunElastic(cfg, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalNodes != 1 {
+		t.Fatalf("FinalNodes = %d, want 1 (both dead nodes must be dropped)", res.FinalNodes)
+	}
+	if res.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", res.Rebuilds)
+	}
+	// Trajectory still matches the uninterrupted run bit-for-bit.
+	ref := elasticBase(t, layout, 3, 2)
+	refRes, err := RunElastic(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range refRes.Losses {
+		if res.Losses[s] != refRes.Losses[s] {
+			t.Fatalf("step %d loss diverged after double-node fault", s)
+		}
+	}
+}
+
+// TestEngineSurfacesDeadDevice pins the error-surfacing contract: a
+// killed device makes the engine's Forward return *DeadDeviceError
+// through the same path OOM uses.
+func TestEngineSurfacesDeadDevice(t *testing.T) {
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 1}
+	m := cluster.NewMachine(cluster.Frontier(), 1, 1)
+	groups, err := core.BuildGroups(layout, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &elasticJob{cfg: ElasticConfig{Dim: 8, Heads: 2, Layers: 2, Tokens: 5, Seed: 1}}
+	e, err := core.NewEngine(0, layout, groups[0], j.refStack(), core.DefaultOptions(), m.Devices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.KillDevice(0)
+	x, _ := elasticSample(1, 0, 5, 8)
+	_, err = e.Forward(x)
+	var dead *cluster.DeadDeviceError
+	if !errors.As(err, &dead) {
+		t.Fatalf("Forward on killed device: got %v, want DeadDeviceError", err)
+	}
+}
+
+// TestRunElasticNoNodesLeft exhausts the machine and expects a clean
+// error instead of a hang.
+func TestRunElasticNoNodesLeft(t *testing.T) {
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 1}
+	cfg := elasticBase(t, layout, 1, 1)
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(0, 2)
+	if _, err := RunElastic(cfg, inj); err == nil {
+		t.Fatal("expected an error when the last node dies")
+	}
+}
+
+func TestShrinkLayout(t *testing.T) {
+	cases := []struct {
+		in    core.Layout
+		ranks int
+		want  core.Layout
+	}{
+		{core.Layout{TP: 2, FSDP: 4, DDP: 2}, 8, core.Layout{TP: 2, FSDP: 4, DDP: 1}},
+		{core.Layout{TP: 2, FSDP: 4, DDP: 1}, 4, core.Layout{TP: 2, FSDP: 2, DDP: 1}},
+		{core.Layout{TP: 1, FSDP: 1, DDP: 8}, 2, core.Layout{TP: 1, FSDP: 1, DDP: 2}},
+		{core.Layout{TP: 2, FSDP: 1, DDP: 1}, 4, core.Layout{TP: 2, FSDP: 1, DDP: 1}},
+	}
+	for _, c := range cases {
+		got, err := ShrinkLayout(c.in, c.ranks)
+		if err != nil {
+			t.Errorf("ShrinkLayout(%+v, %d): %v", c.in, c.ranks, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ShrinkLayout(%+v, %d) = %+v, want %+v", c.in, c.ranks, got, c.want)
+		}
+	}
+	if _, err := (ShrinkLayout(core.Layout{TP: 4, FSDP: 1, DDP: 1}, 2)); err == nil {
+		t.Error("expected error shrinking below the TP extent")
+	}
+}

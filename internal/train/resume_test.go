@@ -1,0 +1,108 @@
+package train
+
+import (
+	"path/filepath"
+	"testing"
+
+	"orbit/internal/ckpt"
+	"orbit/internal/vit"
+)
+
+// testTrainerResume trains 10 steps uninterrupted and compares against
+// 6 steps + checkpoint-to-disk + restore + 4 steps. The trajectories
+// must agree bit-for-bit: CaptureState/RestoreTrainer carry weights,
+// AdamW moments, counters, the data-stream position, and (in mixed
+// precision) the loss-scaler state.
+func testTrainerResume(t *testing.T, mixed bool) {
+	t.Helper()
+	ds, _ := smallData(t)
+	tc := quickTC()
+	tc.MixedPrecision = mixed
+
+	mRef, err := vit.New(tinyCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewTrainer(mRef, tc)
+	refCurve := ref.Run(ds, 10)
+
+	mA, err := vit.New(tinyCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewTrainer(mA, tc)
+	curveA := a.Run(ds, 6)
+
+	path := filepath.Join(t.TempDir(), "resume.orbt")
+	if err := ckpt.SaveTrainState(path, a.CaptureState(), false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ckpt.LoadTrainState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreTrainer(st, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Samples() != a.Samples() {
+		t.Fatalf("restored Samples = %d, want %d", b.Samples(), a.Samples())
+	}
+	curveB := b.Run(ds, 4)
+
+	for s := 0; s < 6; s++ {
+		if curveA[s].Loss != refCurve[s].Loss {
+			t.Fatalf("pre-checkpoint step %d diverged", s)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if curveB[s].Loss != refCurve[6+s].Loss || curveB[s].Samples != refCurve[6+s].Samples {
+			t.Fatalf("resumed step %d: loss %v (samples %d), want %v (%d)",
+				s, curveB[s].Loss, curveB[s].Samples, refCurve[6+s].Loss, refCurve[6+s].Samples)
+		}
+	}
+}
+
+func TestTrainerResumeBitIdentical(t *testing.T)   { testTrainerResume(t, false) }
+func TestTrainerResumeMixedPrecision(t *testing.T) { testTrainerResume(t, true) }
+
+// TestRestoreTrainerRejectsPrecisionMismatch: a checkpoint's precision
+// mode must match the resume config's — silently dropping or freshly
+// seeding the loss scaler would diverge the promised trajectory.
+func TestRestoreTrainerRejectsPrecisionMismatch(t *testing.T) {
+	ds, _ := smallData(t)
+	tcMP := quickTC()
+	tcMP.MixedPrecision = true
+	m, err := vit.New(tinyCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m, tcMP)
+	tr.Run(ds, 2)
+	st := tr.CaptureState()
+
+	plain := quickTC()
+	if _, err := RestoreTrainer(st, plain); err == nil {
+		t.Error("expected error resuming a mixed-precision checkpoint without MixedPrecision")
+	}
+
+	m2, err := vit.New(tinyCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewTrainer(m2, plain).CaptureState()
+	if _, err := RestoreTrainer(st2, tcMP); err == nil {
+		t.Error("expected error resuming a full-precision checkpoint with MixedPrecision")
+	}
+}
+
+func TestRestoreTrainerRejectsBadMoments(t *testing.T) {
+	m, err := vit.New(tinyCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &ckpt.TrainState{Model: m} // no moments at all
+	if _, err := RestoreTrainer(st, quickTC()); err == nil {
+		t.Error("expected error restoring a state with missing moments")
+	}
+}

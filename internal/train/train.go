@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"orbit/internal/bf16"
+	"orbit/internal/ckpt"
 	"orbit/internal/climate"
 	"orbit/internal/metrics"
 	"orbit/internal/nn"
@@ -76,6 +77,11 @@ type Trainer struct {
 	batch   []climate.Sample // reused per-step batch staging
 	step    int
 	samples int
+	// order/dataIdx are the persistent shuffled data stream Run walks;
+	// they live on the trainer (not in Run) so CaptureState can record
+	// the position and a restored trainer continues mid-stream.
+	order   []int
+	dataIdx int
 }
 
 // nextBatch fills the trainer-owned batch slice from the shuffled
@@ -164,18 +170,82 @@ func (t *Trainer) Step(batch []climate.Sample) float64 {
 	return total / float64(len(batch))
 }
 
-// Run trains for `steps` optimizer steps over the source, cycling
-// through a deterministic shuffled order, and returns the loss curve.
+// Run trains for `steps` optimizer steps over the source, walking a
+// deterministic shuffled order, and returns the loss curve. The data
+// stream is persistent: a second Run (or a Run on a checkpoint-
+// restored trainer) continues where the previous one stopped instead
+// of reshuffling, which is what makes resumed runs bit-identical.
 func (t *Trainer) Run(data DataSource, steps int) []LossPoint {
-	rng := tensor.NewRNG(t.Cfg.Seed)
-	order := rng.Perm(data.Len())
+	if t.order == nil {
+		rng := tensor.NewRNG(t.Cfg.Seed)
+		t.order = rng.Perm(data.Len())
+	}
 	var curve []LossPoint
-	idx := 0
 	for s := 0; s < steps; s++ {
-		loss := t.Step(t.nextBatch(data, order, &idx))
+		loss := t.Step(t.nextBatch(data, t.order, &t.dataIdx))
 		curve = append(curve, LossPoint{Samples: t.samples, Loss: loss})
 	}
 	return curve
+}
+
+// CaptureState snapshots the trainer's full training state — weights,
+// AdamW moments, step counters, data-stream position, and loss-scaler
+// state — for ckpt.SaveTrainState. The snapshot copies the optimizer
+// moments, so it stays valid while training continues.
+func (t *Trainer) CaptureState() *ckpt.TrainState {
+	st := &ckpt.TrainState{Model: t.Model}
+	m, v := t.Opt.Moments()
+	for i := range m {
+		st.OptM = append(st.OptM, append([]float32(nil), m[i].Data()...))
+		st.OptV = append(st.OptV, append([]float32(nil), v[i].Data()...))
+	}
+	st.Meta = ckpt.TrainMeta{
+		Step:      t.step,
+		Samples:   t.samples,
+		OptStep:   t.Opt.StepCount(),
+		DataIndex: t.dataIdx,
+	}
+	if t.Scaler != nil {
+		s := t.Scaler.State()
+		st.Meta.Scaler = &s
+	}
+	return st
+}
+
+// RestoreTrainer rebuilds a trainer from a checkpointed training
+// state. Continuing it over the same data source reproduces the
+// uninterrupted run's loss trajectory bit-identically (the shuffled
+// order is a pure function of cfg.Seed and the data length).
+func RestoreTrainer(st *ckpt.TrainState, cfg Config) (*Trainer, error) {
+	t := NewTrainer(st.Model, cfg)
+	m, v := t.Opt.Moments()
+	if len(st.OptM) != len(m) || len(st.OptV) != len(v) {
+		return nil, fmt.Errorf("train: checkpoint has %d/%d moment slices for %d params",
+			len(st.OptM), len(st.OptV), len(m))
+	}
+	for i := range m {
+		if len(st.OptM[i]) != m[i].Len() || len(st.OptV[i]) != v[i].Len() {
+			return nil, fmt.Errorf("train: moment %d length mismatch", i)
+		}
+		copy(m[i].Data(), st.OptM[i])
+		copy(v[i].Data(), st.OptV[i])
+	}
+	t.Opt.SetStepCount(st.Meta.OptStep)
+	t.step = st.Meta.Step
+	t.samples = st.Meta.Samples
+	t.dataIdx = st.Meta.DataIndex
+	// A precision-mode mismatch cannot be papered over: silently
+	// dropping (or freshly initializing) the loss scaler would diverge
+	// the trajectory the checkpoint promises to continue.
+	switch {
+	case t.Scaler != nil && st.Meta.Scaler == nil:
+		return nil, fmt.Errorf("train: cfg asks for mixed precision but the checkpoint has no scaler state")
+	case t.Scaler == nil && st.Meta.Scaler != nil:
+		return nil, fmt.Errorf("train: checkpoint is from a mixed-precision run; set MixedPrecision in the resume config")
+	case t.Scaler != nil:
+		t.Scaler.Restore(*st.Meta.Scaler)
+	}
+	return t, nil
 }
 
 // Pretrain builds a model and trains it on the multi-source corpus,

@@ -101,6 +101,47 @@ func SaveModel(path string, m *Model, half bool) error { return ckpt.Save(path, 
 // LoadModel reads a checkpoint.
 func LoadModel(path string) (*Model, error) { return ckpt.Load(path) }
 
+// --- checkpoint/resume and fault tolerance ---
+
+// TrainState is a full training-state checkpoint: weights, AdamW
+// moments, step counters, data-stream position, and loss-scaler state.
+type TrainState = ckpt.TrainState
+
+// SaveTrainerState checkpoints a trainer's full training state so a
+// later RestoreTrainer continues the loss trajectory bit-identically.
+func SaveTrainerState(path string, t *Trainer, half bool) error {
+	return ckpt.SaveTrainState(path, t.CaptureState(), half)
+}
+
+// LoadTrainerState reads a training-state checkpoint.
+func LoadTrainerState(path string) (*TrainState, error) { return ckpt.LoadTrainState(path) }
+
+// RestoreTrainer rebuilds a trainer from a loaded training state.
+func RestoreTrainer(st *TrainState, cfg TrainConfig) (*Trainer, error) {
+	return train.RestoreTrainer(st, cfg)
+}
+
+// ElasticConfig configures an elastic fault-tolerant distributed run
+// with sharded checkpointing over the simulated cluster.
+type ElasticConfig = train.ElasticConfig
+
+// ElasticResult reports the losses, fault events, and final layout of
+// an elastic run.
+type ElasticResult = train.ElasticResult
+
+// FaultInjector schedules simulated device/node failures.
+type FaultInjector = cluster.FaultInjector
+
+// NewFaultInjector builds an empty fault plan.
+func NewFaultInjector() *FaultInjector { return cluster.NewFaultInjector() }
+
+// RunElastic executes an elastic training run: on a node failure it
+// rebuilds the machine without the dead node, reloads the newest
+// sharded checkpoint (resharding if the layout shrank), and continues.
+func RunElastic(cfg ElasticConfig, inj *FaultInjector) (*ElasticResult, error) {
+	return train.RunElastic(cfg, inj)
+}
+
 // --- data ---
 
 // Variable describes one input channel; Registry91 is the paper's

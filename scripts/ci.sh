@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# CI entry point: build, vet, full tests, a race-detector pass over
-# the communication and parallelism layers (async collective ordering
-# must hold under -race), and a one-iteration benchmark smoke over the
-# attention hot path.
+# CI entry point: build, vet, gofmt check, staticcheck (when the
+# binary is installed — the hosted workflow installs it), full tests,
+# a race-detector pass over the communication / parallelism / elastic-
+# training layers, a one-iteration benchmark smoke over the attention
+# hot path, and the coverage gate for the checkpoint and cluster
+# fault-injection packages.
 set -eu
 cd "$(dirname "$0")/.."
 make ci
