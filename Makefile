@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 fuzz-smoke golden
 
 ci: build vet fmt-check staticcheck test race bench-smoke cover
 
@@ -35,12 +35,13 @@ test:
 
 # Race stage over the concurrency-heavy layers: the comm rendezvous /
 # async-handle machinery, the SPMD parallel engines (including the
-# Hybrid-STOP core engine's overlap paths), and the elastic
-# fault-tolerant training loop in internal/train. The async cross-talk
-# tests in internal/comm are specifically written to be meaningful
-# under -race.
+# Hybrid-STOP core engine's overlap paths), the elastic fault-tolerant
+# training loop in internal/train, and the inference subsystem's
+# dynamic request batcher + concurrent rollout workers in
+# internal/infer. The async cross-talk and batcher stress tests are
+# specifically written to be meaningful under -race.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/...
+	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/...
 
 # Coverage gate over the checkpoint/restart-critical packages, with
 # checked-in minimum thresholds (scripts/check_coverage.sh).
@@ -66,3 +67,21 @@ bench:
 # PR 1 tip by default; override with BASELINE=<ref>.
 bench-pr2:
 	sh scripts/bench_pr2.sh
+
+# Serving-throughput measurement of the inference subsystem (batched
+# scored rollouts vs the sequential single-sample path), medians
+# recorded into BENCH_PR4.json.
+bench-pr4:
+	sh scripts/bench_pr4.sh
+
+# Runs the checkpoint fuzz targets over their committed seed corpus
+# (no new fuzzing): regressions in the hardened parsers fail fast.
+fuzz-smoke:
+	$(GO) test -run 'FuzzLoadModel|FuzzLoadManifest' ./internal/ckpt/
+
+# Golden-value conformance: the frozen checkpoint's rollout must match
+# the checked-in values to 1e-6. Regenerate with
+# `go test ./internal/infer -run TestGoldenRollout -update` — only for
+# intentional numerics changes, called out in the PR.
+golden:
+	$(GO) test -run 'TestGolden' ./internal/infer/

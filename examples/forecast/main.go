@@ -1,9 +1,11 @@
 // Forecast: the workload the paper's introduction motivates —
 // medium-range prediction of key atmospheric variables. Fine-tunes a
-// small ORBIT model at several lead times on ERA5-like data and
-// compares its latitude-weighted anomaly correlation against the
-// persistence and climatology baselines every forecast system is
-// judged by.
+// small ORBIT model once at a 1-day lead, then uses the batched
+// inference engine to roll it out autoregressively to 1/3/7 days,
+// scoring latitude-weighted RMSE and anomaly correlation against the
+// persistence baseline at every lead. Before the inference subsystem
+// this example re-trained a fresh model per lead time; now one trained
+// model serves every horizon through forward-only rollouts.
 //
 //	go run ./examples/forecast
 package main
@@ -11,12 +13,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	orbit "orbit"
 	"orbit/internal/baselines"
 	"orbit/internal/climate"
 	"orbit/internal/metrics"
-	"orbit/internal/tensor"
 )
 
 func main() {
@@ -24,61 +26,79 @@ func main() {
 	const height, width = 16, 32
 	chans := []int{4, 7, 1, 2} // z500, t850, t2m, u10
 	varNames := []string{"z500", "t850", "t2m", "u10"}
+	lead := 1 * climate.StepsPerDay // the model's native 1-day step
 	leadsDays := []int{1, 3, 7}
 
-	fmt.Println("medium-range forecast skill: ORBIT vs persistence (wACC, higher is better)")
+	// Fine-tune once; every horizon below comes from rolling this one
+	// model forward.
+	cfg := orbit.TinyConfig(len(vars), height, width)
+	cfg.OutChannels = len(chans)
+	model, err := orbit.NewModel(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := orbit.DefaultTrainConfig()
+	tc.TotalSteps = 150
+	tc.ResidualChans = chans
+	trainDS := orbit.NewERA5Dataset(vars, height, width, 0, 730, lead)
+	trainDS.OutputChans = chans
+	fmt.Printf("fine-tuning %d-parameter model at 1-day lead (%d steps)...\n", model.NumParams(), tc.TotalSteps)
+	orbit.NewTrainer(model, tc).Run(trainDS, tc.TotalSteps)
+
+	// The inference engine: zero-alloc planned forwards, residual
+	// wiring matching the training configuration, batched rollouts.
+	eng, err := orbit.NewInferenceEngine(model, orbit.InferConfig{ResidualChans: chans})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Warmup()
+
+	// Held-out "year": rollout initial conditions and verifying truth.
+	test := orbit.NewERA5Dataset(vars, height, width, 1200, 365*4, lead)
+	test.OutputChans = chans
+	sc := orbit.NewScoreCache(test, chans)
+
+	const nIC = 8
+	starts := make([]int, nIC)
+	for i := range starts {
+		starts[i] = i * 16
+	}
+	maxSteps := leadsDays[len(leadsDays)-1]
+	t0 := time.Now()
+	tracks := eng.ScoredRolloutBatch(sc, starts, maxSteps)
+	elapsed := time.Since(t0)
+
+	fmt.Println("\nautoregressive rollout skill: one model, every horizon (wACC, higher is better)")
 	fmt.Printf("%6s  %10s  %12s\n", "lead", "ORBIT", "persistence")
-
 	for _, days := range leadsDays {
-		lead := days * climate.StepsPerDay
-
-		// Fine-tune a fresh model at this lead.
-		cfg := orbit.TinyConfig(len(vars), height, width)
-		cfg.OutChannels = len(chans)
-		model, err := orbit.NewModel(cfg, uint64(days))
-		if err != nil {
-			log.Fatal(err)
+		var acc float64
+		for _, track := range tracks {
+			acc += metrics.MeanACC(track[days-1].ACC)
 		}
-		tc := orbit.DefaultTrainConfig()
-		tc.TotalSteps = 150
-		tc.ResidualChans = chans
-		trainer := orbit.NewTrainer(model, tc)
-		trainDS := orbit.NewERA5Dataset(vars, height, width, 0, 730, lead)
-		trainDS.OutputChans = chans
-		trainer.Run(trainDS, tc.TotalSteps)
+		acc /= float64(len(tracks))
 
-		// Score on a held-out "year".
-		test := orbit.NewERA5Dataset(vars, height, width, 1200, 64, lead)
-		test.OutputChans = chans
-		accs := orbit.EvalACC(trainer.Forecaster(), test, chans, 8)
-
-		// Persistence baseline on the same samples.
+		// Persistence baseline on the same initial conditions.
 		var persist float64
-		n := 8
-		for i := 0; i < n; i++ {
-			idx := i * (test.Len() / n)
-			clim := test.NormalizedClimatologyAt(idx, chans)
-			s := test.At(idx)
-			pred := climate.SelectChannels(baselines.Persistence{}.Predict(s.Input, lead), chans)
-			persist += metrics.MeanACC(metrics.WeightedACC(pred, s.Target, clim))
+		for _, s0 := range starts {
+			idx := s0 + days*lead
+			clim := sc.ClimAt(idx)
+			truth := sc.TruthAt(idx)
+			pred := climate.SelectChannels(baselines.Persistence{}.Predict(sc.InputAt(s0), days*lead), chans)
+			persist += metrics.MeanACC(metrics.WeightedACC(pred, truth, clim))
 		}
-		persist /= float64(n)
+		persist /= float64(len(starts))
 
-		fmt.Printf("%5dd  %10.3f  %12.3f\n", days, metrics.MeanACC(accs), persist)
+		fmt.Printf("%5dd  %10.3f  %12.3f\n", days, acc, persist)
 		for i, name := range varNames {
-			fmt.Printf("        %-5s %+.3f\n", name, accs[i])
+			var a, r float64
+			for _, track := range tracks {
+				a += track[days-1].ACC[i]
+				r += track[days-1].RMSE[i]
+			}
+			fmt.Printf("        %-5s wACC %+.3f  wRMSE %.3f\n", name, a/float64(len(tracks)), r/float64(len(tracks)))
 		}
 	}
-
-	// Show an actual forecast field summary.
-	fmt.Println("\nsample 3-day forecast (normalized units):")
-	cfg := orbit.TinyConfig(len(vars), height, width)
-	model, _ := orbit.NewModel(cfg, 5)
-	ds := orbit.NewERA5Dataset(vars, height, width, 0, 8, 12)
-	s := ds.At(0)
-	pred := model.Forward(s.Input, s.LeadHours)
-	var rmse float64
-	d := tensor.Sub(pred, s.Target)
-	rmse = d.Norm() / float64(len(d.Data()))
-	fmt.Printf("untrained model RMSE per point: %.4f (training reduces this — see above)\n", rmse)
+	fmt.Printf("\n%d rollouts × %d steps served in %v (batched, scored, cached climatology)\n",
+		nIC, maxSteps, elapsed.Round(time.Millisecond))
+	fmt.Println("serve this model over HTTP: go run ./cmd/orbit-serve")
 }

@@ -177,8 +177,19 @@ func Load(path string) (*vit.Model, error) {
 		return nil, err
 	}
 	defer f.Close()
-	m, _, err := read(bufio.NewReader(f))
+	m, _, err := read(bufio.NewReader(f), fileBudget(f))
 	return m, err
+}
+
+// fileBudget returns the file's size, used to bound what a declared
+// configuration may ask the reader to allocate. A corrupt or
+// adversarial header cannot claim a multi-gigabyte model unless the
+// file actually contains that many bytes.
+func fileBudget(f *os.File) int64 {
+	if st, err := f.Stat(); err == nil {
+		return st.Size()
+	}
+	return 0
 }
 
 // readHeader consumes the magic, version, and (for version ≥ 2) kind
@@ -208,9 +219,47 @@ func readHeader(r io.Reader) (ver uint32, kind uint8, err error) {
 	}
 }
 
+// maxConfigJSON bounds the configuration section's declared length: a
+// real config marshals to a few hundred bytes, so a longer claim is a
+// corrupt or adversarial length prefix, not a config.
+const maxConfigJSON = 1 << 20
+
+// maxConfigDim bounds every integer field of a loaded configuration so
+// the parameter-count plausibility arithmetic below cannot overflow.
+const maxConfigDim = 1 << 30
+
+// checkLoadable rejects configurations a checkpoint file of `budget`
+// bytes cannot possibly back: every stored parameter occupies at least
+// two bytes (bfloat16), so a header declaring more parameters than
+// budget/2 is corrupt. Fuzzing found that without this guard a
+// crafted config section makes the loader allocate the full model
+// before noticing the file is empty.
+func checkLoadable(cfg vit.Config, budget int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for _, d := range []int{cfg.Channels, cfg.OutChannels, cfg.Height, cfg.Width, cfg.Patch, cfg.EmbedDim, cfg.Layers, cfg.Heads} {
+		if d < 0 || d > maxConfigDim {
+			return fmt.Errorf("ckpt: implausible config dimension %d", d)
+		}
+	}
+	// Float arithmetic: the plausibility bound doesn't need exactness,
+	// it needs immunity to int64 overflow on adversarial dimensions.
+	d := float64(cfg.EmbedDim)
+	t := float64(cfg.Tokens())
+	ch := float64(cfg.Channels)
+	pp := float64(cfg.Patch * cfg.Patch)
+	approx := ch*pp*d + t*d + float64(cfg.Layers)*(12*d*d) + d*pp*float64(cfg.OutChannels)
+	if 2*approx > float64(budget)+float64(maxConfigJSON) {
+		return fmt.Errorf("ckpt: config declares ~%.0f parameters but the file holds only %d bytes", approx, budget)
+	}
+	return nil
+}
+
 // read parses the header + model sections, leaving the reader at any
-// trailing training-state sections.
-func read(r io.Reader) (*vit.Model, uint8, error) {
+// trailing training-state sections. budget is the total file size,
+// bounding what the declared configuration may allocate.
+func read(r io.Reader, budget int64) (*vit.Model, uint8, error) {
 	_, kind, err := readHeader(r)
 	if err != nil {
 		return nil, 0, err
@@ -219,12 +268,18 @@ func read(r io.Reader) (*vit.Model, uint8, error) {
 	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
 		return nil, 0, err
 	}
+	if cfgLen > maxConfigJSON {
+		return nil, 0, fmt.Errorf("ckpt: config section length %d is implausible", cfgLen)
+	}
 	cfgJSON := make([]byte, cfgLen)
 	if _, err := io.ReadFull(r, cfgJSON); err != nil {
 		return nil, 0, err
 	}
 	var cfg vit.Config
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, 0, err
+	}
+	if err := checkLoadable(cfg, budget); err != nil {
 		return nil, 0, err
 	}
 	m, err := vit.New(cfg, 0)

@@ -1,0 +1,160 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orbit/internal/tensor"
+	"orbit/internal/vit"
+)
+
+// fuzzSeedModel builds a deterministic tiny checkpoint for seeding.
+func fuzzSeedModel(f *testing.F) []byte {
+	f.Helper()
+	m, err := vit.New(vit.Tiny(2, 8, 8), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.ckpt")
+	if err := Save(path, m, true); err != nil {
+		f.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// FuzzLoadModel feeds arbitrary bytes to the checkpoint file readers:
+// truncated, bit-flipped, and adversarial-length inputs must produce
+// errors — never a panic, and never an allocation the file's own size
+// cannot justify. Found (and now regression-pinned by the seed
+// corpus): modulo-by-zero panics in vit.Config.Validate for zero
+// patch/head counts, and pre-guard OOMs where a crafted config section
+// made the loader materialize a multi-gigabyte model from a
+// kilobyte file.
+func FuzzLoadModel(f *testing.F) {
+	valid := fuzzSeedModel(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("ORBT"))
+	f.Add([]byte("NOPE\x02\x00\x00\x00"))
+	// Version 2, kind 0, config-length prefix claiming 4 GiB.
+	f.Add([]byte("ORBT\x02\x00\x00\x00\x00\xff\xff\xff\xff"))
+	// A syntactically valid config declaring a ~100B-parameter model.
+	hugeCfg, _ := json.Marshal(vit.Config{Name: "huge", Channels: 48, OutChannels: 48,
+		Height: 128, Width: 256, Patch: 8, EmbedDim: 16384, Layers: 512, Heads: 64, QKNorm: true})
+	huge := append([]byte("ORBT\x02\x00\x00\x00\x00"), make([]byte, 4)...)
+	binary.LittleEndian.PutUint32(huge[9:], uint32(len(hugeCfg)))
+	huge = append(huge, hugeCfg...)
+	f.Add(huge)
+	// Zero patch and zero heads configs (the Validate modulo panics).
+	for _, cfg := range []vit.Config{
+		{Channels: 1, OutChannels: 1, Height: 8, Width: 8, Patch: 0, EmbedDim: 8, Layers: 1, Heads: 2},
+		{Channels: 1, OutChannels: 1, Height: 8, Width: 8, Patch: 4, EmbedDim: 8, Layers: 1, Heads: 0},
+	} {
+		cj, _ := json.Marshal(cfg)
+		b := append([]byte("ORBT\x02\x00\x00\x00\x00"), make([]byte, 4)...)
+		binary.LittleEndian.PutUint32(b[9:], uint32(len(cj)))
+		f.Add(append(b, cj...))
+	}
+	// Bit flips across the valid checkpoint.
+	for off := 0; off < len(valid); off += 37 {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x80
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Both readers must fail closed on bad input.
+		if m, err := Load(path); err == nil && m == nil {
+			t.Fatal("Load returned nil model without error")
+		}
+		if st, err := LoadTrainState(path); err == nil && st == nil {
+			t.Fatal("LoadTrainState returned nil state without error")
+		}
+	})
+}
+
+// fuzzSeedManifest builds a valid (if shard-less-loadable) manifest.
+func fuzzSeedManifest(f *testing.F) []byte {
+	f.Helper()
+	man := Manifest{
+		Version:     int(Version),
+		Layout:      ShardLayout{TP: 1, FSDP: 2, DDP: 1},
+		FlatLens:    []int{64, 64},
+		Block:       &BlockSpec{Dim: 8, Heads: 2, QKNorm: true},
+		Step:        3,
+		OptStep:     3,
+		GlobalBatch: 4,
+		RNG:         tensor.NewRNG(1).State(),
+		Shards:      []string{"shard-s3-t0-f0.bin", "shard-s3-t0-f1.bin"},
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// FuzzLoadManifest feeds arbitrary bytes to the sharded-checkpoint
+// loader twice over: once as the manifest itself and once as a shard
+// file named by a valid manifest. Corrupt layouts (zero or negative
+// extents, traversal shard names like "../../secret", implausible
+// flat lengths) must error without panicking or escaping the
+// checkpoint directory.
+func FuzzLoadManifest(f *testing.F) {
+	valid := fuzzSeedManifest(f)
+	f.Add(valid)
+	f.Add([]byte("{}"))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"version":2,"layout":{"tp":-1,"fsdp":-1,"ddp":1},"flat_lens":[1],"shards":["x"]}`))
+	f.Add([]byte(`{"version":2,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[1],"shards":["../../etc/passwd"]}`))
+	f.Add([]byte(`{"version":2,"layout":{"tp":70000,"fsdp":70000,"ddp":1},"flat_lens":[1],"shards":[]}`))
+	f.Add([]byte(`{"version":2,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[99999999999],"shards":["s.bin"]}`))
+	f.Add([]byte("ORBS\x02\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Scenario 1: the bytes are the manifest.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		man, shards, err := LoadSharded(dir)
+		if err == nil {
+			// A manifest only loads when every declared shard resolved
+			// inside the directory.
+			if len(shards) != man.Layout.TP*man.Layout.FSDP {
+				t.Fatalf("loaded %d shards for %dx%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+			}
+		}
+
+		// Scenario 2: a valid manifest referencing the bytes as its
+		// single shard file.
+		dir2 := t.TempDir()
+		man2 := Manifest{
+			Version:  int(Version),
+			Layout:   ShardLayout{TP: 1, FSDP: 1, DDP: 1},
+			FlatLens: []int{8},
+			Step:     1,
+			Shards:   []string{"shard-s1-t0-f0.bin"},
+		}
+		mj, _ := json.Marshal(man2)
+		if err := os.WriteFile(filepath.Join(dir2, ManifestName), mj, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, "shard-s1-t0-f0.bin"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _ = LoadSharded(dir2) // must not panic
+	})
+}

@@ -1,0 +1,71 @@
+package ckpt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReshardRejectsLegacyTPManifest pins the guard against silently
+// corrupting old checkpoints: a TP>1 manifest from before per-TP flat
+// lengths existed cannot be resharded — T>0 rows are shorter than the
+// recorded T=0 lengths, so stripping padding with them would misalign
+// every later parameter. Same-extent loads (no resharding) stay legal.
+func TestReshardRejectsLegacyTPManifest(t *testing.T) {
+	man := &Manifest{
+		Version:  int(Version),
+		Layout:   ShardLayout{TP: 2, FSDP: 2, DDP: 1},
+		FlatLens: []int{64},
+	}
+	shards := []*RankShard{
+		{T: 0, F: 0, Blocks: []BlockShard{{W: make([]float32, 32), M: make([]float32, 32), V: make([]float32, 32)}}},
+		{T: 0, F: 1, Blocks: []BlockShard{{W: make([]float32, 32), M: make([]float32, 32), V: make([]float32, 32)}}},
+		{T: 1, F: 0, Blocks: []BlockShard{{W: make([]float32, 24), M: make([]float32, 24), V: make([]float32, 24)}}},
+		{T: 1, F: 1, Blocks: []BlockShard{{W: make([]float32, 24), M: make([]float32, 24), V: make([]float32, 24)}}},
+	}
+	if _, err := Reshard(man, shards, 2); err != nil {
+		t.Fatalf("same-extent reshard of a legacy manifest must stay legal: %v", err)
+	}
+	_, err := Reshard(man, shards, 1)
+	if err == nil {
+		t.Fatal("resharding a legacy TP>1 manifest without flat_lens_tp must be rejected")
+	}
+	if !strings.Contains(err.Error(), "flat_lens_tp") {
+		t.Fatalf("error should name the missing field: %v", err)
+	}
+
+	// With per-TP lengths present the same reshard succeeds.
+	man.FlatLensTP = [][]int{{64}, {48}}
+	if _, err := Reshard(man, shards, 1); err != nil {
+		t.Fatalf("reshard with per-TP lengths: %v", err)
+	}
+}
+
+// TestManifestValidate covers the corrupt-manifest rejections.
+func TestManifestValidate(t *testing.T) {
+	good := Manifest{
+		Layout:   ShardLayout{TP: 1, FSDP: 1, DDP: 1},
+		FlatLens: []int{8},
+		Shards:   []string{"shard-s1-t0-f0.bin"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := map[string]func(m *Manifest){
+		"zero tp":         func(m *Manifest) { m.Layout.TP = 0 },
+		"huge fsdp":       func(m *Manifest) { m.Layout.FSDP = maxShardExtent + 1 },
+		"negative step":   func(m *Manifest) { m.Step = -1 },
+		"negative len":    func(m *Manifest) { m.FlatLens = []int{-4} },
+		"huge len":        func(m *Manifest) { m.FlatLens = []int{maxSectionElems + 1} },
+		"traversal shard": func(m *Manifest) { m.Shards = []string{"../evil.bin"} },
+		"dot shard":       func(m *Manifest) { m.Shards = []string{".."} },
+		"empty shard":     func(m *Manifest) { m.Shards = []string{""} },
+		"tp-row count":    func(m *Manifest) { m.FlatLensTP = [][]int{{8}, {8}} },
+	}
+	for name, mutate := range cases {
+		m := good
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

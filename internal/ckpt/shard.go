@@ -53,14 +53,34 @@ type ShardLayout struct {
 	DDP  int `json:"ddp"`
 }
 
+// BlockSpec records the transformer-block geometry a sharded
+// checkpoint was trained with, so a forward-only consumer (the
+// inference engine) can rebuild the serial block stack without access
+// to the training configuration.
+type BlockSpec struct {
+	Dim    int  `json:"dim"`
+	Heads  int  `json:"heads"`
+	QKNorm bool `json:"qk_norm"`
+}
+
 // Manifest is the checkpoint directory's metadata.
 type Manifest struct {
 	Version int         `json:"version"`
 	Layout  ShardLayout `json:"layout"`
 	// FlatLens is the logical (unpadded) flattened parameter length of
-	// each block's TP shard; resharding needs it to strip and re-apply
-	// divisibility padding.
+	// each block's T=0 TP shard; resharding needs it to strip and
+	// re-apply divisibility padding.
 	FlatLens []int `json:"flat_lens"`
+	// FlatLensTP carries per-T-rank logical flat lengths. TP shards are
+	// not all the same length — the unsharded output biases live only
+	// on rank T=0 — so resharding a TP>1 checkpoint needs the length of
+	// each T row, not just row 0. Omitted (and implied equal to
+	// FlatLens for every row) when TP == 1 or for checkpoints written
+	// before the field existed.
+	FlatLensTP [][]int `json:"flat_lens_tp,omitempty"`
+	// Block is the block geometry the stack was built with (optional;
+	// present in checkpoints written since the inference engine landed).
+	Block *BlockSpec `json:"block,omitempty"`
 	// Step is the number of completed training steps.
 	Step int `json:"step"`
 	// OptStep is the per-rank optimizer step counter.
@@ -71,6 +91,53 @@ type Manifest struct {
 	RNG tensor.RNGState `json:"rng"`
 	// Shards lists the shard file names (one per (T,F) position).
 	Shards []string `json:"shards"`
+}
+
+// FlatLensFor returns the logical flat lengths of TP row t.
+func (m *Manifest) FlatLensFor(t int) []int {
+	if t < len(m.FlatLensTP) {
+		return m.FlatLensTP[t]
+	}
+	return m.FlatLens
+}
+
+// maxShardExtent bounds the layout extents a manifest may declare; a
+// larger value is a corrupt manifest, not a cluster.
+const maxShardExtent = 1 << 16
+
+// Validate rejects manifests whose fields could drive the loader into
+// pathological allocation or out of the checkpoint directory: layout
+// extents must be small positive integers, flat lengths non-negative,
+// and shard names bare file names (no path separators — a manifest
+// must not be able to read files outside its own directory).
+func (m *Manifest) Validate() error {
+	l := m.Layout
+	if l.TP < 1 || l.FSDP < 1 || l.DDP < 1 || l.TP > maxShardExtent || l.FSDP > maxShardExtent || l.DDP > maxShardExtent {
+		return fmt.Errorf("ckpt: implausible layout %d×%d×%d", l.TP, l.FSDP, l.DDP)
+	}
+	if m.Step < 0 || m.OptStep < 0 {
+		return fmt.Errorf("ckpt: negative step counters %d/%d", m.Step, m.OptStep)
+	}
+	if len(m.FlatLensTP) != 0 && len(m.FlatLensTP) != l.TP {
+		return fmt.Errorf("ckpt: %d per-TP length rows for TP=%d", len(m.FlatLensTP), l.TP)
+	}
+	rows := append([][]int{m.FlatLens}, m.FlatLensTP...)
+	for _, row := range rows {
+		if len(row) != len(m.FlatLens) {
+			return fmt.Errorf("ckpt: per-TP length row has %d blocks, manifest has %d", len(row), len(m.FlatLens))
+		}
+		for b, n := range row {
+			if n < 0 || n > maxSectionElems {
+				return fmt.Errorf("ckpt: implausible flat length %d for block %d", n, b)
+			}
+		}
+	}
+	for _, name := range m.Shards {
+		if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+			return fmt.Errorf("ckpt: shard name %q is not a bare file name", name)
+		}
+	}
+	return nil
 }
 
 // BlockShard is one rank's slice of one block: chunk weights and the
@@ -172,6 +239,9 @@ func LoadSharded(dir string) (*Manifest, []*RankShard, error) {
 	if man.Version != int(Version) {
 		return nil, nil, fmt.Errorf("ckpt: unsupported sharded version %d", man.Version)
 	}
+	if err := man.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if len(man.Shards) != man.Layout.TP*man.Layout.FSDP {
 		return nil, nil, fmt.Errorf("ckpt: manifest lists %d shards for a %d×%d grid",
 			len(man.Shards), man.Layout.TP, man.Layout.FSDP)
@@ -219,6 +289,13 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 	if newFSDP == man.Layout.FSDP {
 		return shards, nil
 	}
+	if man.Layout.TP > 1 && len(man.FlatLensTP) == 0 {
+		// Legacy TP>1 manifests recorded only the T=0 row's logical
+		// lengths, but T>0 rows are shorter (output biases live on rank
+		// 0 alone): stripping their padding with the T=0 lengths would
+		// silently corrupt every parameter past the first mismatch.
+		return nil, fmt.Errorf("ckpt: TP=%d manifest lacks per-TP flat lengths (flat_lens_tp); re-save the checkpoint before resharding", man.Layout.TP)
+	}
 	oldF := man.Layout.FSDP
 	out := make([]*RankShard, 0, man.Layout.TP*newFSDP)
 	for t := 0; t < man.Layout.TP; t++ {
@@ -227,7 +304,9 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 		for f := range newRow {
 			newRow[f] = &RankShard{T: t, F: f, Blocks: make([]BlockShard, len(man.FlatLens))}
 		}
-		for b, logical := range man.FlatLens {
+		// Logical lengths are per TP row: T>0 shards are shorter than
+		// T=0 (the unsharded output biases live only on rank 0).
+		for b, logical := range man.FlatLensFor(t) {
 			for field := 0; field < 3; field++ {
 				pick := func(bs *BlockShard) []float32 {
 					switch field {

@@ -36,6 +36,13 @@ func buildShards(tp, fsdp int, flatLens []int) (*Manifest, []*RankShard) {
 		GlobalBatch: 8,
 		RNG:         tensor.NewRNG(3).State(),
 	}
+	if tp > 1 {
+		// Real TP rows have unequal lengths and must record them;
+		// this fabricated checkpoint's rows are uniform.
+		for t := 0; t < tp; t++ {
+			man.FlatLensTP = append(man.FlatLensTP, flatLens)
+		}
+	}
 	var shards []*RankShard
 	for t := 0; t < tp; t++ {
 		for f := 0; f < fsdp; f++ {

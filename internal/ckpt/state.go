@@ -88,7 +88,7 @@ func LoadTrainState(path string) (*TrainState, error) {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
-	m, kind, err := read(r)
+	m, kind, err := read(r, fileBudget(f))
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +99,9 @@ func LoadTrainState(path string) (*TrainState, error) {
 	var metaLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
 		return nil, fmt.Errorf("ckpt: truncated training meta: %w", err)
+	}
+	if metaLen > maxConfigJSON {
+		return nil, fmt.Errorf("ckpt: training meta length %d is implausible", metaLen)
 	}
 	metaJSON := make([]byte, metaLen)
 	if _, err := io.ReadFull(r, metaJSON); err != nil {

@@ -1,0 +1,170 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("infer: batcher closed")
+
+// Request is one rollout to serve: the initial condition is the
+// dataset sample at Start, advanced Steps lead steps with per-step
+// scoring.
+type Request struct {
+	Start int
+	Steps int
+}
+
+// Response is one served rollout.
+type Response struct {
+	Start, Steps int
+	// Coalesced is how many requests shared this forward batch — the
+	// observable effect of dynamic batching.
+	Coalesced int
+	Scores    []StepScore
+}
+
+// Batcher coalesces concurrent rollout requests into batched engine
+// calls: a request waits until either MaxBatch requests are pending or
+// MaxWait has elapsed since the batch opened, then the whole batch
+// runs as one fused RolloutBatch. This is the classic serving
+// trade-off — a bounded latency tax on the first request of a batch
+// buys per-sample throughput for everyone in it.
+type Batcher struct {
+	MaxBatch int
+	MaxWait  time.Duration
+
+	eng *Engine
+	sc  *ScoreCache
+
+	mu       sync.Mutex
+	pending  []*call
+	timer    *time.Timer
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+type call struct {
+	req Request
+	ch  chan callResult
+}
+
+type callResult struct {
+	resp *Response
+	err  error
+}
+
+// NewBatcher wires a dynamic batcher over an engine and its score
+// cache. maxBatch <= 0 defaults to the engine's fused batch width;
+// maxWait <= 0 defaults to 2ms.
+func NewBatcher(eng *Engine, sc *ScoreCache, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = eng.Cfg.MaxBatch
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	return &Batcher{MaxBatch: maxBatch, MaxWait: maxWait, eng: eng, sc: sc}
+}
+
+// Do submits a request and blocks until its rollout is served (or the
+// batcher is closed). Safe for arbitrary concurrency.
+func (b *Batcher) Do(req Request) (*Response, error) {
+	if req.Steps <= 0 {
+		return nil, fmt.Errorf("infer: request needs steps >= 1, got %d", req.Steps)
+	}
+	c := &call{req: req, ch: make(chan callResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.inflight.Add(1)
+	b.pending = append(b.pending, c)
+	switch {
+	case len(b.pending) >= b.MaxBatch:
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		// The filling request runs the batch itself: it must wait for
+		// its own result anyway, and this keeps the batcher free of a
+		// dedicated dispatcher goroutine.
+		b.run(batch)
+	case len(b.pending) == 1:
+		b.timer = time.AfterFunc(b.MaxWait, b.flushTimeout)
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	r := <-c.ch
+	return r.resp, r.err
+}
+
+// takeLocked claims the pending batch (caller holds b.mu).
+func (b *Batcher) takeLocked() []*call {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushTimeout fires when a partially filled batch hits MaxWait.
+func (b *Batcher) flushTimeout() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run executes one coalesced batch. Requests may ask for different
+// horizons; the engine rolls the batch out to the longest one and each
+// response keeps only its own steps (shorter trajectories ride along —
+// their forward cost is shared, not added).
+func (b *Batcher) run(batch []*call) {
+	if len(batch) == 0 {
+		return
+	}
+	defer func() {
+		for range batch {
+			b.inflight.Done()
+		}
+	}()
+	maxSteps := 0
+	starts := make([]int, len(batch))
+	for i, c := range batch {
+		starts[i] = c.req.Start
+		if c.req.Steps > maxSteps {
+			maxSteps = c.req.Steps
+		}
+	}
+	scores := b.eng.ScoredRolloutBatch(b.sc, starts, maxSteps)
+	for i, c := range batch {
+		c.ch <- callResult{resp: &Response{
+			Start:     c.req.Start,
+			Steps:     c.req.Steps,
+			Coalesced: len(batch),
+			Scores:    scores[i][:c.req.Steps],
+		}}
+	}
+}
+
+// Close stops accepting requests, drains the pending batch, and waits
+// until every in-flight request has received its response.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.inflight.Wait()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+	b.inflight.Wait()
+}

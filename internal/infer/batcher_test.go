@@ -1,0 +1,199 @@
+package infer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orbit/internal/climate"
+	"orbit/internal/vit"
+)
+
+// batcherFixture wires a tiny engine + score cache for serving tests.
+func batcherFixture(t testing.TB, maxBatch int, maxWait time.Duration) (*Batcher, *Engine) {
+	t.Helper()
+	vars := climate.RegistrySmall()
+	w := climate.NewWorld(vars, eqHeight, eqWidth, climate.ERA5Source())
+	stats := w.EstimateStats(8)
+	ds := climate.NewDataset(w, stats, 0, 128, 2)
+	m, err := vit.New(vit.Tiny(len(vars), eqHeight, eqWidth), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(m, Config{MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBatcher(eng, NewScoreCache(ds, nil), maxBatch, maxWait), eng
+}
+
+// TestBatcherCoalesces proves dynamic batching: requests arriving
+// together share one fused batch.
+func TestBatcherCoalesces(t *testing.T) {
+	const n = 8
+	b, _ := batcherFixture(t, n, 500*time.Millisecond)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Do(Request{Start: i, Steps: 2})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+	coalesced := 0
+	for i, r := range resps {
+		if r == nil {
+			t.Fatalf("request %d got no response", i)
+		}
+		if len(r.Scores) != 2 {
+			t.Fatalf("request %d: %d scored steps", i, len(r.Scores))
+		}
+		if r.Coalesced > coalesced {
+			coalesced = r.Coalesced
+		}
+	}
+	if coalesced < 2 {
+		t.Fatalf("no coalescing observed (max batch reported %d)", coalesced)
+	}
+}
+
+// TestBatcherMaxWait proves a lone request is not held hostage by an
+// unfilled batch: it is served once MaxWait elapses.
+func TestBatcherMaxWait(t *testing.T) {
+	const wait = 50 * time.Millisecond
+	b, _ := batcherFixture(t, 8, wait)
+	defer b.Close()
+
+	start := time.Now()
+	r, err := b.Do(Request{Start: 0, Steps: 1})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Coalesced != 1 {
+		t.Fatalf("lone request reported batch of %d", r.Coalesced)
+	}
+	if elapsed < wait-5*time.Millisecond {
+		t.Fatalf("request served after %v, before the %v max-wait window", elapsed, wait)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("request took %v — max-wait not honored", elapsed)
+	}
+}
+
+// TestBatcherDrainOnClose proves Close serves every in-flight request
+// before returning, and rejects requests afterwards.
+func TestBatcherDrainOnClose(t *testing.T) {
+	b, _ := batcherFixture(t, 16, 10*time.Second) // wait longer than the test: only Close can flush
+	var wg sync.WaitGroup
+	var served atomic.Int32
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Do(Request{Start: i, Steps: 1})
+			if err != nil {
+				t.Errorf("drained request %d: %v", i, err)
+				return
+			}
+			if len(r.Scores) != 1 {
+				t.Errorf("drained request %d: %d scores", i, len(r.Scores))
+			}
+			served.Add(1)
+		}(i)
+	}
+	// Give the three requests time to enqueue, then shut down.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	wg.Wait()
+	if served.Load() != 3 {
+		t.Fatalf("%d of 3 in-flight requests served across Close", served.Load())
+	}
+	if _, err := b.Do(Request{Start: 0, Steps: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Do returned %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherConcurrentStress is the -race workout: many goroutines,
+// mixed horizons, timer-and-size flushes interleaving, then a close
+// racing the tail of the traffic.
+func TestBatcherConcurrentStress(t *testing.T) {
+	b, _ := batcherFixture(t, 4, time.Millisecond)
+	var wg sync.WaitGroup
+	var ok, closed atomic.Int32
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				steps := 1 + (g+i)%3
+				r, err := b.Do(Request{Start: (g*7 + i) % 64, Steps: steps})
+				switch {
+				case errors.Is(err, ErrClosed):
+					closed.Add(1)
+					return
+				case err != nil:
+					t.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				case len(r.Scores) != steps:
+					t.Errorf("goroutine %d req %d: %d scores for %d steps", g, i, len(r.Scores), steps)
+					return
+				}
+				ok.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Close()
+	if ok.Load() == 0 {
+		t.Fatal("no requests served")
+	}
+	t.Logf("served %d requests (%d rejected by close)", ok.Load(), closed.Load())
+}
+
+// TestBatcherMixedHorizons rides a short request along a longer one in
+// the same batch.
+func TestBatcherMixedHorizons(t *testing.T) {
+	b, _ := batcherFixture(t, 2, 500*time.Millisecond)
+	defer b.Close()
+	var wg sync.WaitGroup
+	var short, long *Response
+	wg.Add(2)
+	go func() { defer wg.Done(); short, _ = b.Do(Request{Start: 0, Steps: 1}) }()
+	go func() { defer wg.Done(); long, _ = b.Do(Request{Start: 8, Steps: 4}) }()
+	wg.Wait()
+	if short == nil || long == nil {
+		t.Fatal("requests not served")
+	}
+	if len(short.Scores) != 1 || len(long.Scores) != 4 {
+		t.Fatalf("horizons not respected: %d / %d", len(short.Scores), len(long.Scores))
+	}
+	for s, sc := range long.Scores {
+		if sc.LeadHours == 0 {
+			t.Fatalf("long request step %d unscored", s)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package infer
+
+import (
+	"testing"
+
+	"orbit/internal/climate"
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+	"orbit/internal/train"
+	"orbit/internal/vit"
+)
+
+// serveFixture builds the serving-benchmark workload: the
+// examples/forecast model geometry (8 channels, 16×32 grid, 4-variable
+// residual output) over an ERA5-like dataset.
+func serveFixture(tb testing.TB, maxBatch int) (*Engine, *ScoreCache, train.Forecaster) {
+	tb.Helper()
+	vars := climate.RegistrySmall()
+	const height, width = 16, 32
+	chans := []int{4, 7, 1, 2} // z500, t850, t2m, u10
+	w := climate.NewWorld(vars, height, width, climate.ERA5Source())
+	stats := w.EstimateStats(8)
+	ds := climate.NewDataset(w, stats, 0, 256, 4)
+	ds.OutputChans = chans
+
+	cfg := vit.Tiny(len(vars), height, width)
+	cfg.OutChannels = len(chans)
+	m, err := vit.New(cfg, 12)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := NewEngine(m, Config{ResidualChans: chans, MaxBatch: maxBatch})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng.Warmup()
+	return eng, NewScoreCache(ds, chans), train.Forecaster{Model: m, ResidualChans: chans}
+}
+
+// TestRolloutStepAllocs pins the tentpole zero-allocation claim: after
+// warmup, a steady-state batched rollout step through the planned
+// forward performs no heap allocations.
+func TestRolloutStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; see race_off_test.go")
+	}
+	eng, _, _ := serveFixture(t, 4)
+	sc := eng.Model.Config
+	var ics []*tensor.Tensor
+	leads := []float64{24, 24, 24, 24}
+	rng := tensor.NewRNG(3)
+	for b := 0; b < 4; b++ {
+		ics = append(ics, tensor.Randn(rng, 1, sc.Channels, sc.Height, sc.Width))
+	}
+	w := eng.acquire()
+	defer eng.release(w)
+	// Warm this worker at the exact batch size.
+	eng.rolloutChunk(w, ics, 2, leads, 0, nil)
+	allocs := testing.AllocsPerRun(10, func() {
+		eng.rolloutChunk(w, ics, 3, leads, 0, nil)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state rollout step allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// sequentialForecast is the pre-inference-subsystem serving path,
+// verbatim: one sample at a time through train.Forecaster.Predict,
+// regenerating the verifying truth and climatology per request with no
+// cross-request caching (exactly what examples/forecast and EvalACC
+// did before this subsystem existed).
+func sequentialForecast(f train.Forecaster, ds *climate.Dataset, chans []int, starts []int, steps int) {
+	hw := ds.World.Height * ds.World.Width
+	for _, start := range starts {
+		s := ds.At(start)
+		state := s.Input.Clone()
+		for k := 0; k < steps; k++ {
+			pred := f.Predict(state, s.LeadHours)
+			for i, c := range chans {
+				copy(state.Data()[c*hw:(c+1)*hw], pred.Data()[i*hw:(i+1)*hw])
+			}
+			idx := start + (k+1)*ds.LeadSteps
+			truth := climate.SelectChannels(ds.At(idx).Input, chans)
+			clim := ds.NormalizedClimatologyAt(idx-ds.LeadSteps, chans)
+			metrics.WeightedRMSE(pred, truth)
+			metrics.WeightedACC(pred, truth, clim)
+		}
+	}
+}
+
+// BenchmarkServeRollout measures served (scored) rollout throughput at
+// growing batch widths. One iteration = `batch` concurrent requests,
+// each a 4-step scored rollout; the recorded per-op time therefore
+// covers batch×4 forecast steps. scripts/bench_pr4.sh converts this to
+// sample-steps/second for BENCH_PR4.json.
+func BenchmarkServeRollout(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(byteSize(batch), func(b *testing.B) {
+			eng, sc, _ := serveFixture(b, min(batch, 8))
+			starts := make([]int, batch)
+			for i := range starts {
+				starts[i] = (i * 5) % 64
+			}
+			eng.ScoredRolloutBatch(sc, starts, 4) // prime caches + plans
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ScoredRolloutBatch(sc, starts, 4)
+			}
+			b.ReportMetric(float64(batch*4)*float64(b.N)/b.Elapsed().Seconds(), "sample-steps/sec")
+		})
+	}
+}
+
+// BenchmarkSequentialForecast is the baseline the serving subsystem
+// replaces: per-sample, uncached, allocating inference through the
+// Trainer-era Forecaster path. Iterations cover the same 8 requests ×
+// 4 steps as BenchmarkServeRollout/batch=8.
+func BenchmarkSequentialForecast(b *testing.B) {
+	_, sc, f := serveFixture(b, 1)
+	starts := []int{0, 5, 10, 15, 20, 25, 30, 35}
+	chans := sc.Chans
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sequentialForecast(f, sc.DS, chans, starts, 4)
+	}
+	b.ReportMetric(float64(len(starts)*4)*float64(b.N)/b.Elapsed().Seconds(), "sample-steps/sec")
+}
+
+// BenchmarkRolloutStepUnscored isolates the forward engine (no
+// scoring, no truth generation): the number to watch for kernel
+// regressions, with its allocation counter expected at zero.
+func BenchmarkRolloutStepUnscored(b *testing.B) {
+	eng, _, _ := serveFixture(b, 8)
+	sc := eng.Model.Config
+	rng := tensor.NewRNG(3)
+	var ics []*tensor.Tensor
+	leads := make([]float64, 8)
+	for i := range leads {
+		ics = append(ics, tensor.Randn(rng, 1, sc.Channels, sc.Height, sc.Width))
+		leads[i] = 24
+	}
+	w := eng.acquire()
+	defer eng.release(w)
+	eng.rolloutChunk(w, ics, 1, leads, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.rolloutChunk(w, ics, 1, leads, 0, nil)
+	}
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "sample-steps/sec")
+}
+
+func byteSize(n int) string {
+	switch n {
+	case 1:
+		return "batch=1"
+	case 8:
+		return "batch=8"
+	default:
+		return "batch=32"
+	}
+}

@@ -1,0 +1,246 @@
+package infer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orbit/internal/ckpt"
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/nn"
+	"orbit/internal/parallel"
+	"orbit/internal/tensor"
+	"orbit/internal/vit"
+)
+
+// saveShardedStack writes ref as a sharded checkpoint under the given
+// TP×FSDP layout, exactly as elastic training's save path does: each
+// (T,F) position stores its FSDP chunk of its TP row's flattened
+// parameters.
+func saveShardedStack(t *testing.T, dir string, ref []*nn.TransformerBlock, tp, fsdp int, spec *ckpt.BlockSpec) {
+	t.Helper()
+	machine := cluster.NewMachine(cluster.Frontier(), 1, tp)
+	group := comm.NewGroup(machine.Devices[:tp])
+	man := &ckpt.Manifest{
+		Layout: ckpt.ShardLayout{TP: tp, FSDP: fsdp, DDP: 1},
+		Block:  spec,
+		Step:   1,
+		RNG:    tensor.NewRNG(1).State(),
+	}
+	var shards []*ckpt.RankShard
+	for tr := 0; tr < tp; tr++ {
+		var lens []int
+		rowShards := make([]*ckpt.RankShard, fsdp)
+		for f := range rowShards {
+			rowShards[f] = &ckpt.RankShard{T: tr, F: f}
+		}
+		for _, blk := range ref {
+			tpb := parallel.NewTPBlock(tr, group, blk)
+			params := tpb.Params()
+			lens = append(lens, parallel.NumelPadded(params, 1))
+			flat := parallel.FlattenParams(params, fsdp)
+			chunkLen := len(flat) / fsdp
+			for f := 0; f < fsdp; f++ {
+				chunk := append([]float32(nil), flat[f*chunkLen:(f+1)*chunkLen]...)
+				rowShards[f].Blocks = append(rowShards[f].Blocks, ckpt.BlockShard{
+					W: chunk,
+					M: make([]float32, chunkLen),
+					V: make([]float32, chunkLen),
+				})
+			}
+		}
+		if tr == 0 {
+			man.FlatLens = lens
+		}
+		if tp > 1 {
+			if man.FlatLensTP == nil {
+				man.FlatLensTP = make([][]int, tp)
+			}
+			man.FlatLensTP[tr] = lens
+		}
+		shards = append(shards, rowShards...)
+	}
+	if err := ckpt.SaveSharded(dir, man, shards); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refStack(t *testing.T, dim, heads, layers int) []*nn.TransformerBlock {
+	t.Helper()
+	rng := tensor.NewRNG(31)
+	blocks := make([]*nn.TransformerBlock, layers)
+	for i := range blocks {
+		blocks[i] = nn.NewTransformerBlock(fmt.Sprintf("ref%d", i), dim, heads, true, rng)
+	}
+	return blocks
+}
+
+func mustSameParams(t *testing.T, what string, got, want []*nn.Param) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d params vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if d := tensor.MaxDiff(got[i].W, want[i].W); d != 0 {
+			t.Fatalf("%s: param %d (%s) differs by %g", what, i, want[i].Name, d)
+		}
+	}
+}
+
+// TestLoadBlocksSharded proves the sharded-manifest load path: for
+// TP=1 and TP=2 layouts (the TP=2 rows have unequal flat lengths —
+// output biases live only on rank 0 — which is exactly the case the
+// per-T manifest lengths exist for), LoadBlocks reshards to FSDP=1,
+// merges the Megatron shards, and reproduces the reference stack
+// bit-exactly.
+func TestLoadBlocksSharded(t *testing.T) {
+	const dim, heads, layers = 8, 2, 2
+	ref := refStack(t, dim, heads, layers)
+	spec := &ckpt.BlockSpec{Dim: dim, Heads: heads, QKNorm: true}
+	for _, tc := range []struct{ tp, fsdp int }{{1, 1}, {1, 4}, {2, 2}, {2, 1}} {
+		t.Run(fmt.Sprintf("tp%d_fsdp%d", tc.tp, tc.fsdp), func(t *testing.T) {
+			dir := t.TempDir()
+			saveShardedStack(t, dir, ref, tc.tp, tc.fsdp, spec)
+			got, man, err := LoadBlocks(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Layout.TP != tc.tp {
+				t.Fatalf("manifest TP %d", man.Layout.TP)
+			}
+			if len(got) != layers {
+				t.Fatalf("%d blocks, want %d", len(got), layers)
+			}
+			for l := range got {
+				mustSameParams(t, fmt.Sprintf("block %d", l), got[l].Params(), ref[l].Params())
+			}
+			// The merged stack must also compute what the reference
+			// computes.
+			rng := tensor.NewRNG(77)
+			x := tensor.Randn(rng, 0.5, 6, dim)
+			want := x
+			for _, b := range ref {
+				want = b.Forward(want)
+			}
+			h := x
+			for _, b := range got {
+				h = b.Forward(h)
+			}
+			if d := tensor.MaxDiff(h, want); d != 0 {
+				t.Fatalf("merged stack forward differs by %g", d)
+			}
+		})
+	}
+}
+
+// TestLoadBlocksErrors covers the guard rails of the sharded loader.
+func TestLoadBlocksErrors(t *testing.T) {
+	if _, _, err := LoadBlocks(t.TempDir()); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+	// A manifest without block geometry is loadable as shards but not
+	// as a serial stack.
+	ref := refStack(t, 8, 2, 1)
+	dir := t.TempDir()
+	saveShardedStack(t, dir, ref, 1, 1, nil)
+	if _, _, err := LoadBlocks(dir); err == nil {
+		t.Fatal("manifest without BlockSpec must fail")
+	}
+	// Geometry whose head count the checkpoint TP cannot divide.
+	dir2 := t.TempDir()
+	saveShardedStack(t, dir2, refStack(t, 8, 2, 1), 2, 1, &ckpt.BlockSpec{Dim: 8, Heads: 3, QKNorm: true})
+	if _, _, err := LoadBlocks(dir2); err == nil {
+		t.Fatal("heads not divisible by TP must fail")
+	}
+}
+
+// TestLoadModelWithTrunk installs a sharded trunk into a full model
+// and verifies the blocks carry the checkpoint weights while stem and
+// head come from the seed.
+func TestLoadModelWithTrunk(t *testing.T) {
+	cfg := vit.Tiny(4, 8, 16) // EmbedDim 32, Heads 4, Layers 2
+	src, err := vit.New(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spec := &ckpt.BlockSpec{Dim: cfg.EmbedDim, Heads: cfg.Heads, QKNorm: cfg.QKNorm}
+	saveShardedStack(t, dir, src.Blocks, 2, 2, spec)
+
+	m, man, err := LoadModelWithTrunk(dir, cfg, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Block.Dim != cfg.EmbedDim {
+		t.Fatalf("manifest dim %d", man.Block.Dim)
+	}
+	for l := range m.Blocks {
+		mustSameParams(t, fmt.Sprintf("trunk block %d", l), m.Blocks[l].Params(), src.Blocks[l].Params())
+	}
+	// Mismatched geometry errors.
+	bad := cfg
+	bad.Layers = 5
+	if _, _, err := LoadModelWithTrunk(dir, bad, 1); err == nil {
+		t.Fatal("layer-count mismatch must fail")
+	}
+	bad = cfg
+	bad.EmbedDim = 64
+	bad.Heads = 4
+	if _, _, err := LoadModelWithTrunk(dir, bad, 1); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}
+
+// TestLoadModelKinds proves LoadModel accepts every file checkpoint
+// kind and rejects directories.
+func TestLoadModelKinds(t *testing.T) {
+	cfg := vit.Tiny(2, 8, 8)
+	m, err := vit.New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	p1 := filepath.Join(dir, "weights.ckpt")
+	if err := ckpt.Save(p1, m, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameParams(t, "weights ckpt", got.Params(), m.Params())
+
+	// A training-state checkpoint loads as a model too (moments are
+	// skipped).
+	st := &ckpt.TrainState{Model: m}
+	for _, p := range m.Params() {
+		st.OptM = append(st.OptM, make([]float32, p.W.Len()))
+		st.OptV = append(st.OptV, make([]float32, p.W.Len()))
+	}
+	p2 := filepath.Join(dir, "train.ckpt")
+	if err := ckpt.SaveTrainState(p2, st, false); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadModel(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameParams(t, "train-state ckpt", got2.Params(), m.Params())
+
+	if _, err := LoadModel(dir); err == nil {
+		t.Fatal("plain directory must fail")
+	}
+	sh := filepath.Join(dir, "sharded")
+	if err := os.MkdirAll(sh, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sh, ckpt.ManifestName), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(sh); err == nil {
+		t.Fatal("sharded dir must point the caller at LoadBlocks")
+	}
+}

@@ -1,0 +1,475 @@
+// Package infer is ORBIT's forward-only inference subsystem: the
+// serving counterpart of internal/train. It loads any checkpoint kind
+// (weights-only v1, training-state v2, or a PR 3 sharded manifest via
+// the reshard path), pre-plans zero-allocation workspaces over the
+// destination-passing tensor kernels, and executes batched
+// autoregressive rollouts — initial condition to N lead steps — with
+// per-step wRMSE/wACC scoring against climatology.
+//
+// The layer contract differs from package nn: nn modules cache
+// activations for a later Backward, so their forward pass pays for
+// memory inference never uses. The Plan in this file re-implements the
+// model forward with inference-only buffers and a fused batch
+// dimension (B samples run as one [B·T, D] token matrix through every
+// linear layer and as a [B·H, T, d] stack through attention). Every
+// floating-point operation is kept in the exact order of the serial
+// vit.Model.Forward, so a Plan's output is bit-identical to the
+// training-path forward for each sample — the equivalence suite pins
+// this.
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+	"orbit/internal/vit"
+)
+
+// packedW caches the packed transpose of a weight matrix (the dot
+// kernel's operand layout), refreshed when the weight's version
+// changes — weights only move on explicit loads, so in steady state
+// every forward skips the repack.
+type packedW struct {
+	buf []float32
+	ver uint64
+}
+
+func (p *packedW) of(w *tensor.Tensor) []float32 {
+	if p.ver != w.Version()+1 {
+		if cap(p.buf) < w.Len() {
+			p.buf = make([]float32, w.Len())
+		}
+		p.buf = p.buf[:w.Len()]
+		tensor.PackTransposedInto(p.buf, w)
+		p.ver = w.Version() + 1
+	}
+	return p.buf
+}
+
+// blockPacked holds the packed weights of one transformer block.
+type blockPacked struct {
+	wq, wk, wv, wo, fc1, fc2 packedW
+}
+
+// batchBufs are the tensor headers for one fused batch size n. The
+// headers view the Plan's shared backing arrays (allocated once for
+// MaxBatch), so building the set for a new n costs only slice headers
+// and happens once per distinct size.
+type batchBufs struct {
+	patches    *tensor.Tensor   // [n·T, P²] per-channel patch staging
+	e          *tensor.Tensor   // [C·n·T, D] aggregation input
+	eC         []*tensor.Tensor // per-channel [n·T, D] views of e
+	kMat, vMat *tensor.Tensor   // [C·n·T, D]
+	x          *tensor.Tensor   // [n·T, D] token stream (stem out, block in/out)
+	lnBuf      *tensor.Tensor   // [n·T, D] layer-norm output
+	q, k, v    *tensor.Tensor   // [n·T, D]
+	qh, kh, vh *tensor.Tensor   // [n·H, T, d] head-major stacks
+	qn, kn     *tensor.Tensor   // post-QK-norm stacks (alias qh/kh without QKNorm)
+	probs      *tensor.Tensor   // [n·H, T, T]
+	outH       *tensor.Tensor   // [n·H, T, d]
+	concat     *tensor.Tensor   // [n·T, D]
+	attnOut    *tensor.Tensor   // [n·T, D]
+	h          *tensor.Tensor   // [n·T, D] post-attention residual
+	fc1, th, g *tensor.Tensor   // [n·T, 4D] MLP pre-activation, tanh cache, GELU out
+	mlpOut     *tensor.Tensor   // [n·T, D]
+	headTok    *tensor.Tensor   // [n·T, P²·OutC]
+
+	// Per-sample views for the token-major ⇄ head-major regroups.
+	qRows, kRows, vRows []*tensor.Tensor // [T, D] rows of q/k/v
+	qhB, khB, vhB       []*tensor.Tensor // [H, T, d] slices of qh/kh/vh
+	outHB               []*tensor.Tensor // [H, T, d] slices of outH
+	concatRows          []*tensor.Tensor // [T, D] rows of concat
+	outs                []*tensor.Tensor // [OutC, H, W] per-sample outputs
+}
+
+// Plan is a pre-planned zero-allocation forward executor for a model
+// at a bounded batch size. A Plan is not safe for concurrent use; the
+// Engine gives each worker its own.
+type Plan struct {
+	Model    *vit.Model
+	MaxBatch int
+
+	// Geometry, resolved once.
+	c, h, w, p, t, d, heads, hd, outC int
+
+	patchW []packedW
+	aggK   packedW
+	aggV   packedW
+	leadW  packedW
+	blocks []blockPacked
+	headW  packedW
+
+	// Backing arrays sized for MaxBatch, shared by every batchBufs.
+	patchesB, eB, kMatB, vMatB        []float32
+	xB, lnB, qB, kB, vB               []float32
+	qhB, khB, vhB, qnB, knB           []float32
+	probsB, outHB, concatB, attnB, hB []float32
+	fc1B, thB, gB, mlpB, headB        []float32
+	outsB                             []float32
+	scoresRow, alphaRow               []float32
+	leadFeat, leadOff                 *tensor.Tensor
+
+	sized map[int]*batchBufs
+}
+
+// NewPlan builds a forward plan for up to maxBatch fused samples,
+// allocating every workspace up front so steady-state Forward calls
+// perform no heap allocations.
+func NewPlan(m *vit.Model, maxBatch int) *Plan {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	cfg := m.Config
+	p := &Plan{
+		Model:    m,
+		MaxBatch: maxBatch,
+		c:        cfg.Channels,
+		h:        cfg.Height,
+		w:        cfg.Width,
+		p:        cfg.Patch,
+		t:        cfg.Tokens(),
+		d:        cfg.EmbedDim,
+		heads:    cfg.Heads,
+		hd:       cfg.EmbedDim / cfg.Heads,
+		outC:     cfg.OutChannels,
+		patchW:   make([]packedW, cfg.Channels),
+		blocks:   make([]blockPacked, len(m.Blocks)),
+		sized:    make(map[int]*batchBufs),
+	}
+	B, T, D, C := maxBatch, p.t, p.d, p.c
+	pp := p.p * p.p
+	p.patchesB = make([]float32, B*T*pp)
+	p.eB = make([]float32, C*B*T*D)
+	p.kMatB = make([]float32, C*B*T*D)
+	p.vMatB = make([]float32, C*B*T*D)
+	for _, buf := range []*[]float32{&p.xB, &p.lnB, &p.qB, &p.kB, &p.vB, &p.qhB, &p.khB, &p.vhB, &p.outHB, &p.concatB, &p.attnB, &p.hB, &p.mlpB} {
+		*buf = make([]float32, B*T*D)
+	}
+	if cfg.QKNorm {
+		p.qnB = make([]float32, B*T*D)
+		p.knB = make([]float32, B*T*D)
+	}
+	p.probsB = make([]float32, B*p.heads*T*T)
+	p.fc1B = make([]float32, B*T*4*D)
+	p.thB = make([]float32, B*T*4*D)
+	p.gB = make([]float32, B*T*4*D)
+	p.headB = make([]float32, B*T*pp*p.outC)
+	p.outsB = make([]float32, B*p.outC*p.h*p.w)
+	p.scoresRow = make([]float32, C)
+	p.alphaRow = make([]float32, C)
+	p.leadFeat = tensor.New(1, D)
+	p.leadOff = tensor.New(1, D)
+	return p
+}
+
+// bufs returns (building once) the tensor headers for batch size n.
+func (p *Plan) bufs(n int) *batchBufs {
+	if bb, ok := p.sized[n]; ok {
+		return bb
+	}
+	if n < 1 || n > p.MaxBatch {
+		panic(fmt.Sprintf("infer: batch %d outside plan capacity [1,%d]", n, p.MaxBatch))
+	}
+	T, D, C, H, hd := p.t, p.d, p.c, p.heads, p.hd
+	pp := p.p * p.p
+	bb := &batchBufs{
+		patches: tensor.FromSlice(p.patchesB[:n*T*pp], n*T, pp),
+		e:       tensor.FromSlice(p.eB[:C*n*T*D], C*n*T, D),
+		kMat:    tensor.FromSlice(p.kMatB[:C*n*T*D], C*n*T, D),
+		vMat:    tensor.FromSlice(p.vMatB[:C*n*T*D], C*n*T, D),
+		x:       tensor.FromSlice(p.xB[:n*T*D], n*T, D),
+		lnBuf:   tensor.FromSlice(p.lnB[:n*T*D], n*T, D),
+		q:       tensor.FromSlice(p.qB[:n*T*D], n*T, D),
+		k:       tensor.FromSlice(p.kB[:n*T*D], n*T, D),
+		v:       tensor.FromSlice(p.vB[:n*T*D], n*T, D),
+		qh:      tensor.FromSlice(p.qhB[:n*T*D], n*H, T, hd),
+		kh:      tensor.FromSlice(p.khB[:n*T*D], n*H, T, hd),
+		vh:      tensor.FromSlice(p.vhB[:n*T*D], n*H, T, hd),
+		probs:   tensor.FromSlice(p.probsB[:n*H*T*T], n*H, T, T),
+		outH:    tensor.FromSlice(p.outHB[:n*T*D], n*H, T, hd),
+		concat:  tensor.FromSlice(p.concatB[:n*T*D], n*T, D),
+		attnOut: tensor.FromSlice(p.attnB[:n*T*D], n*T, D),
+		h:       tensor.FromSlice(p.hB[:n*T*D], n*T, D),
+		fc1:     tensor.FromSlice(p.fc1B[:n*T*4*D], n*T, 4*D),
+		th:      tensor.FromSlice(p.thB[:n*T*4*D], n*T, 4*D),
+		g:       tensor.FromSlice(p.gB[:n*T*4*D], n*T, 4*D),
+		mlpOut:  tensor.FromSlice(p.mlpB[:n*T*D], n*T, D),
+		headTok: tensor.FromSlice(p.headB[:n*T*pp*p.outC], n*T, pp*p.outC),
+	}
+	if p.Model.Config.QKNorm {
+		bb.qn = tensor.FromSlice(p.qnB[:n*T*D], n*H, T, hd)
+		bb.kn = tensor.FromSlice(p.knB[:n*T*D], n*H, T, hd)
+	} else {
+		bb.qn, bb.kn = bb.qh, bb.kh
+	}
+	for c := 0; c < C; c++ {
+		bb.eC = append(bb.eC, tensor.FromSlice(p.eB[c*n*T*D:(c+1)*n*T*D], n*T, D))
+	}
+	for b := 0; b < n; b++ {
+		rows := func(back []float32) *tensor.Tensor {
+			return tensor.FromSlice(back[b*T*D:(b+1)*T*D], T, D)
+		}
+		bb.qRows = append(bb.qRows, rows(p.qB))
+		bb.kRows = append(bb.kRows, rows(p.kB))
+		bb.vRows = append(bb.vRows, rows(p.vB))
+		bb.concatRows = append(bb.concatRows, rows(p.concatB))
+		stack := func(back []float32) *tensor.Tensor {
+			return tensor.FromSlice(back[b*H*T*hd:(b+1)*H*T*hd], H, T, hd)
+		}
+		bb.qhB = append(bb.qhB, stack(p.qhB))
+		bb.khB = append(bb.khB, stack(p.khB))
+		bb.vhB = append(bb.vhB, stack(p.vhB))
+		bb.outHB = append(bb.outHB, stack(p.outHB))
+		sz := p.outC * p.h * p.w
+		bb.outs = append(bb.outs, tensor.FromSlice(p.outsB[b*sz:(b+1)*sz], p.outC, p.h, p.w))
+	}
+	p.sized[n] = bb
+	return bb
+}
+
+// Forward runs the fused batched forward over len(xs) samples (each
+// [C, H, W]) with per-sample lead times, returning plan-owned
+// [OutC, H, W] prediction tensors valid until the plan's next call.
+// Per sample, the result is bit-identical to Model.Forward.
+func (p *Plan) Forward(xs []*tensor.Tensor, leads []float64) []*tensor.Tensor {
+	n := len(xs)
+	if n == 0 || n != len(leads) {
+		panic(fmt.Sprintf("infer: Forward with %d samples, %d leads", n, len(leads)))
+	}
+	bb := p.bufs(n)
+	m := p.Model
+
+	// Patch embedding, fused over the batch per channel: samples stack
+	// along the token rows, so one packed matmul per channel replaces
+	// n (and the model path's per-call weight repack disappears).
+	hw := p.h * p.w
+	for c := 0; c < p.c; c++ {
+		for b, x := range xs {
+			p.extractPatches(x.Data()[c*hw:(c+1)*hw], bb.patches.Data()[b*p.t*p.p*p.p:])
+		}
+		wt := p.patchW[c].of(m.Patch.Weights[c].W)
+		tensor.MatMulPackedBInto(bb.eC[c], bb.patches, wt, p.d, m.Patch.Biases[c].W)
+	}
+
+	// Variable aggregation over t' = n·T fused token positions.
+	p.aggregate(bb, n)
+
+	// Positional embedding per sample, lead-time conditioning per
+	// sample (leads may differ across a coalesced batch).
+	pos := m.Pos.Embed.W.Data()
+	xd := bb.x.Data()
+	for b := 0; b < n; b++ {
+		base := b * p.t * p.d
+		for i := 0; i < p.t*p.d; i++ {
+			xd[base+i] += pos[i]
+		}
+	}
+	for b := 0; b < n; b++ {
+		p.leadInto(xd[b*p.t*p.d:(b+1)*p.t*p.d], leads[b])
+	}
+
+	// Transformer blocks, token rows fused across the batch; attention
+	// runs head-major with n·H batch entries so per-head products stay
+	// per-sample.
+	scale := float32(1 / math.Sqrt(float64(p.hd)))
+	for li, blk := range m.Blocks {
+		pk := &p.blocks[li]
+		lnInto(bb.lnBuf, bb.x, blk.LN1)
+		tensor.MatMulPackedBInto(bb.q, bb.lnBuf, pk.wq.of(blk.Attn.WQ.Weight.W), p.d, blk.Attn.WQ.Bias.W)
+		tensor.MatMulPackedBInto(bb.k, bb.lnBuf, pk.wk.of(blk.Attn.WK.Weight.W), p.d, blk.Attn.WK.Bias.W)
+		tensor.MatMulPackedBInto(bb.v, bb.lnBuf, pk.wv.of(blk.Attn.WV.Weight.W), p.d, blk.Attn.WV.Bias.W)
+		for b := 0; b < n; b++ {
+			tensor.SplitHeadsInto(bb.qhB[b], bb.qRows[b], p.heads)
+			tensor.SplitHeadsInto(bb.khB[b], bb.kRows[b], p.heads)
+			tensor.SplitHeadsInto(bb.vhB[b], bb.vRows[b], p.heads)
+		}
+		if blk.Attn.QKNorm {
+			lnInto(bb.qn, bb.qh, blk.Attn.QNorm)
+			lnInto(bb.kn, bb.kh, blk.Attn.KNorm)
+		}
+		tensor.BatchedMatMulTransBScaledInto(bb.probs, bb.qn, bb.kn, scale)
+		tensor.SoftmaxInto(bb.probs, bb.probs)
+		tensor.BatchedMatMulInto(bb.outH, bb.probs, bb.vh)
+		for b := 0; b < n; b++ {
+			tensor.MergeHeadsInto(bb.concatRows[b], bb.outHB[b], p.heads)
+		}
+		tensor.MatMulPackedBInto(bb.attnOut, bb.concat, pk.wo.of(blk.Attn.WO.Weight.W), p.d, blk.Attn.WO.Bias.W)
+		tensor.AddInto(bb.h, bb.x, bb.attnOut)
+
+		lnInto(bb.lnBuf, bb.h, blk.LN2)
+		tensor.MatMulPackedBInto(bb.fc1, bb.lnBuf, pk.fc1.of(blk.MLP.FC1.Weight.W), 4*p.d, blk.MLP.FC1.Bias.W)
+		tensor.GELUCachedInto(bb.g, bb.th, bb.fc1)
+		tensor.MatMulPackedBInto(bb.mlpOut, bb.g, pk.fc2.of(blk.MLP.FC2.Weight.W), p.d, blk.MLP.FC2.Bias.W)
+		tensor.AddInto(bb.x, bb.h, bb.mlpOut)
+	}
+
+	// Prediction head: fused norm + projection, per-sample unpatchify.
+	lnInto(bb.lnBuf, bb.x, m.Head.Norm)
+	tensor.MatMulPackedBInto(bb.headTok, bb.lnBuf, p.headW.of(m.Head.Proj.Weight.W), p.p*p.p*p.outC, m.Head.Proj.Bias.W)
+	for b := 0; b < n; b++ {
+		p.unpatchify(bb.headTok.Data()[b*p.t*p.p*p.p*p.outC:], bb.outs[b].Data())
+	}
+	return bb.outs[:n]
+}
+
+// extractPatches tokenizes one channel image [H, W] into [T, P²] rows
+// at dst (nn.PatchEmbed.extractPatches's exact layout).
+func (p *Plan) extractPatches(img, dst []float32) {
+	ps := p.p
+	rows, cols := p.h/ps, p.w/ps
+	for pr := 0; pr < rows; pr++ {
+		for pc := 0; pc < cols; pc++ {
+			base := (pr*cols + pc) * ps * ps
+			for i := 0; i < ps; i++ {
+				src := (pr*ps+i)*p.w + pc*ps
+				copy(dst[base+i*ps:base+(i+1)*ps], img[src:src+ps])
+			}
+		}
+	}
+}
+
+// unpatchify scatters [T, P²·OutC] token outputs into [OutC, H, W]
+// (nn.PredictionHead.unpatchify's exact layout).
+func (p *Plan) unpatchify(tok, out []float32) {
+	ps := p.p
+	cols := p.w / ps
+	hw := p.h * p.w
+	pp := ps * ps
+	for t := 0; t < p.t; t++ {
+		pr, pc := t/cols, t%cols
+		rowBase := t * pp * p.outC
+		for c := 0; c < p.outC; c++ {
+			for i := 0; i < ps; i++ {
+				dst := c*hw + (pr*ps+i)*p.w + pc*ps
+				src := rowBase + c*pp + i*ps
+				copy(out[dst:dst+ps], tok[src:src+ps])
+			}
+		}
+	}
+}
+
+// aggregate is nn.VariableAggregation.Forward fused over n·T token
+// positions, writing the aggregated stream into bb.x. The scalar loop
+// structure (and therefore the float op order) matches the module.
+func (p *Plan) aggregate(bb *batchBufs, n int) {
+	agg := p.Model.Agg
+	c, tTot, d := p.c, n*p.t, p.d
+	ed := bb.e.Data()
+	ve := agg.VarEmbed.W.Data()
+	// e[c,t,:] = emb[c,t,:] + varEmbed[c,:]; emb was written into e by
+	// the patch stage, so the add runs in place.
+	for ci := 0; ci < c; ci++ {
+		vb := ci * d
+		for ti := 0; ti < tTot; ti++ {
+			base := (ci*tTot + ti) * d
+			for k := 0; k < d; k++ {
+				ed[base+k] += ve[vb+k]
+			}
+		}
+	}
+	tensor.MatMulPackedBInto(bb.kMat, bb.e, p.aggK.of(agg.WK.Weight.W), d, nil)
+	tensor.MatMulPackedBInto(bb.vMat, bb.e, p.aggV.of(agg.WV.Weight.W), d, nil)
+
+	scale := float32(1 / math.Sqrt(float64(d)))
+	q := agg.Query.W.Data()
+	kd := bb.kMat.Data()
+	vd := bb.vMat.Data()
+	od := bb.x.Data()
+	for i := range od[:tTot*d] {
+		od[i] = 0
+	}
+	for ti := 0; ti < tTot; ti++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ci*tTot + ti) * d
+			var s float32
+			for k := 0; k < d; k++ {
+				s += kd[base+k] * q[k]
+			}
+			p.scoresRow[ci] = s * scale
+		}
+		softmaxRowInto(p.scoresRow, p.alphaRow)
+		ob := od[ti*d : (ti+1)*d]
+		for ci := 0; ci < c; ci++ {
+			a := p.alphaRow[ci]
+			vb := vd[(ci*tTot+ti)*d : (ci*tTot+ti+1)*d]
+			for k := 0; k < d; k++ {
+				ob[k] += a * vb[k]
+			}
+		}
+	}
+}
+
+// softmaxRowInto mirrors the aggregation module's private softmax
+// (float64 accumulation, max-subtracted) exactly.
+func softmaxRowInto(in, out []float32) {
+	maxv := in[0]
+	for _, v := range in[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range in {
+		e := math.Exp(float64(v - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// leadInto adds the projected lead-time embedding to one sample's T
+// token rows (nn.LeadTimeEmbedding.ForwardWithLead's math, with the
+// sinusoidal features and projection landing in plan-owned buffers).
+func (p *Plan) leadInto(rows []float32, leadHours float64) {
+	d := p.d
+	fd := p.leadFeat.Data()
+	for i := 0; i < d/2; i++ {
+		freq := math.Pow(10000, -2*float64(i)/float64(d))
+		fd[2*i] = float32(math.Sin(leadHours * freq))
+		fd[2*i+1] = float32(math.Cos(leadHours * freq))
+	}
+	proj := p.Model.Lead.Proj
+	tensor.MatMulPackedBInto(p.leadOff, p.leadFeat, p.leadW.of(proj.Weight.W), d, proj.Bias.W)
+	off := p.leadOff.Data()
+	for t := 0; t < p.t; t++ {
+		base := t * d
+		for k := 0; k < d; k++ {
+			rows[base+k] += off[k]
+		}
+	}
+}
+
+// lnInto is the inference-mode layer norm: it writes only the output
+// (no cached x̂/rstd for a backward that never comes), with the exact
+// float32 rounding sequence of nn.LayerNorm.Forward.
+func lnInto(dst, x *tensor.Tensor, ln *nn.LayerNorm) {
+	dim := ln.Dim
+	rows := x.Len() / dim
+	g, b := ln.Gamma.W.Data(), ln.Beta.W.Data()
+	xd, od := x.Data(), dst.Data()
+	for r := 0; r < rows; r++ {
+		xr := xd[r*dim : (r+1)*dim]
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(dim)
+		var variance float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(dim)
+		rstd := 1 / math.Sqrt(variance+ln.Eps)
+		or := od[r*dim : (r+1)*dim]
+		for c, v := range xr {
+			h := float32((float64(v) - mean) * rstd)
+			or[c] = h*g[c] + b[c]
+		}
+	}
+}

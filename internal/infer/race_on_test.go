@@ -1,0 +1,6 @@
+//go:build race
+
+package infer
+
+// raceEnabled gates the AllocsPerRun assertions; see race_off_test.go.
+const raceEnabled = true

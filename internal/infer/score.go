@@ -1,0 +1,147 @@
+package infer
+
+import (
+	"sync"
+
+	"orbit/internal/climate"
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+)
+
+// StepScore is one rollout step's skill against the verifying truth.
+type StepScore struct {
+	Step      int       // 0-based rollout step
+	LeadHours float64   // hours ahead of the initial condition
+	RMSE      []float64 // per output channel, latitude-weighted
+	ACC       []float64 // per output channel, vs day-of-year climatology
+}
+
+// ScoreCache serves the tensors rollout scoring needs — normalized
+// input fields, channel-selected truth, and day-of-year climatology —
+// caching each per time step. Generating a synthetic truth field costs
+// ~5x a model forward, so serving throughput lives or dies on this
+// cache; it is shared safely across concurrent requests and is
+// per-model in the serving front end (normalization statistics differ
+// between models).
+type ScoreCache struct {
+	DS    *climate.Dataset
+	Chans []int // the channels scored (the engine's output mapping)
+
+	mu     sync.Mutex
+	fields map[int]*tensor.Tensor
+	truth  map[int]*tensor.Tensor
+	clim   map[int]*tensor.Tensor
+}
+
+// NewScoreCache builds an empty cache over a dataset. chans selects
+// the scored channels; nil scores every channel.
+func NewScoreCache(ds *climate.Dataset, chans []int) *ScoreCache {
+	if chans == nil {
+		chans = make([]int, len(ds.World.Vars))
+		for i := range chans {
+			chans[i] = i
+		}
+	}
+	return &ScoreCache{
+		DS:     ds,
+		Chans:  chans,
+		fields: make(map[int]*tensor.Tensor),
+		truth:  make(map[int]*tensor.Tensor),
+		clim:   make(map[int]*tensor.Tensor),
+	}
+}
+
+// InputAt returns the cached normalized full-state field at
+// dataset-relative step i — the rollout initial condition. The tensor
+// is shared and must be treated as read-only.
+func (sc *ScoreCache) InputAt(i int) *tensor.Tensor {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if f, ok := sc.fields[i]; ok {
+		return f
+	}
+	f := sc.DS.World.Field(sc.DS.StartStep + i)
+	sc.DS.Stats.Normalize(f)
+	sc.fields[i] = f
+	return f
+}
+
+// TruthAt returns the cached normalized truth restricted to the scored
+// channels at dataset-relative step i.
+func (sc *ScoreCache) TruthAt(i int) *tensor.Tensor {
+	sc.mu.Lock()
+	if t, ok := sc.truth[i]; ok {
+		sc.mu.Unlock()
+		return t
+	}
+	sc.mu.Unlock()
+	full := sc.InputAt(i)
+	t := climate.SelectChannels(full, sc.Chans)
+	sc.mu.Lock()
+	sc.truth[i] = t
+	sc.mu.Unlock()
+	return t
+}
+
+// ClimAt returns the cached normalized day-of-year climatology valid
+// at dataset-relative step i, restricted to the scored channels.
+func (sc *ScoreCache) ClimAt(i int) *tensor.Tensor {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if c, ok := sc.clim[i]; ok {
+		return c
+	}
+	c := sc.DS.World.ClimatologyAt(sc.DS.StartStep + i)
+	sc.DS.Stats.Normalize(c)
+	c = climate.SelectChannels(c, sc.Chans)
+	sc.clim[i] = c
+	return c
+}
+
+// LeadHours returns the dataset's forecast horizon per rollout step.
+func (sc *ScoreCache) LeadHours() float64 {
+	return float64(sc.DS.LeadSteps) * 24 / climate.StepsPerDay
+}
+
+// ScoredRollout rolls out from the dataset sample at index start and
+// scores every step's wRMSE and wACC against the verifying truth.
+func (e *Engine) ScoredRollout(sc *ScoreCache, start, steps int) []StepScore {
+	return e.ScoredRolloutBatch(sc, []int{start}, steps)[0]
+}
+
+// ScoredRolloutBatch is the batched ScoredRollout: the rollouts fuse
+// into batched forward passes while each request keeps its own score
+// trajectory.
+func (e *Engine) ScoredRolloutBatch(sc *ScoreCache, starts []int, steps int) [][]StepScore {
+	n := len(starts)
+	lead := sc.LeadHours()
+	ics := make([]*tensor.Tensor, n)
+	leads := make([]float64, n)
+	scores := make([][]StepScore, n)
+	for i, s := range starts {
+		ics[i] = sc.InputAt(s)
+		leads[i] = lead
+		scores[i] = make([]StepScore, steps)
+	}
+	// Warm the shared caches before fanning out: every trajectory from
+	// the same window reuses one generated truth/climatology tensor.
+	for _, s := range starts {
+		for k := 0; k < steps; k++ {
+			idx := s + (k+1)*sc.DS.LeadSteps
+			sc.TruthAt(idx)
+			sc.ClimAt(idx)
+		}
+	}
+	e.RolloutBatch(ics, steps, leads, func(sample, step int, pred *tensor.Tensor) {
+		idx := starts[sample] + (step+1)*sc.DS.LeadSteps
+		truth := sc.TruthAt(idx)
+		clim := sc.ClimAt(idx)
+		scores[sample][step] = StepScore{
+			Step:      step,
+			LeadHours: float64(step+1) * lead,
+			RMSE:      metrics.WeightedRMSE(pred, truth),
+			ACC:       metrics.WeightedACC(pred, truth, clim),
+		}
+	})
+	return scores
+}

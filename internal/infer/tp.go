@@ -1,0 +1,96 @@
+package infer
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/parallel"
+	"orbit/internal/tensor"
+	"orbit/internal/vit"
+)
+
+// TPForecaster runs a model's transformer trunk tensor-parallel over a
+// simulated cluster group, forward-only: the serving path for models
+// whose weights do not fit one device. Each TP rank owns the Megatron
+// column/row shard of every block (parallel.TPBlock) with no gradient
+// accumulators; the stem and head — a small fraction of the weights —
+// run replicated on the driver through a forward-only model replica.
+// Block outputs are all-reduced inside TPBlock.Forward, so every rank
+// holds the full activations and the driver's rank-0 stream feeds the
+// head.
+type TPForecaster struct {
+	TP int
+
+	rep     *vit.Model // forward-only stem+head replica
+	machine *cluster.Machine
+	group   *comm.Group
+	ranks   [][]*parallel.TPBlock // [rank][layer]
+
+	mu   sync.Mutex // one forward at a time through the shared group
+	outs []*tensor.Tensor
+}
+
+// NewTPForecaster shards m's blocks across a tp-wide tensor-parallel
+// group on a simulated machine. tp must divide the head count (the
+// architectural TP limit the paper contrasts with Hybrid-STOP).
+func NewTPForecaster(m *vit.Model, tp int) (*TPForecaster, error) {
+	if tp < 2 {
+		return nil, fmt.Errorf("infer: TP forecaster needs tp >= 2, got %d", tp)
+	}
+	if m.Config.Heads%tp != 0 {
+		return nil, fmt.Errorf("infer: %d heads not divisible by TP size %d", m.Config.Heads, tp)
+	}
+	spec := cluster.Frontier()
+	f := &TPForecaster{
+		TP:      tp,
+		rep:     m.InferenceReplica(),
+		machine: cluster.NewMachine(spec, 1, tp),
+	}
+	f.group = comm.NewGroup(f.machine.Devices[:tp])
+	f.ranks = make([][]*parallel.TPBlock, tp)
+	for r := 0; r < tp; r++ {
+		for _, ref := range m.Blocks {
+			b := parallel.NewTPBlock(r, f.group, ref)
+			// Forward-only: drop the shard gradient mirrors.
+			for _, p := range b.Params() {
+				p.Grad = nil
+			}
+			f.ranks[r] = append(f.ranks[r], b)
+		}
+	}
+	f.outs = make([]*tensor.Tensor, tp)
+	return f, nil
+}
+
+// Forward runs one sample [C, H, W] through the TP-sharded trunk,
+// producing [OutC, H, W]. The result is head-owned and valid until the
+// forecaster's next call. Within each block, partial sums are reduced
+// across ranks in rank order, so the output matches the single-device
+// forward to float summation-order tolerance (the equivalence test
+// pins 1e-6).
+func (f *TPForecaster) Forward(x *tensor.Tensor, leadHours float64) *tensor.Tensor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tok := f.rep.Agg.Forward(f.rep.Patch.Forward(x))
+	tok = f.rep.Pos.Forward(tok)
+	tok = f.rep.Lead.ForwardWithLead(tok, leadHours)
+
+	// SPMD over the TP group: every rank walks its shard of the block
+	// stack; the per-block all-reduces rendezvous inside Forward.
+	var wg sync.WaitGroup
+	for r := 0; r < f.TP; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := tok
+			for _, b := range f.ranks[r] {
+				h = b.Forward(h)
+			}
+			f.outs[r] = h
+		}(r)
+	}
+	wg.Wait()
+	return f.rep.Head.Forward(f.outs[0])
+}

@@ -68,6 +68,17 @@ func ZeroGrads(params []*Param) {
 	}
 }
 
+// ReleaseGrads drops the gradient accumulators of a parameter set,
+// putting its modules in inference mode: weights stay live but the
+// mirror gradient memory — as large as the model itself — is released
+// to the collector. Backward must not be called on a released module;
+// it would nil-dereference, which is the intended loud failure.
+func ReleaseGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad = nil
+	}
+}
+
 // CountParams sums the element counts of a parameter set.
 func CountParams(params []*Param) int64 {
 	var n int64

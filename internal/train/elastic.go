@@ -320,10 +320,21 @@ func (j *elasticJob) save() error {
 	man := &ckpt.Manifest{
 		Layout:      ckpt.ShardLayout{TP: j.layout.TP, FSDP: j.layout.FSDP, DDP: j.layout.DDP},
 		FlatLens:    j.engines[0].LogicalFlatLens(),
+		Block:       &ckpt.BlockSpec{Dim: j.cfg.Dim, Heads: j.cfg.Heads, QKNorm: true},
 		Step:        j.step,
 		OptStep:     j.opts[0].StepCount(),
 		GlobalBatch: j.cfg.GlobalBatch,
 		RNG:         j.dataRNG.State(),
+	}
+	if j.layout.TP > 1 {
+		// TP rows differ in flat length (output biases live on T=0
+		// only), so record each row for exact resharding on load.
+		man.FlatLensTP = make([][]int, j.layout.TP)
+		for _, e := range j.engines {
+			if c := e.Coord; c.F == 0 && c.D == 0 {
+				man.FlatLensTP[c.T] = e.LogicalFlatLens()
+			}
+		}
 	}
 	var shards []*ckpt.RankShard
 	for r, e := range j.engines {

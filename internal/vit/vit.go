@@ -30,11 +30,19 @@ type Config struct {
 // Tokens returns the sequence length.
 func (c Config) Tokens() int { return (c.Height / c.Patch) * (c.Width / c.Patch) }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. The non-positive checks run
+// before the divisibility checks: a zero patch or head count from an
+// untrusted source (a corrupt checkpoint header, say) must produce an
+// error, not a modulo-by-zero panic — the checkpoint fuzzer found
+// exactly that.
 func (c Config) Validate() error {
 	switch {
 	case c.Channels <= 0 || c.OutChannels <= 0:
 		return fmt.Errorf("vit: bad channel counts %d/%d", c.Channels, c.OutChannels)
+	case c.Height <= 0 || c.Width <= 0 || c.Patch <= 0:
+		return fmt.Errorf("vit: bad grid %dx%d patch %d", c.Height, c.Width, c.Patch)
+	case c.EmbedDim <= 0 || c.Heads <= 0:
+		return fmt.Errorf("vit: bad transformer shape dim %d heads %d", c.EmbedDim, c.Heads)
 	case c.Height%c.Patch != 0 || c.Width%c.Patch != 0:
 		return fmt.Errorf("vit: grid %dx%d not divisible by patch %d", c.Height, c.Width, c.Patch)
 	case c.EmbedDim%c.Heads != 0:
@@ -153,6 +161,25 @@ func (m *Model) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns all trainable parameters.
 func (m *Model) Params() []*nn.Param { return m.params }
+
+// InferenceReplica returns a forward-only view of the model: a fresh
+// module graph with its own activation scratch — safe to drive
+// concurrently with m and with other replicas — whose parameters
+// alias m's weight tensors (no copy) and hold no gradient
+// accumulators. Weight updates through m are visible to every
+// replica; Backward on a replica panics.
+func (m *Model) InferenceReplica() *Model {
+	r, err := New(m.Config, 0)
+	if err != nil {
+		// m was built from this config, so it cannot fail to validate.
+		panic(fmt.Sprintf("vit: InferenceReplica: %v", err))
+	}
+	for i, p := range r.params {
+		p.W = m.params[i].W
+	}
+	nn.ReleaseGrads(r.params)
+	return r
+}
 
 // NumParams returns the parameter count of the built model.
 func (m *Model) NumParams() int64 { return nn.CountParams(m.params) }

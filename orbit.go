@@ -58,11 +58,14 @@
 package orbit
 
 import (
+	"time"
+
 	"orbit/internal/ckpt"
 	"orbit/internal/climate"
 	"orbit/internal/cluster"
 	"orbit/internal/core"
 	"orbit/internal/experiments"
+	"orbit/internal/infer"
 	"orbit/internal/perf"
 	"orbit/internal/train"
 	"orbit/internal/vit"
@@ -204,6 +207,63 @@ func FinetuneModel(pretrained *Model, outChannels int, seed uint64) (*Model, err
 // data.
 func EvalACC(f Forecaster, ds *climate.Dataset, chans []int, nEval int) []float64 {
 	return train.EvalACC(f, ds, chans, nEval)
+}
+
+// --- inference and serving ---
+
+// InferConfig configures the forward-only inference engine: the
+// residual/output channel wiring, fused batch width, worker count, and
+// optional tensor-parallel trunk sharding.
+type InferConfig = infer.Config
+
+// InferenceEngine executes batched autoregressive rollouts (initial
+// condition → N lead steps) with zero-allocation planned forward
+// passes that are bit-identical per sample to Model.Forward.
+type InferenceEngine = infer.Engine
+
+// RolloutScore is one rollout step's wRMSE/wACC against climatology.
+type RolloutScore = infer.StepScore
+
+// ScoreCache caches the normalized truth and climatology tensors
+// rollout scoring needs, per model.
+type ScoreCache = infer.ScoreCache
+
+// RolloutBatcher coalesces concurrent rollout requests into fused
+// batches (max-batch / max-wait dynamic batching).
+type RolloutBatcher = infer.Batcher
+
+// RolloutRequest and RolloutResponse are the serving units.
+type (
+	RolloutRequest  = infer.Request
+	RolloutResponse = infer.Response
+)
+
+// NewInferenceEngine plans an inference engine over a model.
+func NewInferenceEngine(m *Model, cfg InferConfig) (*InferenceEngine, error) {
+	return infer.NewEngine(m, cfg)
+}
+
+// LoadInferenceModel loads any checkpoint file kind (v1 weights-only,
+// v2 weights-only or training-state) for inference.
+func LoadInferenceModel(path string) (*Model, error) { return infer.LoadModel(path) }
+
+// LoadInferenceTrunk builds a model from cfg and installs the
+// transformer trunk of a sharded distributed checkpoint directory,
+// resharding as needed.
+func LoadInferenceTrunk(dir string, cfg ModelConfig, seed uint64) (*Model, error) {
+	m, _, err := infer.LoadModelWithTrunk(dir, cfg, seed)
+	return m, err
+}
+
+// NewScoreCache builds a per-model scoring cache over a dataset; nil
+// chans scores every channel.
+func NewScoreCache(ds *climate.Dataset, chans []int) *ScoreCache {
+	return infer.NewScoreCache(ds, chans)
+}
+
+// NewRolloutBatcher wires dynamic request batching over an engine.
+func NewRolloutBatcher(eng *InferenceEngine, sc *ScoreCache, maxBatch int, maxWait time.Duration) *RolloutBatcher {
+	return infer.NewBatcher(eng, sc, maxBatch, maxWait)
 }
 
 // --- parallelism over the simulated cluster ---

@@ -24,3 +24,4 @@ check() {
 # lower them without justification in the PR description.
 check ./internal/ckpt/ 75
 check ./internal/cluster/ 90
+check ./internal/infer/ 85
