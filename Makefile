@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 fuzz-smoke golden
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 fuzz-smoke golden docs-check examples
 
-ci: build vet fmt-check staticcheck test race bench-smoke cover
+ci: build vet fmt-check staticcheck docs-check test race bench-smoke cover
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,22 @@ test:
 # internal/infer. The async cross-talk and batcher stress tests are
 # specifically written to be meaningful under -race.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/...
+	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/... ./internal/plan/...
+
+# Documentation gates: every package must carry a package comment
+# (scripts/check_pkgdoc.sh), and the checker proves it can fail via
+# its own negative self-test. Run alongside `examples` to keep the
+# README's code paths compiling and asserting.
+docs-check:
+	sh scripts/check_pkgdoc.sh
+	sh scripts/check_pkgdoc.sh --selftest
+
+# The runnable documentation: Example* functions in
+# orbit_example_test.go are the README quickstart and planner usage,
+# compiled and output-asserted by go test. -count=2 catches examples
+# that leak state between runs.
+examples:
+	$(GO) test -count=2 -run '^Example' .
 
 # Coverage gate over the checkpoint/restart-critical packages, with
 # checked-in minimum thresholds (scripts/check_coverage.sh).

@@ -1,12 +1,20 @@
 // Command orbit-pretrain pre-trains ORBIT models on the synthetic
 // CMIP6-like corpus. With -sweep it runs the paper's Fig. 8
-// model-size comparison; otherwise it trains a single model with
+// model-size comparison; with -layout it runs distributed
+// Hybrid-STOP training over the simulated cluster (elastic, with
+// sharded checkpointing); otherwise it trains a single model with
 // optional checkpoint/resume fault tolerance.
 //
 // Usage:
 //
 //	orbit-pretrain -sweep -scale full
 //	orbit-pretrain -steps 200 -embed 32 -save model.orbt
+//
+// Distributed over the simulated cluster:
+//
+//	orbit-pretrain -layout 2x4x2 -nodes 2 -steps 20            # explicit TPxFSDPxDDP
+//	orbit-pretrain -layout auto -nodes 2 -steps 20             # auto-planner picks the layout
+//	orbit-pretrain -layout auto -kill-node-step 12 -ckpt-dir d # survive a node loss, replan, resume
 //
 // Fault tolerance (single-model mode):
 //
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	orbit "orbit"
 )
@@ -31,13 +40,22 @@ import (
 func main() {
 	sweep := flag.Bool("sweep", false, "run the Fig. 8 model-size sweep")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
-	steps := flag.Int("steps", 100, "optimizer steps (single-model mode)")
-	embed := flag.Int("embed", 32, "embedding dimension (single-model mode)")
+	steps := flag.Int("steps", 100, "optimizer steps")
+	embed := flag.Int("embed", 32, "embedding dimension")
 	save := flag.String("save", "", "final weights-only checkpoint path (single-model mode)")
-	ckptEvery := flag.Int("ckpt-every", 0, "save a full training-state checkpoint every N steps")
-	statePath := flag.String("state", "orbit-pretrain.state.orbt", "training-state checkpoint path")
-	resume := flag.String("resume", "", "resume from a training-state checkpoint")
-	killStep := flag.Int("kill-step", 0, "simulate a fault: exit(1) after completing this step")
+	ckptEvery := flag.Int("ckpt-every", 0, "save a checkpoint every N steps (training state in single-model mode, sharded in -layout mode)")
+	statePath := flag.String("state", "orbit-pretrain.state.orbt", "training-state checkpoint path (single-model mode)")
+	resume := flag.String("resume", "", "resume from a training-state checkpoint (single-model mode)")
+	killStep := flag.Int("kill-step", 0, "simulate a fault: exit(1) after completing this step (single-model mode)")
+	layoutFlag := flag.String("layout", "", "distributed mode over the simulated cluster: TPxFSDPxDDP (e.g. 2x4x2) or 'auto' to let the parallelism planner choose")
+	nodes := flag.Int("nodes", 2, "simulated cluster size in nodes (-layout mode; 8 GPUs per node)")
+	heads := flag.Int("heads", 4, "attention heads of the distributed transformer stack (-layout mode)")
+	layers := flag.Int("layers", 3, "transformer blocks of the distributed stack (-layout mode)")
+	tokens := flag.Int("tokens", 16, "tokens per sample of the distributed stack (-layout mode)")
+	globalBatch := flag.Int("global-batch", 16, "fixed global batch micro-batched over the data ranks (-layout mode)")
+	ckptDir := flag.String("ckpt-dir", "", "sharded-checkpoint directory (-layout mode; enables fault recovery)")
+	killNodeStep := flag.Int("kill-node-step", 0, "simulate a whole-node failure at this step (-layout mode)")
+	computeScale := flag.Float64("compute-scale", 1e-3, "device-throughput scale for -layout mode: the functional workload is toy-sized, so scaling compute down gives the simulated machine (and the auto-planner) a production compute/communication ratio (1 = full-speed Frontier)")
 	flag.Parse()
 
 	if *sweep {
@@ -46,6 +64,12 @@ func main() {
 			sc = orbit.FullScale()
 		}
 		fmt.Println(orbit.FormatFig8(orbit.Fig8(sc)))
+		return
+	}
+
+	if *layoutFlag != "" {
+		runElastic(*layoutFlag, *nodes, *embed, *heads, *layers, *tokens,
+			*globalBatch, *steps, *ckptEvery, *ckptDir, *killNodeStep, *computeScale)
 		return
 	}
 
@@ -122,4 +146,57 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s (bf16)\n", *save)
 	}
+}
+
+// runElastic is the -layout mode: distributed Hybrid-STOP training of
+// a transformer stack over the simulated cluster, with planner-chosen
+// or explicit parallelism and optional fault injection.
+func runElastic(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatch, steps, ckptEvery int, ckptDir string, killNodeStep int, computeScale float64) {
+	cfg := orbit.ElasticConfig{
+		Nodes: nodes,
+		Dim:   dim, Heads: heads, Layers: layers, Tokens: tokens,
+		GlobalBatch: globalBatch,
+		LR:          1e-2, MinLR: 1e-3, WarmupSteps: 2,
+		TotalSteps: steps, Seed: 3, DataSeed: 7,
+		CkptDir: ckptDir, CkptEvery: ckptEvery,
+		ComputeScale: computeScale,
+		Opts:         orbit.DefaultOptions(),
+	}
+	if layoutSpec == "auto" {
+		w := orbit.PlanWorkload{
+			Dim: dim, Heads: heads, Layers: layers, Tokens: tokens, QKNorm: true,
+			GlobalBatch: globalBatch, Opts: cfg.Opts,
+		}
+		// Plan against the same (scaled) machine the elastic job will
+		// simulate on — see ElasticConfig.ComputeScale.
+		best, err := orbit.BestPlan(w, orbit.ScaledPlanShape(nodes, computeScale), orbit.PlanConstraints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("auto-planner chose %s\n", best)
+		cfg.Layout = best.Layout
+		cfg.Opts = best.Options(cfg.Opts)
+		cfg.AutoPlan = true // replan on every post-fault rebuild too
+	} else {
+		var tp, fsdp, ddp int
+		if n, err := fmt.Sscanf(strings.ToLower(layoutSpec), "%dx%dx%d", &tp, &fsdp, &ddp); n != 3 || err != nil {
+			log.Fatalf("bad -layout %q: want TPxFSDPxDDP (e.g. 2x4x2) or 'auto'", layoutSpec)
+		}
+		cfg.Layout = orbit.Layout{TP: tp, FSDP: fsdp, DDP: ddp}
+	}
+	var inj *orbit.FaultInjector
+	if killNodeStep > 0 {
+		inj = orbit.NewFaultInjector()
+		inj.KillNodeAtStep(cfg.Nodes-1, killNodeStep)
+	}
+	res, err := orbit.RunElastic(cfg, inj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		fmt.Printf("  [step %3d] %-10s %s\n", ev.Step, ev.Kind, ev.Detail)
+	}
+	fmt.Printf("trained %d steps at final layout TP=%d FSDP=%d DDP=%d on %d nodes (%d rebuilds)\n",
+		steps, res.FinalLayout.TP, res.FinalLayout.FSDP, res.FinalLayout.DDP, res.FinalNodes, res.Rebuilds)
+	fmt.Printf("loss: %.4f -> %.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
 }

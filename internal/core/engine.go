@@ -31,6 +31,21 @@ type Options struct {
 	// activations in bf16 (Sec. III-B "Mixed-Precision"); halves
 	// communication and gather-buffer bytes.
 	MixedPrecision bool
+	// PrefetchDepth is how many upcoming layer gathers are kept in
+	// flight when Prefetch is enabled (≤ 0 means the classic depth of
+	// one). Deeper prefetch trades gather-staging memory — depth+1
+	// layer buffers live at once — for earlier posting, which matters
+	// in backward where re-gathers contend with gradient
+	// reduce-scatters on the FSDP group's single communication stream.
+	PrefetchDepth int
+	// DDPBucketBytes, when positive, coalesces the per-block DDP
+	// gradient all-reduces into flat buckets of at most this many
+	// bytes (each bucket holds at least one block chunk). Zero keeps
+	// one collective per block chunk. Bucketing is bit-identical to
+	// the per-chunk reduction — both accumulate elementwise in
+	// float64 — and only changes how many latency-bound ring setups
+	// the outer DDP level pays per step.
+	DDPBucketBytes int
 }
 
 // DefaultOptions enables everything, as the paper's production
@@ -71,6 +86,11 @@ type Engine struct {
 	rsBuf     [][]float32
 	rsH       []comm.Handle
 	ddpH      []comm.Handle
+	// ddpBuckets holds [start, end) chunk-index ranges when
+	// Opts.DDPBucketBytes coalesces the outer gradient reduction;
+	// ddpBuf stages each bucket's packed gradients (pooled).
+	ddpBuckets [][2]int
+	ddpBuf     [][]float32
 	// chunkSeen[b] is chunks[b].W.Version()+1 as of the last unflatten
 	// of block b (0 = never): when the rank's chunk hasn't changed, the
 	// gathered payload is bit-identical to what the staging replicas
@@ -143,7 +163,67 @@ func NewEngine(rank int, layout Layout, groups *Groups, ref []*nn.TransformerBlo
 	e.rsH = make([]comm.Handle, len(ref))
 	e.ddpH = make([]comm.Handle, len(ref))
 	e.chunkSeen = make([]uint64, len(ref))
+	if e.Opts.DDPBucketBytes > 0 {
+		e.ddpBuckets = BucketRanges(chunkLens(e.chunks), e.Opts.DDPBucketBytes)
+		e.ddpBuf = make([][]float32, len(e.ddpBuckets))
+	}
 	return e, nil
+}
+
+// chunkLens returns the per-block owned-chunk lengths.
+func chunkLens(chunks []*nn.Param) []int {
+	lens := make([]int, len(chunks))
+	for i, c := range chunks {
+		lens[i] = c.W.Len()
+	}
+	return lens
+}
+
+// BucketRanges greedily coalesces consecutive chunks into buckets of
+// at most bucketBytes (4 bytes per element; every bucket holds at
+// least one chunk). Exported so the parallelism planner predicts the
+// exact bucket count the engine will use.
+func BucketRanges(lens []int, bucketBytes int) [][2]int {
+	capFloats := bucketBytes / 4
+	var out [][2]int
+	start, cur := 0, 0
+	for i, n := range lens {
+		if i > start && cur+n > capFloats {
+			out = append(out, [2]int{start, i})
+			start, cur = i, 0
+		}
+		cur += n
+	}
+	out = append(out, [2]int{start, len(lens)})
+	return out
+}
+
+// prefetchDepth returns how many gathers ahead of the current layer
+// the engine keeps in flight (0 when prefetching is off).
+func (e *Engine) prefetchDepth() int {
+	if !e.Opts.Prefetch {
+		return 0
+	}
+	if e.Opts.PrefetchDepth > 1 {
+		return e.Opts.PrefetchDepth
+	}
+	return 1
+}
+
+// BlockFLOPs counts the floating-point operations one rank executes
+// for a forward pass of its TP shard of one transformer block over
+// [tokens, dim] activations: the QKV/output projections contribute
+// 8·T·D², the 4·D-hidden MLP 16·T·D², and the attention scores and
+// values 4·T²·D — all divided across the TP group, which is exactly
+// the work division of the paper's Eqn. (2). The engine charges this
+// to the simulated device clock so layouts trade compute against
+// communication the way the real machine does; the parallelism
+// planner (internal/plan) charges the identical quantity, which is
+// what keeps its step-time predictions calibrated against the
+// functional simulation.
+func BlockFLOPs(tokens, dim, tp int) int64 {
+	t, d := float64(tokens), float64(dim)
+	return int64((24*t*d*d + 4*t*t*d) / float64(tp))
 }
 
 // dimTokensHint sizes the activation estimate; engines process
@@ -230,11 +310,29 @@ func (e *Engine) releaseBlock(b int) {
 	e.gatherBuf[b] = nil
 }
 
+// chargeCompute advances the rank's simulated device clock by `mult`
+// forward passes of block b's TP shard over [tokens, dim]
+// activations. Charging happens at the same program points the real
+// kernels would run — after the layer's gather completed, before its
+// collectives post — so asynchronously prefetched gathers genuinely
+// hide behind compute in the clock model (the overlap the paper's
+// Sec. III-B optimizations exploit). The functional math stays fp32
+// regardless of MixedPrecision; the charge model mirrors that.
+func (e *Engine) chargeCompute(b int, x *tensor.Tensor, mult int64) {
+	if e.Device == nil {
+		return
+	}
+	dim := e.blocks[b].LN1.Dim
+	tokens := x.Len() / dim
+	e.Device.Compute(mult * BlockFLOPs(tokens, dim, e.Groups.TP.Size()))
+}
+
 // Forward runs the rank's local sample through the sharded stack.
 // Ranks in the same TP group must pass identical x (they share the
 // data batch); ranks differing in F or D pass their own samples.
-// With Prefetch, the next block's parameter gather is posted before
-// the current block computes, hiding the transfer behind compute.
+// With Prefetch, the next PrefetchDepth blocks' parameter gathers are
+// posted before the current block computes, hiding the transfers
+// behind compute.
 func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !e.Opts.LayerWrapping {
 		for b := range e.blocks {
@@ -246,6 +344,7 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.waitGather(b)
 		}
 	}
+	depth := e.prefetchDepth()
 	for b, blk := range e.blocks {
 		if e.Opts.LayerWrapping {
 			if e.gatherBuf[b] == nil {
@@ -253,8 +352,11 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 					return nil, err
 				}
 			}
-			if e.Opts.Prefetch && b+1 < len(e.blocks) && e.gatherBuf[b+1] == nil {
-				if err := e.postGather(b + 1); err != nil {
+			for k := 1; k <= depth && b+k < len(e.blocks); k++ {
+				if e.gatherBuf[b+k] != nil {
+					continue
+				}
+				if err := e.postGather(b + k); err != nil {
 					return nil, err
 				}
 			}
@@ -273,6 +375,7 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 				e.heldAct += e.actBytes[b]
 			}
 		}
+		e.chargeCompute(b, x, 1)
 		x = blk.Forward(x)
 		if e.Opts.LayerWrapping {
 			e.releaseBlock(b)
@@ -290,6 +393,7 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // drained before the outer DDP-group averaging. Gradients land in
 // Chunks()[b].Grad, complete when Backward returns.
 func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	depth := e.prefetchDepth()
 	for b := len(e.blocks) - 1; b >= 0; b-- {
 		if e.Opts.LayerWrapping {
 			if e.gatherBuf[b] == nil {
@@ -297,8 +401,11 @@ func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 					return nil, err
 				}
 			}
-			if e.Opts.Prefetch && b > 0 && e.gatherBuf[b-1] == nil {
-				if err := e.postGather(b - 1); err != nil {
+			for k := 1; k <= depth && b-k >= 0; k++ {
+				if e.gatherBuf[b-k] != nil {
+					continue
+				}
+				if err := e.postGather(b - k); err != nil {
 					return nil, err
 				}
 			}
@@ -323,6 +430,15 @@ func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 		// only burn host time. (parallel.Pipeline must recompute: its
 		// stages stream several micro-batches through the same blocks,
 		// clobbering the caches.)
+		// Two forward-equivalents of gradient math, plus the recompute
+		// forward that activation checkpointing re-executes (the
+		// functional engine reuses its resident caches — see above —
+		// but the clock pays for the recompute the real system runs).
+		mult := int64(2)
+		if e.Opts.ActivationCheckpoint {
+			mult = 3
+		}
+		e.chargeCompute(b, dy, mult)
 		nn.ZeroGrads(e.blockParams[b])
 		dy = e.blocks[b].Backward(dy)
 		flat := parallel.FlattenGradsInto(e.pool.Get(e.flatLen[b]), e.blockParams[b])
@@ -338,16 +454,56 @@ func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// Outer DDP level: one gradient reduction per step (Fig. 4), all
-	// chunks posted in flight together and drained in order.
+	// chunks (or coalesced buckets of chunks, when DDPBucketBytes is
+	// set) posted in flight together and drained in order.
 	if e.Groups.DDP.Size() > 1 {
-		for i, c := range e.chunks {
-			e.ddpH[i] = e.Groups.DDP.IAllReduceMean(e.Coord.D, c.Grad.Data(), c.Grad.Data())
-		}
-		for i := range e.chunks {
-			e.ddpH[i].Wait()
+		if len(e.ddpBuckets) > 0 {
+			e.ddpBucketedReduce()
+		} else {
+			for i, c := range e.chunks {
+				e.ddpH[i] = e.Groups.DDP.IAllReduceMean(e.Coord.D, c.Grad.Data(), c.Grad.Data())
+			}
+			for i := range e.chunks {
+				e.ddpH[i].Wait()
+			}
 		}
 	}
 	return dy, nil
+}
+
+// ddpBucketedReduce packs consecutive chunk gradients into pooled
+// flat buckets, averages each bucket across the DDP group in place,
+// and scatters the results back. Elementwise float64 accumulation
+// makes the bucketed reduction bit-identical to the per-chunk one;
+// only the number of latency-bound ring setups changes.
+func (e *Engine) ddpBucketedReduce() {
+	for i, r := range e.ddpBuckets {
+		n := 0
+		for b := r[0]; b < r[1]; b++ {
+			n += e.chunks[b].Grad.Len()
+		}
+		buf := e.pool.Get(n)
+		off := 0
+		for b := r[0]; b < r[1]; b++ {
+			g := e.chunks[b].Grad.Data()
+			copy(buf[off:], g)
+			off += len(g)
+		}
+		e.ddpBuf[i] = buf
+		e.ddpH[i] = e.Groups.DDP.IAllReduceMean(e.Coord.D, buf, buf)
+	}
+	for i, r := range e.ddpBuckets {
+		e.ddpH[i].Wait()
+		buf := e.ddpBuf[i]
+		off := 0
+		for b := r[0]; b < r[1]; b++ {
+			g := e.chunks[b].Grad.Data()
+			copy(g, buf[off:off+len(g)])
+			off += len(g)
+		}
+		e.pool.Put(buf)
+		e.ddpBuf[i] = nil
+	}
 }
 
 // AverageLoss averages a local loss over all ranks. Every sample is

@@ -2,6 +2,16 @@
 // used to train ORBIT models: AdamW (the standard for ViT training),
 // plain SGD with momentum (as a baseline), cosine-with-warmup LR
 // scheduling, and global gradient-norm clipping.
+//
+// Optimizers operate on nn.Param lists and keep their state (AdamW's
+// first/second moments, the step count) per parameter in
+// registration order. That state is exported and restorable —
+// Moments, StepCount, SetStepCount — which is what lets sharded
+// checkpoints capture a mid-run optimizer exactly and resume with a
+// bit-identical loss trajectory (internal/ckpt, internal/train).
+// Invariant: an optimizer steps every parameter it was built with,
+// every call; partial steps would desynchronize the moment tensors
+// from the weights they track.
 package optim
 
 import (

@@ -1,0 +1,193 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"orbit/internal/core"
+)
+
+// Calibration: the planner's predicted step times must track the
+// functional comm-clock simulation across a layout grid, and its top
+// choice must land within a few percent of the brute-force optimum.
+// These are the acceptance gates of the auto-planner PR.
+
+// calibTolerance is the maximum allowed relative error between
+// predicted and simulated step time. The predictor replays the exact
+// engine schedule, so the observed error is essentially zero; the
+// gate guards against predictor/engine drift.
+const calibTolerance = 0.15
+
+// optimalityTolerance: the planner's top-ranked layout must achieve a
+// simulated step time within 5% of the grid-sweep optimum.
+const optimalityTolerance = 0.05
+
+func relErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return math.Abs(pred)
+	}
+	return math.Abs(pred-meas) / meas
+}
+
+// calibrate checks predicted-vs-simulated agreement for every grid
+// candidate and returns the measurements.
+func calibrate(t *testing.T, w Workload, c ClusterShape, cands []Candidate) []Measured {
+	t.Helper()
+	meas := Sweep(w, c, cands, 2)
+	for i, m := range meas {
+		if m.Err != nil {
+			t.Fatalf("simulation of %+v failed: %v", m.Candidate.Layout, m.Err)
+		}
+		pred := Predict(w, c, cands[i])
+		if pred.OOM {
+			t.Fatalf("predictor declared %+v infeasible: %s", cands[i].Layout, pred.Note)
+		}
+		if e := relErr(pred.StepTime, m.StepTime); e > calibTolerance {
+			t.Errorf("layout %+v knobs %+v: predicted %.6gs, simulated %.6gs (%.1f%% error, tolerance %.0f%%)",
+				cands[i].Layout, cands[i].Knobs, pred.StepTime, m.StepTime, 100*e, 100*calibTolerance)
+		}
+	}
+	return meas
+}
+
+// bestVsOptimum asserts the planner's choice is within
+// optimalityTolerance of the measured grid optimum.
+func bestVsOptimum(t *testing.T, w Workload, c ClusterShape, meas []Measured) {
+	t.Helper()
+	best, err := Best(w, c, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := Simulate(w, c, best.Candidate, 2)
+	if chosen.Err != nil {
+		t.Fatalf("simulating planner choice %+v: %v", best.Layout, chosen.Err)
+	}
+	opt := math.Inf(1)
+	var optCand Candidate
+	for _, m := range meas {
+		if m.Err == nil && m.StepTime < opt {
+			opt = m.StepTime
+			optCand = m.Candidate
+		}
+	}
+	if chosen.StepTime > opt*(1+optimalityTolerance) {
+		t.Errorf("planner chose %+v %+v (simulated %.6gs); grid optimum %+v %+v at %.6gs (gap %.1f%%, tolerance %.0f%%)",
+			best.Layout, best.Knobs, chosen.StepTime,
+			optCand.Layout, optCand.Knobs, opt,
+			100*(chosen.StepTime/opt-1), 100*optimalityTolerance)
+	}
+}
+
+// TestPlannerCalibration16 covers a ≥ 12-point (TP, FSDP, DDP) grid
+// on a 16-device (2-node) cluster: the full factor grid at the
+// default knobs.
+func TestPlannerCalibration16(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full calibration grid is minutes under -race; knob/memory calibration still runs")
+	}
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	var cands []Candidate
+	for _, l := range []core.Layout{
+		{TP: 1, FSDP: 1, DDP: 16}, {TP: 1, FSDP: 2, DDP: 8}, {TP: 1, FSDP: 4, DDP: 4},
+		{TP: 1, FSDP: 8, DDP: 2}, {TP: 1, FSDP: 16, DDP: 1},
+		{TP: 2, FSDP: 1, DDP: 8}, {TP: 2, FSDP: 2, DDP: 4}, {TP: 2, FSDP: 4, DDP: 2},
+		{TP: 2, FSDP: 8, DDP: 1},
+		{TP: 4, FSDP: 1, DDP: 4}, {TP: 4, FSDP: 2, DDP: 2}, {TP: 4, FSDP: 4, DDP: 1},
+	} {
+		cands = append(cands, Candidate{
+			Layout: l,
+			Knobs:  Knobs{PrefetchDepth: 1, MicroBatches: w.GlobalBatch / (l.FSDP * l.DDP)},
+		})
+	}
+	if len(cands) < 12 {
+		t.Fatalf("grid has %d points, want >= 12", len(cands))
+	}
+	meas := calibrate(t, w, c, cands)
+	bestVsOptimum(t, w, c, meas)
+}
+
+// TestPlannerCalibration64 repeats the gate on a 64-device (8-node)
+// cluster over a spread of layouts, including non-power-of-two FSDP
+// extents (which exercise flat-length padding) and partially occupied
+// grids.
+func TestPlannerCalibration64(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("64-device sweep is the long calibration gate; skipped under -short and -race")
+	}
+	w := testWorkload()
+	c := ScaledShape(8, 1e-3)
+	var cands []Candidate
+	for _, l := range []core.Layout{
+		{TP: 1, FSDP: 1, DDP: 64}, {TP: 1, FSDP: 8, DDP: 8}, {TP: 1, FSDP: 64, DDP: 1},
+		{TP: 1, FSDP: 16, DDP: 4}, {TP: 2, FSDP: 4, DDP: 8}, {TP: 2, FSDP: 32, DDP: 1},
+		{TP: 2, FSDP: 16, DDP: 2}, {TP: 4, FSDP: 16, DDP: 1}, {TP: 4, FSDP: 4, DDP: 4},
+		{TP: 4, FSDP: 1, DDP: 16}, {TP: 2, FSDP: 8, DDP: 2}, {TP: 4, FSDP: 8, DDP: 2},
+	} {
+		cands = append(cands, Candidate{
+			Layout: l,
+			Knobs:  Knobs{PrefetchDepth: 1, MicroBatches: w.GlobalBatch / (l.FSDP * l.DDP)},
+		})
+	}
+	meas := calibrate(t, w, c, cands)
+	bestVsOptimum(t, w, c, meas)
+}
+
+// TestPlannerCalibrationKnobs: the predictor must also track the
+// knob dimensions — prefetch depth 0/1/2, bucketed vs per-chunk DDP
+// reductions, and disabled layer wrapping.
+func TestPlannerCalibrationKnobs(t *testing.T) {
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	l := core.Layout{TP: 2, FSDP: 2, DDP: 4}
+	micro := w.GlobalBatch / (l.FSDP * l.DDP)
+	cands := []Candidate{
+		{Layout: l, Knobs: Knobs{PrefetchDepth: 0, MicroBatches: micro}},
+		{Layout: l, Knobs: Knobs{PrefetchDepth: 2, MicroBatches: micro}},
+		{Layout: l, Knobs: Knobs{PrefetchDepth: 1, DDPBucketBytes: 1 << 10, MicroBatches: micro}},
+		{Layout: l, Knobs: Knobs{PrefetchDepth: 1, DDPBucketBytes: 1 << 30, MicroBatches: micro}},
+	}
+	calibrate(t, w, c, cands)
+
+	// Non-default base options: no layer wrapping, no checkpointing.
+	w2 := w
+	w2.Opts.LayerWrapping = false
+	w2.Opts.ActivationCheckpoint = false
+	calibrate(t, w2, c, []Candidate{
+		{Layout: core.Layout{TP: 2, FSDP: 4, DDP: 1}, Knobs: Knobs{MicroBatches: w2.GlobalBatch / 4}},
+	})
+}
+
+// TestPredictedMemoryExact pins the simulated-accounting memory
+// prediction byte-for-byte against cluster.Device.MemPeak.
+func TestPredictedMemoryExact(t *testing.T) {
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	for _, cand := range []Candidate{
+		{Layout: core.Layout{TP: 2, FSDP: 4, DDP: 2}, Knobs: Knobs{PrefetchDepth: 1, MicroBatches: 8}},
+		{Layout: core.Layout{TP: 1, FSDP: 8, DDP: 1}, Knobs: Knobs{PrefetchDepth: 2, MicroBatches: 8}},
+		{Layout: core.Layout{TP: 4, FSDP: 2, DDP: 2}, Knobs: Knobs{MicroBatches: 16}},
+	} {
+		pred := Predict(w, c, cand)
+		meas := Simulate(w, c, cand, 1)
+		if meas.Err != nil {
+			t.Fatalf("%+v: %v", cand.Layout, meas.Err)
+		}
+		if pred.DeviceBytes != meas.MemPeak {
+			t.Errorf("layout %+v knobs %+v: predicted %d bytes, simulated peak %d",
+				cand.Layout, cand.Knobs, pred.DeviceBytes, meas.MemPeak)
+		}
+	}
+	// The memory-model variant without activation checkpointing.
+	w2 := w
+	w2.Opts.ActivationCheckpoint = false
+	cand := Candidate{Layout: core.Layout{TP: 2, FSDP: 2, DDP: 1}, Knobs: Knobs{PrefetchDepth: 1, MicroBatches: 32}}
+	pred := Predict(w2, c, cand)
+	meas := Simulate(w2, c, cand, 1)
+	if meas.Err != nil {
+		t.Fatal(meas.Err)
+	}
+	if pred.DeviceBytes != meas.MemPeak {
+		t.Errorf("no-checkpoint: predicted %d bytes, simulated peak %d", pred.DeviceBytes, meas.MemPeak)
+	}
+}

@@ -1,0 +1,513 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"orbit/internal/cluster"
+	"orbit/internal/core"
+)
+
+// This file is the step-time predictor: a deterministic replay of the
+// exact collective schedule core.Engine executes, priced with the
+// identical cost semantics internal/comm charges to the simulated
+// device clocks — per-group α–β ring costs over the group's link
+// class, rendezvous at the latest poster's clock, serialization of
+// in-flight collectives on each group's single communication stream,
+// and wait-time attribution only for the gap local compute did not
+// already cover. No data moves; only clocks.
+
+// simPending mirrors comm.pending for one in-flight collective.
+type simPending struct {
+	cost, tmax, completion float64
+	posted, waited         int
+	done                   bool
+}
+
+// simGroup mirrors comm.Group: a communicator with one serialized
+// stream and link parameters chosen by whether its members share a
+// node (Infinity Fabric) or span nodes (Slingshot).
+type simGroup struct {
+	size       int
+	lat, bw    float64
+	streamFree float64
+	pend       map[int]*simPending
+}
+
+func newSimGroup(members []int, gpn int, spec cluster.Spec) *simGroup {
+	g := &simGroup{
+		size: len(members),
+		lat:  spec.InterNodeLatency,
+		bw:   spec.InterNodeBandwidth,
+		pend: make(map[int]*simPending),
+	}
+	sameNode := true
+	for _, r := range members[1:] {
+		if r/gpn != members[0]/gpn {
+			sameNode = false
+			break
+		}
+	}
+	if sameNode {
+		g.lat = spec.IntraNodeLatency
+		g.bw = spec.IntraNodeBandwidth
+	}
+	return g
+}
+
+// ring mirrors comm.Group.ringCost.
+func (g *simGroup) ring(bytes int) float64 {
+	if g.size == 1 {
+		return 0
+	}
+	p := float64(g.size)
+	return (p - 1) * (g.lat + float64(bytes)/p/g.bw)
+}
+
+func (g *simGroup) allGatherCost(shardLen int) float64 { return g.ring(4 * shardLen * g.size) }
+func (g *simGroup) allReduceCost(n int) float64        { return 2 * g.ring(4*n) }
+func (g *simGroup) reduceScatterCost(n int) float64    { return g.ring(4 * n) }
+
+// Wait-phase attribution labels.
+const (
+	phGather = iota
+	phTP
+	phRS
+	phDDP
+	phCount
+)
+
+// instr opcodes.
+const (
+	opPost = iota
+	opWait
+	opCompute
+	opAlloc
+	opFree
+)
+
+type instr struct {
+	op, phase uint8
+	g         *simGroup
+	seq       int
+	cost      float64 // collective cost (post) or seconds (compute)
+	bytes     int64   // alloc/free
+}
+
+// progBuilder accumulates one rank's program; posting sequence
+// numbers per group continue across steps, exactly like comm.Group's
+// per-rank counters.
+type progBuilder struct {
+	instrs []instr
+	seq    map[*simGroup]int
+}
+
+func (b *progBuilder) post(g *simGroup, cost float64) int {
+	s := b.seq[g]
+	b.seq[g] = s + 1
+	b.instrs = append(b.instrs, instr{op: opPost, g: g, seq: s, cost: cost})
+	return s
+}
+
+func (b *progBuilder) wait(g *simGroup, seq int, phase uint8) {
+	b.instrs = append(b.instrs, instr{op: opWait, g: g, seq: seq, phase: phase})
+}
+
+// sync is a post immediately followed by its wait (the synchronous
+// destination-passing collectives the TP block uses).
+func (b *progBuilder) sync(g *simGroup, cost float64, phase uint8) {
+	b.wait(g, b.post(g, cost), phase)
+}
+
+func (b *progBuilder) compute(sec float64) {
+	b.instrs = append(b.instrs, instr{op: opCompute, cost: sec})
+}
+
+func (b *progBuilder) alloc(bytes int64) {
+	b.instrs = append(b.instrs, instr{op: opAlloc, bytes: bytes})
+}
+
+func (b *progBuilder) free(bytes int64) {
+	b.instrs = append(b.instrs, instr{op: opFree, bytes: bytes})
+}
+
+func (b *progBuilder) take() []instr {
+	out := b.instrs
+	b.instrs = nil
+	return out
+}
+
+// simDev mirrors cluster.Device's clock and memory accounting.
+type simDev struct {
+	clock     float64
+	mem, peak int64
+	capacity  int64
+	oom       bool
+	compute   float64
+	waits     [phCount]float64
+}
+
+// runPrograms executes one SPMD round of per-rank instruction lists
+// against the shared groups, advancing clocks with comm's rendezvous
+// and stream rules. Ranks advance until they block on a wait whose
+// collective has not fully posted; the round-robin repeats until all
+// programs retire.
+func runPrograms(progs [][]instr, devs []*simDev) error {
+	ptr := make([]int, len(progs))
+	for {
+		progress := false
+		for r := range progs {
+			d := devs[r]
+			for ptr[r] < len(progs[r]) {
+				in := &progs[r][ptr[r]]
+				if in.op == opWait {
+					p := in.g.pend[in.seq]
+					if p == nil || !p.done {
+						break // rendezvous incomplete; try other ranks
+					}
+					if p.completion > d.clock {
+						d.waits[in.phase] += p.completion - d.clock
+						d.clock = p.completion
+					}
+					p.waited++
+					if p.waited == in.g.size {
+						delete(in.g.pend, in.seq)
+					}
+				} else {
+					switch in.op {
+					case opPost:
+						g := in.g
+						p := g.pend[in.seq]
+						if p == nil {
+							p = &simPending{cost: in.cost}
+							g.pend[in.seq] = p
+						} else if p.cost != in.cost {
+							return fmt.Errorf("plan: replay ordering violation: cost %v posted against %v at seq %d",
+								in.cost, p.cost, in.seq)
+						}
+						if d.clock > p.tmax {
+							p.tmax = d.clock
+						}
+						p.posted++
+						if p.posted == g.size {
+							start := p.tmax
+							if g.streamFree > start {
+								start = g.streamFree
+							}
+							p.completion = start + p.cost
+							g.streamFree = p.completion
+							p.done = true
+						}
+					case opCompute:
+						d.clock += in.cost
+						d.compute += in.cost
+					case opAlloc:
+						d.mem += in.bytes
+						if d.mem > d.peak {
+							d.peak = d.mem
+						}
+						if d.mem > d.capacity {
+							d.oom = true
+						}
+					case opFree:
+						d.mem -= in.bytes
+					}
+				}
+				ptr[r]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for r := range progs {
+		if ptr[r] != len(progs[r]) {
+			return fmt.Errorf("plan: replay deadlock: rank %d stuck at instruction %d/%d", r, ptr[r], len(progs[r]))
+		}
+	}
+	return nil
+}
+
+// rankCtx is everything one rank's program generation needs.
+type rankCtx struct {
+	coord             core.Coord
+	tpG, fsdpG, ddpG  *simGroup
+	builder           *progBuilder
+	bufLive           []bool
+	gatherSeq, rsSeq  []int
+	chunkLen, flatLen int
+	gatherBytes       int64
+	actBytes          int64
+	fwdSec, bwdSec    float64
+}
+
+func (rc *rankCtx) postGather(b int) {
+	rc.builder.alloc(rc.gatherBytes)
+	rc.gatherSeq[b] = rc.builder.post(rc.fsdpG, rc.fsdpG.allGatherCost(rc.chunkLen))
+	rc.bufLive[b] = true
+}
+
+func (rc *rankCtx) release(b int) {
+	rc.builder.free(rc.gatherBytes)
+	rc.bufLive[b] = false
+}
+
+// buildStep emits one optimizer step (micros micro-batches of
+// forward+backward) for the rank, mirroring core.Engine and
+// train.RunElastic's per-rank step, instruction for instruction.
+func buildStep(rc *rankCtx, w Workload, opts core.Options, micros int) {
+	bld := rc.builder
+	L := w.Layers
+	depth := 0
+	if opts.Prefetch {
+		depth = 1
+		if opts.PrefetchDepth > 1 {
+			depth = opts.PrefetchDepth
+		}
+	}
+	arCost := rc.tpG.allReduceCost(w.Tokens * w.Dim)
+	qkCost := rc.tpG.allReduceCost(4 * (w.Dim / w.Heads))
+	for mu := 0; mu < micros; mu++ {
+		// --- forward (Engine.Forward) ---
+		if !opts.LayerWrapping {
+			for b := 0; b < L; b++ {
+				rc.postGather(b)
+			}
+			for b := 0; b < L; b++ {
+				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+			}
+		}
+		for b := 0; b < L; b++ {
+			if opts.LayerWrapping {
+				if !rc.bufLive[b] {
+					rc.postGather(b)
+				}
+				for k := 1; k <= depth && b+k < L; k++ {
+					if !rc.bufLive[b+k] {
+						rc.postGather(b + k)
+					}
+				}
+				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+			}
+			if !opts.ActivationCheckpoint {
+				bld.alloc(rc.actBytes)
+			}
+			bld.compute(rc.fwdSec)
+			bld.sync(rc.tpG, arCost, phTP) // attention partial sum
+			bld.sync(rc.tpG, arCost, phTP) // MLP partial sum
+			if opts.LayerWrapping {
+				rc.release(b)
+			}
+		}
+		// --- backward (Engine.Backward) ---
+		for b := L - 1; b >= 0; b-- {
+			if opts.LayerWrapping {
+				if !rc.bufLive[b] {
+					rc.postGather(b)
+				}
+				for k := 1; k <= depth && b-k >= 0; k++ {
+					if !rc.bufLive[b-k] {
+						rc.postGather(b - k)
+					}
+				}
+				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+			}
+			if !opts.ActivationCheckpoint {
+				bld.free(rc.actBytes)
+			}
+			bld.compute(rc.bwdSec)
+			bld.sync(rc.tpG, arCost, phTP) // MLP input-gradient sum
+			if w.QKNorm && rc.tpG.size > 1 {
+				bld.sync(rc.tpG, qkCost, phTP) // packed QK-norm grads
+			}
+			bld.sync(rc.tpG, arCost, phTP) // attention input-gradient sum
+			rc.rsSeq[b] = bld.post(rc.fsdpG, rc.fsdpG.reduceScatterCost(rc.flatLen))
+			rc.release(b)
+		}
+		for b := 0; b < L; b++ {
+			bld.wait(rc.fsdpG, rc.rsSeq[b], phRS)
+		}
+		// --- outer DDP gradient reduction ---
+		if rc.ddpG.size > 1 {
+			lens := make([]int, L)
+			for i := range lens {
+				lens[i] = rc.chunkLen
+			}
+			if opts.DDPBucketBytes > 0 {
+				var bucketLens []int
+				for _, r := range core.BucketRanges(lens, opts.DDPBucketBytes) {
+					bucketLens = append(bucketLens, (r[1]-r[0])*rc.chunkLen)
+				}
+				lens = bucketLens
+			}
+			seqs := make([]int, len(lens))
+			for i, n := range lens {
+				seqs[i] = bld.post(rc.ddpG, rc.ddpG.allReduceCost(n))
+			}
+			for _, s := range seqs {
+				bld.wait(rc.ddpG, s, phDDP)
+			}
+		}
+	}
+}
+
+// Predict prices one candidate: it replays two measured steps of the
+// engine's schedule (after one warm-up step, so stream and clock
+// offsets reach their steady state) and reports the per-step time,
+// the per-phase breakdown of the critical rank, and both memory
+// models. The returned prediction is self-contained and
+// JSON-serializable — Plan.Explain renders it.
+func Predict(w Workload, c ClusterShape, cand Candidate) Prediction {
+	if err := w.Validate(); err != nil {
+		return Prediction{Note: err.Error(), OOM: true, StepTime: math.Inf(1)}
+	}
+	layout := cand.Layout
+	R := layout.Ranks()
+	if R > c.Devices() {
+		return Prediction{
+			Note:     fmt.Sprintf("layout needs %d devices, cluster has %d", R, c.Devices()),
+			OOM:      true,
+			StepTime: math.Inf(1),
+		}
+	}
+	gpn := c.GPUsPerNode
+	spec := c.Spec
+
+	// Communicator grid, exactly as core.BuildGroups lays it out.
+	tpGroups := make(map[[2]int]*simGroup)
+	fsdpGroups := make(map[[2]int]*simGroup)
+	ddpGroups := make(map[[2]int]*simGroup)
+	members := func(n int, rankOf func(i int) int) []int {
+		ms := make([]int, n)
+		for i := range ms {
+			ms[i] = rankOf(i)
+		}
+		return ms
+	}
+	for d := 0; d < layout.DDP; d++ {
+		for f := 0; f < layout.FSDP; f++ {
+			tpGroups[[2]int{d, f}] = newSimGroup(members(layout.TP, func(t int) int {
+				return layout.RankOf(core.Coord{T: t, F: f, D: d})
+			}), gpn, spec)
+		}
+		for t := 0; t < layout.TP; t++ {
+			fsdpGroups[[2]int{d, t}] = newSimGroup(members(layout.FSDP, func(f int) int {
+				return layout.RankOf(core.Coord{T: t, F: f, D: d})
+			}), gpn, spec)
+		}
+	}
+	for f := 0; f < layout.FSDP; f++ {
+		for t := 0; t < layout.TP; t++ {
+			ddpGroups[[2]int{f, t}] = newSimGroup(members(layout.DDP, func(d int) int {
+				return layout.RankOf(core.Coord{T: t, F: f, D: d})
+			}), gpn, spec)
+		}
+	}
+
+	opts := cand.Options(w.Opts)
+	rate := spec.PeakFLOPS * spec.Efficiency
+	fwdFLOPs := core.BlockFLOPs(w.Tokens, w.Dim, layout.TP)
+	bwdMult := int64(2)
+	if opts.ActivationCheckpoint {
+		bwdMult = 3
+	}
+
+	devs := make([]*simDev, R)
+	rcs := make([]*rankCtx, R)
+	for r := 0; r < R; r++ {
+		coord := layout.CoordOf(r)
+		numel := blockShardNumel(w.Dim, w.Heads, layout.TP, coord.T, w.QKNorm)
+		flat := flatLenFor(numel, layout.FSDP)
+		rc := &rankCtx{
+			coord:       coord,
+			tpG:         tpGroups[[2]int{coord.D, coord.F}],
+			fsdpG:       fsdpGroups[[2]int{coord.D, coord.T}],
+			ddpG:        ddpGroups[[2]int{coord.F, coord.T}],
+			builder:     &progBuilder{seq: make(map[*simGroup]int)},
+			bufLive:     make([]bool, w.Layers),
+			gatherSeq:   make([]int, w.Layers),
+			rsSeq:       make([]int, w.Layers),
+			chunkLen:    flat / layout.FSDP,
+			flatLen:     flat,
+			gatherBytes: int64(flat) * paramBytesFor(opts.MixedPrecision),
+			actBytes:    actBytesFor(w.Dim, w.Heads, layout.TP),
+			fwdSec:      float64(fwdFLOPs) / rate,
+			bwdSec:      float64(bwdMult*fwdFLOPs) / rate,
+		}
+		rcs[r] = rc
+		devs[r] = &simDev{capacity: spec.MemPerGPU}
+		// NewEngine's persistent allocation: fp32 chunk weights+grads.
+		devs[r].mem = int64(w.Layers) * int64(rc.chunkLen) * 8
+		devs[r].peak = devs[r].mem
+	}
+
+	micros, err := microBatches(w, layout)
+	if err != nil {
+		return Prediction{Note: err.Error(), OOM: true, StepTime: math.Inf(1)}
+	}
+	maxClock := func() float64 {
+		m := 0.0
+		for _, d := range devs {
+			if d.clock > m {
+				m = d.clock
+			}
+		}
+		return m
+	}
+	runStep := func() error {
+		progs := make([][]instr, R)
+		for r, rc := range rcs {
+			buildStep(rc, w, opts, micros)
+			progs[r] = rc.builder.take()
+		}
+		return runPrograms(progs, devs)
+	}
+
+	const measured = 2
+	if err := runStep(); err != nil { // warm-up
+		return Prediction{Note: err.Error(), OOM: true, StepTime: math.Inf(1)}
+	}
+	warm := maxClock()
+	var warmDevs []simDev
+	for _, d := range devs {
+		warmDevs = append(warmDevs, *d)
+	}
+	for i := 0; i < measured; i++ {
+		if err := runStep(); err != nil {
+			return Prediction{Note: err.Error(), OOM: true, StepTime: math.Inf(1)}
+		}
+	}
+	stepTime := (maxClock() - warm) / measured
+
+	// Breakdown from the critical (latest-clock) rank's steady-state
+	// deltas.
+	crit := 0
+	for r, d := range devs {
+		if d.clock > devs[crit].clock {
+			crit = r
+		}
+	}
+	cd, wd := devs[crit], warmDevs[crit]
+	pred := Prediction{
+		StepTime:    stepTime,
+		ComputeTime: (cd.compute - wd.compute) / measured,
+		GatherWait:  (cd.waits[phGather] - wd.waits[phGather]) / measured,
+		TPWait:      (cd.waits[phTP] - wd.waits[phTP]) / measured,
+		RSWait:      (cd.waits[phRS] - wd.waits[phRS]) / measured,
+		DDPWait:     (cd.waits[phDDP] - wd.waits[phDDP]) / measured,
+	}
+	for _, d := range devs {
+		if d.peak > pred.DeviceBytes {
+			pred.DeviceBytes = d.peak
+		}
+		if d.oom {
+			pred.OOM = true
+		}
+	}
+	pred.Memory = analyticMemory(w, layout, opts)
+	if pred.OOM {
+		pred.Note = "predicted device memory exceeds capacity"
+	}
+	return pred
+}

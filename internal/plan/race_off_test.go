@@ -1,0 +1,9 @@
+//go:build !race
+
+package plan
+
+// raceEnabled gates the full calibration grids: under the race
+// detector a 12-point sweep of up-to-64-rank simulations costs
+// minutes without adding race coverage beyond what the knob and
+// memory calibration tests (which still run) already exercise.
+const raceEnabled = false

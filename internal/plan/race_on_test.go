@@ -1,0 +1,6 @@
+//go:build race
+
+package plan
+
+// raceEnabled gates the full calibration grids; see race_off_test.go.
+const raceEnabled = true

@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/core"
+	"orbit/internal/nn"
+	"orbit/internal/tensor"
+)
+
+// Ground truth for the planner: run the real functional Hybrid-STOP
+// engines over the simulated cluster and measure what the clocks
+// actually do. This is what calibration tests compare Predict
+// against, and what `orbit-scaling -auto` sweeps to grade the
+// planner's choice.
+
+// Measured is one grid point of a brute-force sweep.
+type Measured struct {
+	Candidate
+	// StepTime is the simulated seconds per steady-state optimizer
+	// step, measured as the MaxClock delta over measured steps after
+	// one warm-up step.
+	StepTime float64 `json:"step_time_s"`
+	// MemPeak is the largest per-device memory high-water mark.
+	MemPeak int64 `json:"mem_peak_bytes"`
+	// Err records infeasibility (simulated OOM, impossible layout).
+	Err error `json:"-"`
+}
+
+// Simulate runs `measured` real engine steps of the candidate (after
+// one warm-up step) and returns the observed step time and memory
+// peak. The functional math runs for real — gradients flow, clocks
+// advance — but no optimizer step is taken: parameter values do not
+// affect the communication schedule, and the planner only needs the
+// clocks.
+func Simulate(w Workload, c ClusterShape, cand Candidate, measured int) Measured {
+	out := Measured{Candidate: cand}
+	if err := w.Validate(); err != nil {
+		out.Err = err
+		return out
+	}
+	if measured < 1 {
+		measured = 2
+	}
+	layout := cand.Layout
+	if layout.Ranks() > c.Devices() {
+		out.Err = fmt.Errorf("plan: layout needs %d devices, cluster has %d", layout.Ranks(), c.Devices())
+		return out
+	}
+	m := c.Machine()
+	groups, err := core.BuildGroups(layout, m)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	opts := cand.Options(w.Opts)
+	engines := make([]*core.Engine, layout.Ranks())
+	for r := range engines {
+		rng := tensor.NewRNG(1007)
+		ref := make([]*nn.TransformerBlock, w.Layers)
+		for i := range ref {
+			ref[i] = nn.NewTransformerBlock(fmt.Sprintf("plan%d", i), w.Dim, w.Heads, w.QKNorm, rng)
+		}
+		e, err := core.NewEngine(r, layout, groups[r], ref, opts, m.Devices[r])
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		engines[r] = e
+	}
+	dataRanks := layout.FSDP * layout.DDP
+	micros, err := microBatches(w, layout)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	rng := tensor.NewRNG(1009)
+	xs := make([]*tensor.Tensor, dataRanks)
+	gs := make([]*tensor.Tensor, dataRanks)
+	for i := range xs {
+		xs[i] = tensor.Randn(rng, 1, w.Tokens, w.Dim)
+		gs[i] = tensor.Randn(rng, 1, w.Tokens, w.Dim)
+	}
+	step := func() error {
+		errs := make([]error, layout.Ranks())
+		var wg sync.WaitGroup
+		for r := range engines {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				e := engines[rank]
+				d := e.Coord.D*layout.FSDP + e.Coord.F
+				for mu := 0; mu < micros; mu++ {
+					if _, err := e.Forward(xs[d]); err != nil {
+						errs[rank] = err
+						return
+					}
+					if _, err := e.Backward(gs[d]); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := step(); err != nil { // warm-up
+		out.Err = err
+		return out
+	}
+	warm := m.MaxClock()
+	for i := 0; i < measured; i++ {
+		if err := step(); err != nil {
+			out.Err = err
+			return out
+		}
+	}
+	out.StepTime = (m.MaxClock() - warm) / float64(measured)
+	out.MemPeak = m.MaxMemPeak()
+	return out
+}
+
+// Sweep measures every candidate (sequentially — each simulation
+// already fans out one goroutine per rank).
+func Sweep(w Workload, c ClusterShape, cands []Candidate, measured int) []Measured {
+	out := make([]Measured, len(cands))
+	for i, cand := range cands {
+		out[i] = Simulate(w, c, cand, measured)
+	}
+	return out
+}
+
+// GridCandidates is the classic power-of-two sweep grid at a fixed
+// knob setting: every (TP, FSDP, DDP) with power-of-two extents that
+// occupies the whole cluster and divides the global batch. This is
+// the brute-force baseline `orbit-scaling -auto` grades the planner
+// against; Enumerate explores a superset.
+func GridCandidates(w Workload, c ClusterShape, knobs Knobs) []Candidate {
+	devs := c.Devices()
+	var out []Candidate
+	for tp := 1; tp <= w.Heads && tp <= devs; tp *= 2 {
+		if w.Heads%tp != 0 || devs%tp != 0 {
+			continue
+		}
+		rest := devs / tp
+		for fsdp := 1; fsdp <= rest; fsdp *= 2 {
+			if rest%fsdp != 0 {
+				continue
+			}
+			ddp := rest / fsdp
+			if w.GlobalBatch%(fsdp*ddp) != 0 {
+				continue
+			}
+			k := knobs
+			k.MicroBatches = w.GlobalBatch / (fsdp * ddp)
+			if ddp == 1 {
+				k.DDPBucketBytes = 0
+			}
+			out = append(out, Candidate{Layout: core.Layout{TP: tp, FSDP: fsdp, DDP: ddp}, Knobs: k})
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"orbit/internal/core"
 	"orbit/internal/nn"
 	"orbit/internal/optim"
+	"orbit/internal/plan"
 	"orbit/internal/tensor"
 )
 
@@ -43,6 +44,14 @@ type ElasticConfig struct {
 	Nodes int
 	// GPUsPerNode overrides the spec's node width (0 = spec default).
 	GPUsPerNode int
+	// ComputeScale scales the simulated devices' throughput (0 or 1 =
+	// full-speed Frontier). The functional workloads are toy-sized, so
+	// scaling compute down restores a production
+	// compute-to-communication ratio — which is what makes the
+	// auto-planner's layout choices (and the simulated step times) on
+	// this machine representative. Affects only the clock model, never
+	// the numerics: loss trajectories are identical at every scale.
+	ComputeScale float64
 
 	// Transformer-stack shape (the functional workload).
 	Dim, Heads, Layers, Tokens int
@@ -74,6 +83,17 @@ type ElasticConfig struct {
 	CkptEvery int
 	// Resume starts from CkptDir's checkpoint when one exists.
 	Resume bool
+
+	// AutoPlan consults the parallelism auto-planner (internal/plan)
+	// on every rebuild after a node loss, replacing the fixed
+	// ShrinkLayout heuristic: the planner enumerates every layout that
+	// fits the surviving devices (TP pinned — TP shards partition
+	// individual weight matrices and cannot reshard across a
+	// checkpoint reload), predicts step time and memory with the comm
+	// clock model, and adopts the fastest plan's layout and tuning
+	// knobs. When no planner layout is feasible the job falls back to
+	// ShrinkLayout, so fault recovery never regresses.
+	AutoPlan bool
 
 	Opts core.Options
 }
@@ -252,7 +272,7 @@ func (j *elasticJob) handleFault() error {
 	if j.nodes < 1 {
 		return fmt.Errorf("train: no healthy nodes left after fault at step %d", j.step)
 	}
-	newLayout, err := ShrinkLayout(j.layout, j.nodes*j.gpn)
+	newLayout, err := j.chooseLayout()
 	if err != nil {
 		return err
 	}
@@ -265,6 +285,45 @@ func (j *elasticJob) handleFault() error {
 		j.nodes, newLayout.TP, newLayout.FSDP, newLayout.DDP))
 	j.layout = newLayout
 	return nil
+}
+
+// chooseLayout picks the post-fault layout for the surviving
+// machine: the auto-planner's fastest predicted plan when AutoPlan is
+// set (TP pinned, since the sharded checkpoint cannot reshard across
+// a TP change), the classic DDP-before-FSDP ShrinkLayout heuristic
+// otherwise — and as the fallback when the planner finds no feasible
+// layout at the surviving device count.
+func (j *elasticJob) chooseLayout() (core.Layout, error) {
+	if j.cfg.AutoPlan {
+		best, err := plan.Best(
+			plan.Workload{
+				Dim: j.cfg.Dim, Heads: j.cfg.Heads, Layers: j.cfg.Layers,
+				Tokens: j.cfg.Tokens, QKNorm: true,
+				GlobalBatch: j.cfg.GlobalBatch, Opts: j.cfg.Opts,
+			},
+			plan.ClusterShape{Nodes: j.nodes, GPUsPerNode: j.gpn, Spec: j.spec()},
+			plan.Constraints{FixTP: j.layout.TP},
+		)
+		if err == nil {
+			j.cfg.Opts = best.Options(j.cfg.Opts)
+			j.event(j.step, "plan", best.String())
+			return best.Layout, nil
+		}
+		j.event(j.step, "plan", fmt.Sprintf("planner found no feasible layout (%v), falling back to ShrinkLayout", err))
+	}
+	return ShrinkLayout(j.layout, j.nodes*j.gpn)
+}
+
+// spec returns the machine specification of this job: Frontier, with
+// device throughput scaled by ComputeScale. The planner and the
+// machine the engines run on always share this spec, so in-loop plan
+// predictions are priced against the hardware the job actually sees.
+func (j *elasticJob) spec() cluster.Spec {
+	s := cluster.Frontier()
+	if cs := j.cfg.ComputeScale; cs > 0 && cs != 1 {
+		s.PeakFLOPS *= cs
+	}
+	return s
 }
 
 // refStack builds the common-seed reference blocks every rank shards.
@@ -284,7 +343,7 @@ func (j *elasticJob) build(resume bool) error {
 		return fmt.Errorf("train: global batch %d not divisible by %d data ranks",
 			j.cfg.GlobalBatch, j.layout.FSDP*j.layout.DDP)
 	}
-	j.machine = cluster.NewMachine(cluster.Frontier(), j.nodes, j.gpn)
+	j.machine = cluster.NewMachine(j.spec(), j.nodes, j.gpn)
 	if j.inj != nil {
 		j.inj.Arm(j.machine)
 	}

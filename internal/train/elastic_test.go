@@ -116,6 +116,62 @@ func TestKillReshardResume16To8(t *testing.T) {
 	}
 }
 
+// TestAutoPlanRecovery replaces ShrinkLayout with the parallelism
+// auto-planner on rebuild: after a node loss the job must adopt a
+// planner-chosen layout that fits the survivors, preserve TP (the
+// sharded checkpoint cannot reshard across a TP change), and keep the
+// loss trajectory within reduction-grouping error of the
+// uninterrupted run — the same determinism property the heuristic
+// path guarantees.
+func TestAutoPlanRecovery(t *testing.T) {
+	layout := core.Layout{TP: 2, FSDP: 4, DDP: 2}
+	ref := elasticBase(t, layout, 2, 8)
+	ref.GlobalBatch = 8
+	refRes, err := RunElastic(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	auto := elasticBase(t, layout, 2, 8)
+	auto.GlobalBatch = 8
+	auto.AutoPlan = true
+	inj := cluster.NewFaultInjector()
+	inj.KillNodeAtStep(1, 9)
+	gotRes, err := RunElastic(auto, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1 (events: %+v)", gotRes.Rebuilds, gotRes.Events)
+	}
+	if gotRes.FinalLayout.TP != layout.TP {
+		t.Fatalf("auto-plan changed TP to %d; sharded checkpoints cannot reshard TP", gotRes.FinalLayout.TP)
+	}
+	if ranks := gotRes.FinalLayout.Ranks(); ranks > 8 {
+		t.Fatalf("auto-plan layout %+v needs %d ranks on an 8-GPU survivor", gotRes.FinalLayout, ranks)
+	}
+	planned := false
+	for _, ev := range gotRes.Events {
+		if ev.Kind == "plan" {
+			planned = true
+		}
+	}
+	if !planned {
+		t.Fatalf("no plan event recorded; events: %+v", gotRes.Events)
+	}
+	// The planner may choose a different data-rank split than the
+	// heuristic, but the fixed-global-batch determinism property must
+	// hold regardless of the layout it picks.
+	for s := 8; s < len(refRes.Losses); s++ {
+		diff := math.Abs(gotRes.Losses[s] - refRes.Losses[s])
+		tol := 1e-6 * math.Max(1, math.Abs(refRes.Losses[s]))
+		if diff > tol {
+			t.Fatalf("auto-plan post-rebuild step %d: |%v - %v| = %v > %v",
+				s, gotRes.Losses[s], refRes.Losses[s], diff, tol)
+		}
+	}
+}
+
 // TestColdResumeContinuesTrajectory stops a run (as a process exit
 // would) and restarts it with Resume set; the continued trajectory
 // must match an uninterrupted run bit-identically.

@@ -4,6 +4,19 @@
 // mixed-precision emulation with dynamic gradient scaling, multi-lead
 // fine-tuning on the output-variable subset, and wACC evaluation
 // against climatology — the machinery behind the paper's Figs. 8–10.
+//
+// Two loop families live here. Trainer (train.go) is the
+// single-process loop over a real model; its full state — weights,
+// optimizer moments, data-stream RNG, loss-scaler — round-trips
+// through CaptureState/RestoreTrainer so a resumed run continues
+// bit-identically. RunElastic (elastic.go) is the distributed
+// fault-tolerant loop over Hybrid-STOP engines on the simulated
+// cluster: sharded checkpoints, node-loss recovery with resharding,
+// and — with ElasticConfig.AutoPlan — the parallelism auto-planner
+// (internal/plan) choosing the post-fault layout and tuning knobs.
+// Its invariant: the global batch is fixed in the config and each
+// sample is a pure function of (step seed, global index), so the loss
+// trajectory is layout-independent up to float32 reduction grouping.
 package train
 
 import (

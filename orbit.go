@@ -67,6 +67,7 @@ import (
 	"orbit/internal/experiments"
 	"orbit/internal/infer"
 	"orbit/internal/perf"
+	"orbit/internal/plan"
 	"orbit/internal/train"
 	"orbit/internal/vit"
 )
@@ -289,6 +290,75 @@ func NewCluster(nodes int) *cluster.Machine {
 // BuildGroups constructs the per-rank communicator grid for a layout.
 func BuildGroups(l Layout, m *cluster.Machine) ([]*core.Groups, error) {
 	return core.BuildGroups(l, m)
+}
+
+// --- parallelism auto-planner ---
+
+// PlanWorkload describes a training job for the auto-planner: the
+// transformer stack, the fixed global batch, and the base execution
+// options.
+type PlanWorkload = plan.Workload
+
+// ClusterShape is the simulated machine a plan targets.
+type ClusterShape = plan.ClusterShape
+
+// PlanConstraints restricts the planner's search (pinned TP, capped
+// rank count, knob grids).
+type PlanConstraints = plan.Constraints
+
+// PlanKnobs are the tuning parameters enumerated alongside each
+// layout (prefetch depth, DDP bucket size, implied micro-batches).
+type PlanKnobs = plan.Knobs
+
+// PlanCandidate is one (layout, knobs) point of the planning space.
+type PlanCandidate = plan.Candidate
+
+// ParallelPlan is one priced candidate: layout, tuning knobs, and the
+// machine-readable step-time/memory prediction (see Explain).
+type ParallelPlan = plan.Plan
+
+// PlanMeasured is one grid point of a brute-force simulated sweep.
+type PlanMeasured = plan.Measured
+
+// PlanShape returns a Frontier-spec cluster shape of n nodes.
+func PlanShape(nodes int) ClusterShape { return plan.Shape(nodes) }
+
+// ScaledPlanShape is PlanShape with device compute throughput scaled
+// down, restoring a production compute-to-communication ratio for the
+// toy-sized functional workloads (see plan.ScaledShape).
+func ScaledPlanShape(nodes int, computeScale float64) ClusterShape {
+	return plan.ScaledShape(nodes, computeScale)
+}
+
+// BestPlan returns the auto-planner's top-ranked feasible plan for
+// the workload on the cluster.
+func BestPlan(w PlanWorkload, c ClusterShape, cons PlanConstraints) (ParallelPlan, error) {
+	return plan.Best(w, c, cons)
+}
+
+// RankPlans prices every valid (TP, FSDP, DDP, knobs) candidate and
+// returns them sorted by predicted step time.
+func RankPlans(w PlanWorkload, c ClusterShape, cons PlanConstraints) ([]ParallelPlan, error) {
+	return plan.Rank(w, c, cons)
+}
+
+// PredictPlan prices one candidate with the planner's replay of the
+// comm clock model, without running the functional engines.
+func PredictPlan(w PlanWorkload, c ClusterShape, cand PlanCandidate) plan.Prediction {
+	return plan.Predict(w, c, cand)
+}
+
+// SimulatePlan measures a candidate by running the real functional
+// engines over the simulated cluster — the ground truth the planner's
+// predictions are calibrated against.
+func SimulatePlan(w PlanWorkload, c ClusterShape, cand plan.Candidate, steps int) PlanMeasured {
+	return plan.Simulate(w, c, cand, steps)
+}
+
+// PlanGrid returns the classic power-of-two sweep grid for a
+// brute-force comparison (`orbit-scaling -auto`).
+func PlanGrid(w PlanWorkload, c ClusterShape, knobs plan.Knobs) []plan.Candidate {
+	return plan.GridCandidates(w, c, knobs)
 }
 
 // --- scaling analysis ---

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# check_pkgdoc.sh — the docs gate behind `make docs-check`.
+#
+# Every Go package in the repository (the root orbit package, every
+# internal/* package, every cmd/* binary, every example) must carry a
+# package comment: a // comment block ending on the line directly
+# above its `package` clause in at least one non-test file. Godoc is
+# the project's API documentation surface, so a missing package
+# comment is a CI failure, not a style nit.
+#
+#   sh scripts/check_pkgdoc.sh              # check the repository
+#   sh scripts/check_pkgdoc.sh --selftest   # prove the check can fail
+#
+# The self-test (run by `make docs-check` after the real check) builds
+# a throwaway undocumented package and asserts the checker rejects it,
+# so a silently broken checker cannot green-light missing docs.
+set -eu
+
+# check_dir DIR — succeed when some non-test .go file in DIR has a
+# documentation comment immediately preceding its package clause:
+# either a // comment that is not a pure directive (//go:generate,
+# //nolint, …), or the closing line of a /* */ block comment.
+check_dir() {
+    dir=$1
+    found=1
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        if awk '
+            /^package [A-Za-z_]/ {
+                if (prev ~ /^\/\// && prev !~ /^\/\/(go:|line |nolint|lint:)/) documented = 1
+                if (prev ~ /\*\/[[:space:]]*$/) documented = 1
+                exit
+            }
+            { prev = $0 }
+            END { exit documented ? 0 : 1 }
+        ' "$f"; then
+            found=0
+            break
+        fi
+    done
+    return $found
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    mkdir "$tmp/nodoc" "$tmp/yesdoc" "$tmp/directive" "$tmp/blockdoc"
+    printf 'package nodoc\n' >"$tmp/nodoc/nodoc.go"
+    printf '// Package yesdoc is documented.\npackage yesdoc\n' >"$tmp/yesdoc/yesdoc.go"
+    printf '//go:generate stringer -type=Foo\npackage directive\n' >"$tmp/directive/directive.go"
+    printf '/*\nPackage blockdoc is documented the block-comment way.\n*/\npackage blockdoc\n' >"$tmp/blockdoc/blockdoc.go"
+    if check_dir "$tmp/nodoc"; then
+        echo "check_pkgdoc selftest FAILED: undocumented package was accepted" >&2
+        exit 1
+    fi
+    if check_dir "$tmp/directive"; then
+        echo "check_pkgdoc selftest FAILED: a bare //go: directive was accepted as documentation" >&2
+        exit 1
+    fi
+    if ! check_dir "$tmp/yesdoc"; then
+        echo "check_pkgdoc selftest FAILED: documented package was rejected" >&2
+        exit 1
+    fi
+    if ! check_dir "$tmp/blockdoc"; then
+        echo "check_pkgdoc selftest FAILED: /* */ block package comment was rejected" >&2
+        exit 1
+    fi
+    echo "check_pkgdoc selftest ok (missing package comments are detected)"
+    exit 0
+fi
+
+cd "$(dirname "$0")/.."
+fail=0
+for d in . internal/*/ cmd/*/ examples/*/; do
+    d=${d%/}
+    if ! check_dir "$d"; then
+        echo "missing package comment: $d" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check failed: add a package comment (// Package X ... or // Command X ...) above the package clause" >&2
+    exit 1
+fi
+echo "docs-check ok: every package carries a package comment"
