@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 fuzz-smoke golden docs-check examples
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 fuzz-smoke golden docs-check examples
 
 ci: build vet fmt-check staticcheck docs-check test race bench-smoke cover
 
@@ -36,12 +36,14 @@ test:
 # Race stage over the concurrency-heavy layers: the comm rendezvous /
 # async-handle machinery, the SPMD parallel engines (including the
 # Hybrid-STOP core engine's overlap paths), the elastic fault-tolerant
-# training loop in internal/train, and the inference subsystem's
-# dynamic request batcher + concurrent rollout workers in
-# internal/infer. The async cross-talk and batcher stress tests are
+# training loop in internal/train, the inference subsystem's dynamic
+# request batcher + concurrent rollout workers in internal/infer, and
+# the serving resilience layer in internal/serve (admission queue,
+# replica failover, chaos tests) plus orbit-serve's SIGTERM drain. The
+# async cross-talk, batcher edge-case, and serving chaos tests are
 # specifically written to be meaningful under -race.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/... ./internal/plan/...
+	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
 
 # Documentation gates: every package must carry a package comment
 # (scripts/check_pkgdoc.sh), and the checker proves it can fail via
@@ -88,6 +90,12 @@ bench-pr2:
 # recorded into BENCH_PR4.json.
 bench-pr4:
 	sh scripts/bench_pr4.sh
+
+# Serving-resilience load test: offered-load sweep with p50/p99, shed
+# rate, and queue depth per point, protected vs unprotected at 2x
+# overload, recorded into BENCH_PR6.json.
+bench-pr6:
+	sh scripts/bench_pr6.sh
 
 # Runs the checkpoint fuzz targets over their committed seed corpus
 # (no new fuzzing): regressions in the hardened parsers fail fast.

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	orbit "orbit"
+)
+
+// options are the serving flags, separated from flag parsing so tests
+// can build an app directly.
+type options struct {
+	addr         string
+	ckptPath     string
+	trainSteps   int
+	maxBatch     int
+	maxWait      time.Duration
+	tp           int
+	stepsCap     int
+	replicas     int
+	queueCap     int
+	degradeDepth int
+	shedLowDepth int
+	maxRetries   int
+	retryBackoff time.Duration
+	deadline     time.Duration
+}
+
+// app is the wired server: model, replica pool, resilient front end,
+// and HTTP plumbing — constructed once, testable without a process.
+type app struct {
+	opts  options
+	model *orbit.Model
+	sc    *orbit.ScoreCache
+	fs    *orbit.ForecastServer
+	srv   *http.Server
+	ln    net.Listener
+	done  chan struct{}
+}
+
+// newApp builds the model (checkpoint or fine-tuned demo), the replica
+// pool, and the resilient serving front end.
+func newApp(opts options) (*app, error) {
+	vars := orbit.RegistrySmall()
+	const height, width = 16, 32
+	chans := []int{4, 7, 1, 2} // z500, t850, t2m, u10
+	lead := 1 * 4              // one day at 6-hourly steps
+
+	var model *orbit.Model
+	var err error
+	if opts.ckptPath != "" {
+		log.Printf("loading checkpoint %s", opts.ckptPath)
+		model, err = orbit.LoadInferenceModel(opts.ckptPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		log.Printf("no -ckpt: fine-tuning a demo model (%d steps, 1-day lead)", opts.trainSteps)
+		cfg := orbit.TinyConfig(len(vars), height, width)
+		cfg.OutChannels = len(chans)
+		model, err = orbit.NewModel(cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		tc := orbit.DefaultTrainConfig()
+		tc.TotalSteps = opts.trainSteps
+		tc.ResidualChans = chans
+		trainDS := orbit.NewERA5Dataset(vars, height, width, 0, 730, lead)
+		trainDS.OutputChans = chans
+		orbit.NewTrainer(model, tc).Run(trainDS, tc.TotalSteps)
+	}
+	if model.Config.OutChannels != len(chans) {
+		return nil, fmt.Errorf("served model predicts %d channels; this server's residual wiring expects %d",
+			model.Config.OutChannels, len(chans))
+	}
+
+	// Held-out evaluation year: initial conditions and verifying truth.
+	// One score cache serves the whole pool — the truth tensors are
+	// identical across replicas of the same model.
+	evalDS := orbit.NewERA5Dataset(vars, height, width, 1200, 365*4, lead)
+	evalDS.OutputChans = chans
+	sc := orbit.NewScoreCache(evalDS, chans)
+
+	if opts.replicas < 1 {
+		opts.replicas = 1
+	}
+	pool := make([]*orbit.ServeReplica, opts.replicas)
+	for i := range pool {
+		eng, err := orbit.NewInferenceEngine(model, orbit.InferConfig{
+			ResidualChans: chans,
+			MaxBatch:      opts.maxBatch,
+			TP:            opts.tp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.Warmup()
+		pool[i] = orbit.NewServeReplica(i, eng, sc)
+	}
+
+	fs, err := orbit.NewForecastServer(orbit.ServeConfig{
+		MaxBatch:     opts.maxBatch,
+		MaxWait:      opts.maxWait,
+		QueueCap:     opts.queueCap,
+		MaxSteps:     opts.stepsCap,
+		DegradeDepth: opts.degradeDepth,
+		ShedLowDepth: opts.shedLowDepth,
+		MaxRetries:   opts.maxRetries,
+		RetryBackoff: opts.retryBackoff,
+	}, pool)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &app{opts: opts, model: model, sc: sc, fs: fs, done: make(chan struct{})}
+	a.srv = &http.Server{Addr: opts.addr, Handler: a.handler()}
+	return a, nil
+}
+
+// forecastRequest is the /v1/forecast wire format.
+type forecastRequest struct {
+	Start    int    `json:"start"`
+	Steps    int    `json:"steps"`
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMs bounds how long the request may wait end to end; on
+	// expiry the server answers 504 and the request stops occupying
+	// queue or batch slots.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+// statusFor maps a serving error to its HTTP status: 400 for invalid
+// requests, 429 for admission sheds (with Retry-After), 504 for
+// deadline expiry, 503 for closed/exhausted backends.
+func statusFor(err error) int {
+	var re *orbit.RolloutRequestError
+	switch {
+	case errors.As(err, &re):
+		return http.StatusBadRequest
+	case errors.Is(err, orbit.ErrServerOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+func (a *app) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"config":     a.model.Config,
+			"params":     a.model.NumParams(),
+			"lead_hours": a.sc.LeadHours(),
+			"max_batch":  a.fs.Config().MaxBatch,
+			"max_wait":   a.fs.Config().MaxWait.String(),
+			"queue_cap":  a.fs.Config().QueueCap,
+			"replicas":   a.opts.replicas,
+			"tp":         a.opts.tp,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, a.fs.Stats())
+	})
+	mux.HandleFunc("POST /v1/forecast", func(w http.ResponseWriter, r *http.Request) {
+		var req forecastRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad request: %v", err)})
+			return
+		}
+		prio, err := orbit.ParseRequestPriority(req.Priority)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		ctx := r.Context()
+		deadline := a.opts.deadline
+		if req.DeadlineMs > 0 {
+			deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		t0 := time.Now()
+		resp, err := a.fs.Do(ctx, orbit.ServeRequest{Start: req.Start, Steps: req.Steps, Priority: prio})
+		if err != nil {
+			code := statusFor(err)
+			if code == http.StatusTooManyRequests {
+				// Retry after roughly one queue drain.
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, code, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"start":      resp.Start,
+			"steps":      resp.Steps,
+			"coalesced":  resp.Coalesced,
+			"replica":    resp.Replica,
+			"retries":    resp.Retries,
+			"degraded":   resp.Degraded,
+			"latency_ms": float64(time.Since(t0).Microseconds()) / 1000,
+			"channels":   []string{"z500", "t850", "t2m", "u10"},
+			"scores":     resp.Scores,
+			"means":      resp.Means,
+		})
+	})
+	return mux
+}
+
+// listen binds the address so tests can learn the port before serving.
+func (a *app) listen() error {
+	ln, err := net.Listen("tcp", a.opts.addr)
+	if err != nil {
+		return err
+	}
+	a.ln = ln
+	return nil
+}
+
+// run serves until a shutdown signal arrives; it returns once the
+// drain completes. The signal handler is registered before serving
+// starts, so a SIGTERM during startup is never lost.
+func (a *app) run() error {
+	if a.ln == nil {
+		if err := a.listen(); err != nil {
+			return err
+		}
+	}
+	sig := make(chan os.Signal, 1)
+	// SIGTERM is what orchestrators (Kubernetes, systemd) send first;
+	// os.Interrupt covers ^C in a terminal. Both drain gracefully.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("%v: draining in-flight requests", s)
+		a.shutdown()
+	}()
+	err := a.srv.Serve(a.ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	<-a.done
+	return err
+}
+
+// shutdown drains gracefully. The forecast server closes first: Close
+// flushes the pending batch and answers every admitted request, so
+// in-flight HTTP handlers (blocked in fs.Do) complete — even requests
+// parked waiting for their batch to fill. Only then does the HTTP
+// server shut down, which waits for those handlers to write their
+// responses. The reverse order would stall Shutdown on parked batches.
+func (a *app) shutdown() {
+	a.fs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	close(a.done)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

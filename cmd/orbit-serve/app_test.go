@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	orbit "orbit"
+)
+
+// TestStatusFor pins the error→HTTP mapping: 400 invalid, 429 shed,
+// 504 deadline, 503 closed/exhausted.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&orbit.RolloutRequestError{Start: -1, Reason: "x"}, http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", &orbit.RolloutRequestError{}), http.StatusBadRequest},
+		{orbit.ErrServerOverloaded, http.StatusTooManyRequests},
+		{fmt.Errorf("wrapped: %w", orbit.ErrServerOverloaded), http.StatusTooManyRequests},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{orbit.ErrServerClosed, http.StatusServiceUnavailable},
+		{orbit.ErrNoHealthyReplica, http.StatusServiceUnavailable},
+		{errors.New("anything else"), http.StatusServiceUnavailable},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// postForecast sends one forecast request and decodes the reply.
+func postForecast(t *testing.T, base string, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/forecast", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST /v1/forecast: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	return resp.StatusCode, m, resp.Header
+}
+
+// TestServeDrainAndOverload boots the full server on a loopback port
+// and drives it end to end: validation (400), overload shedding (429
+// with Retry-After), deadline expiry (504), and — the graceful
+// shutdown satellite — SIGTERM while requests are parked in an
+// unfilled batch, which must drain them with real responses before the
+// process exits.
+func TestServeDrainAndOverload(t *testing.T) {
+	a, err := newApp(options{
+		addr:       "127.0.0.1:0",
+		trainSteps: 1, // model quality is irrelevant here
+		maxBatch:   4,
+		// Parked requests would wait 10s for their batch — only the
+		// SIGTERM drain can answer them quickly, which is the point.
+		maxWait:  10 * time.Second,
+		stepsCap: 8,
+		replicas: 2,
+		queueCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.listen(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + a.ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- a.run() }()
+
+	// Liveness and config surfaces.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	var st orbit.ServeStats
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.QueueCap != 2 || st.Replicas != 2 || st.HealthyReplicas != 2 {
+		t.Fatalf("stats misreport the pool: %+v", st)
+	}
+
+	// Validation: typed 400s before any batch slot is touched.
+	for _, body := range []string{
+		`{"start": 0, "steps": 0}`,
+		`{"start": -1, "steps": 1}`,
+		`{"start": 0, "steps": 999}`, // above steps-cap
+		`{"start": 0, "steps": 1, "priority": "urgent"}`,
+		`not json`,
+	} {
+		if code, m, _ := postForecast(t, base, body); code != http.StatusBadRequest {
+			t.Fatalf("body %s: got %d (%v), want 400", body, code, m)
+		}
+	}
+
+	// Deadline expiry: a 1ms budget against a 10s batch window answers
+	// 504 (or 200 in the unlikely race where the flush wins); either
+	// way it must answer fast, not park for 10s.
+	t0 := time.Now()
+	code, _, _ := postForecast(t, base, `{"start": 0, "steps": 1, "deadline_ms": 1}`)
+	if code != http.StatusGatewayTimeout && code != http.StatusOK {
+		t.Fatalf("deadline request: got %d, want 504 (or rarely 200)", code)
+	}
+	if e := time.Since(t0); e > 5*time.Second {
+		t.Fatalf("deadline request took %v", e)
+	}
+
+	// Park two requests (filling the queue to its cap of 2); they can
+	// only be answered by the SIGTERM drain.
+	parked := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			code, _, _ := postForecast(t, base, fmt.Sprintf(`{"start": %d, "steps": 1}`, i))
+			parked <- code
+		}(i)
+	}
+	for end := time.Now().Add(10 * time.Second); a.fs.Stats().QueueDepth < 2; {
+		if time.Now().After(end) {
+			t.Fatalf("parked requests never admitted: %+v", a.fs.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Overload: the queue is at capacity, so the next request sheds.
+	code, m, hdr := postForecast(t, base, `{"start": 5, "steps": 1}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload request: got %d (%v), want 429", code, m)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 reply missing Retry-After")
+	}
+
+	// Graceful shutdown: SIGTERM must drain the parked batch — both
+	// requests answered 200 — and run() must return cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-parked:
+			if code != http.StatusOK {
+				t.Fatalf("parked request dropped with %d during drain", code)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("parked request never answered: drain lost it")
+		}
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -1,200 +1,64 @@
 // Command orbit-serve is the forecast serving front end: it loads (or
-// quickly fine-tunes) an ORBIT model, wires the batched inference
-// engine over it, and answers concurrent rollout requests over an
-// HTTP/JSON API with dynamic max-batch/max-wait request coalescing and
-// per-model climatology/normalization caching.
+// quickly fine-tunes) an ORBIT model, wires a pool of batched
+// inference replicas behind an overload-safe admission queue, and
+// answers concurrent rollout requests over an HTTP/JSON API with
+// dynamic max-batch/max-wait coalescing, deadline propagation, and
+// replica failover.
 //
 // Usage:
 //
 //	orbit-serve                          # fine-tune a demo model, serve on :8090
 //	orbit-serve -ckpt model.orbt         # serve a checkpoint (any file kind)
-//	orbit-serve -tp 2                    # TP-shard the trunk over 2 simulated devices
-//	orbit-serve -max-batch 16 -max-wait 5ms
+//	orbit-serve -tp 2 -replicas 2        # two TP-sharded replicas with failover
+//	orbit-serve -queue-cap 64 -deadline 2s -degrade-depth 48
 //
 // API:
 //
 //	GET  /healthz      liveness
-//	GET  /v1/model     model and batching configuration
-//	GET  /v1/stats     serving counters (requests, batches, coalescing)
+//	GET  /v1/model     model and serving configuration
+//	GET  /v1/stats     serving counters (queue depth, sheds, retries, p50/p99)
 //	POST /v1/forecast  {"start": 12, "steps": 4} → per-step wRMSE/wACC
+//
+// Forecast requests may carry "priority" ("low", "normal", "high") and
+// "deadline_ms". Overload sheds answer 429 with Retry-After; expired
+// deadlines answer 504.
 //
 // Example:
 //
-//	curl -s localhost:8090/v1/forecast -d '{"start": 12, "steps": 4}'
+//	curl -s localhost:8090/v1/forecast -d '{"start": 12, "steps": 4, "deadline_ms": 500}'
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
-	"os"
-	"os/signal"
-	"sync/atomic"
 	"time"
-
-	orbit "orbit"
 )
 
-// stats are the serving counters /v1/stats reports.
-type stats struct {
-	requests  atomic.Int64
-	errors    atomic.Int64
-	coalesced atomic.Int64 // sum of observed batch sizes, for the mean
-}
-
 func main() {
-	addr := flag.String("addr", ":8090", "listen address")
-	ckptPath := flag.String("ckpt", "", "checkpoint file to serve (empty: fine-tune a demo model)")
-	trainSteps := flag.Int("train-steps", 150, "fine-tuning steps for the demo model (no -ckpt)")
-	maxBatch := flag.Int("max-batch", 8, "dynamic batching: max coalesced requests per forward batch")
-	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "dynamic batching: max time a request waits for its batch to fill")
-	tp := flag.Int("tp", 0, "tensor-parallel trunk width over the simulated cluster (0 = single device)")
-	stepsCap := flag.Int("steps-cap", 40, "largest rollout horizon a request may ask for")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8090", "listen address")
+	flag.StringVar(&opts.ckptPath, "ckpt", "", "checkpoint file to serve (empty: fine-tune a demo model)")
+	flag.IntVar(&opts.trainSteps, "train-steps", 150, "fine-tuning steps for the demo model (no -ckpt)")
+	flag.IntVar(&opts.maxBatch, "max-batch", 8, "dynamic batching: max coalesced requests per forward batch")
+	flag.DurationVar(&opts.maxWait, "max-wait", 2*time.Millisecond, "dynamic batching: max time a request waits for its batch to fill")
+	flag.IntVar(&opts.tp, "tp", 0, "tensor-parallel trunk width per replica over the simulated cluster (0 = single device)")
+	flag.IntVar(&opts.stepsCap, "steps-cap", 40, "largest rollout horizon a request may ask for")
+	flag.IntVar(&opts.replicas, "replicas", 1, "inference replicas in the failover pool")
+	flag.IntVar(&opts.queueCap, "queue-cap", 0, "admission queue capacity; beyond it requests shed with 429 (0 = 4x max-batch)")
+	flag.IntVar(&opts.degradeDepth, "degrade-depth", 0, "queue depth at which normal requests skip scoring and return raw rollouts (0 = never)")
+	flag.IntVar(&opts.shedLowDepth, "shed-low-depth", 0, "queue depth at which low-priority requests shed (0 = only at queue-cap)")
+	flag.IntVar(&opts.maxRetries, "max-retries", 0, "max replica failovers per batch (0 = replicas-1, min 1)")
+	flag.DurationVar(&opts.retryBackoff, "retry-backoff", time.Millisecond, "base jittered backoff between failover attempts")
+	flag.DurationVar(&opts.deadline, "deadline", 0, "default per-request deadline; expiry answers 504 (0 = none)")
 	flag.Parse()
 
-	vars := orbit.RegistrySmall()
-	const height, width = 16, 32
-	chans := []int{4, 7, 1, 2} // z500, t850, t2m, u10
-	lead := 1 * 4              // one day at 6-hourly steps
-
-	var model *orbit.Model
-	var err error
-	if *ckptPath != "" {
-		log.Printf("loading checkpoint %s", *ckptPath)
-		model, err = orbit.LoadInferenceModel(*ckptPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		log.Printf("no -ckpt: fine-tuning a demo model (%d steps, 1-day lead)", *trainSteps)
-		cfg := orbit.TinyConfig(len(vars), height, width)
-		cfg.OutChannels = len(chans)
-		model, err = orbit.NewModel(cfg, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tc := orbit.DefaultTrainConfig()
-		tc.TotalSteps = *trainSteps
-		tc.ResidualChans = chans
-		trainDS := orbit.NewERA5Dataset(vars, height, width, 0, 730, lead)
-		trainDS.OutputChans = chans
-		orbit.NewTrainer(model, tc).Run(trainDS, tc.TotalSteps)
-	}
-	if model.Config.OutChannels != len(chans) {
-		log.Fatalf("served model predicts %d channels; this server's residual wiring expects %d", model.Config.OutChannels, len(chans))
-	}
-
-	eng, err := orbit.NewInferenceEngine(model, orbit.InferConfig{
-		ResidualChans: chans,
-		MaxBatch:      *maxBatch,
-		TP:            *tp,
-	})
+	a, err := newApp(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.Warmup()
-
-	// Held-out evaluation year: initial conditions and verifying truth.
-	evalDS := orbit.NewERA5Dataset(vars, height, width, 1200, 365*4, lead)
-	evalDS.OutputChans = chans
-	sc := orbit.NewScoreCache(evalDS, chans)
-	batcher := orbit.NewRolloutBatcher(eng, sc, *maxBatch, *maxWait)
-
-	var st stats
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
-	mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"config":         model.Config,
-			"params":         model.NumParams(),
-			"residual_chans": chans,
-			"lead_hours":     sc.LeadHours(),
-			"max_batch":      *maxBatch,
-			"max_wait":       maxWait.String(),
-			"tp":             *tp,
-		})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		req := st.requests.Load()
-		mean := 0.0
-		if req > 0 {
-			mean = float64(st.coalesced.Load()) / float64(req)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"requests":            req,
-			"errors":              st.errors.Load(),
-			"mean_coalesced_size": mean,
-		})
-	})
-	mux.HandleFunc("POST /v1/forecast", func(w http.ResponseWriter, r *http.Request) {
-		var req orbit.RolloutRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			st.errors.Add(1)
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad request: %v", err)})
-			return
-		}
-		if req.Steps < 1 || req.Steps > *stepsCap {
-			st.errors.Add(1)
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("steps must be in [1,%d]", *stepsCap)})
-			return
-		}
-		if req.Start < 0 || req.Start >= evalDS.Len() {
-			st.errors.Add(1)
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("start must be in [0,%d)", evalDS.Len())})
-			return
-		}
-		t0 := time.Now()
-		resp, err := batcher.Do(req)
-		if err != nil {
-			st.errors.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
-			return
-		}
-		st.requests.Add(1)
-		st.coalesced.Add(int64(resp.Coalesced))
-		writeJSON(w, http.StatusOK, map[string]any{
-			"start":      resp.Start,
-			"steps":      resp.Steps,
-			"coalesced":  resp.Coalesced,
-			"latency_ms": float64(time.Since(t0).Microseconds()) / 1000,
-			"channels":   []string{"z500", "t850", "t2m", "u10"},
-			"scores":     resp.Scores,
-		})
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	done := make(chan struct{})
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		log.Printf("shutting down: draining in-flight batches")
-		// Graceful order: stop accepting connections but let in-flight
-		// handlers finish (their batches drain through batcher.Close),
-		// then stop the batcher.
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
-		batcher.Close()
-		close(done)
-	}()
-	log.Printf("orbit-serve: %d-parameter model on %s (max-batch %d, max-wait %v, tp %d)",
-		model.NumParams(), *addr, *maxBatch, *maxWait, *tp)
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+	log.Printf("orbit-serve: %d-parameter model on %s (%d replicas, max-batch %d, max-wait %v, queue-cap %d, tp %d)",
+		a.model.NumParams(), opts.addr, opts.replicas, a.fs.Config().MaxBatch, a.fs.Config().MaxWait, a.fs.Config().QueueCap, opts.tp)
+	if err := a.run(); err != nil {
 		log.Fatal(err)
 	}
-	<-done
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
 }

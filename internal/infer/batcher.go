@@ -1,14 +1,30 @@
 package infer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("infer: batcher closed")
+
+// RequestError reports a rollout request rejected by validation —
+// a start index outside the dataset window or a non-positive horizon.
+// It is returned (not panicked) by Batcher.Do/DoContext, so library
+// callers with bad indices fail at admission instead of deep inside
+// the engine; match it with errors.As.
+type RequestError struct {
+	Start, Steps int
+	Reason       string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("infer: bad request (start %d, steps %d): %s", e.Start, e.Steps, e.Reason)
+}
 
 // Request is one rollout to serve: the initial condition is the
 // dataset sample at Start, advanced Steps lead steps with per-step
@@ -33,6 +49,11 @@ type Response struct {
 // runs as one fused RolloutBatch. This is the classic serving
 // trade-off — a bounded latency tax on the first request of a batch
 // buys per-sample throughput for everyone in it.
+//
+// Requests carry contexts (DoContext): the batch's wait horizon is
+// capped by the tightest member deadline, and a request whose context
+// has already expired is dropped at batch formation — a dead client
+// never occupies a batch slot.
 type Batcher struct {
 	MaxBatch int
 	MaxWait  time.Duration
@@ -43,12 +64,17 @@ type Batcher struct {
 	mu       sync.Mutex
 	pending  []*call
 	timer    *time.Timer
+	timerAt  time.Time // when the armed flush timer fires
+	gen      uint64    // invalidates stale flush timers
 	closed   bool
 	inflight sync.WaitGroup
+
+	expired atomic.Int64
 }
 
 type call struct {
 	req Request
+	ctx context.Context
 	ch  chan callResult
 }
 
@@ -73,10 +99,27 @@ func NewBatcher(eng *Engine, sc *ScoreCache, maxBatch int, maxWait time.Duration
 // Do submits a request and blocks until its rollout is served (or the
 // batcher is closed). Safe for arbitrary concurrency.
 func (b *Batcher) Do(req Request) (*Response, error) {
+	return b.DoContext(context.Background(), req)
+}
+
+// DoContext is Do with deadline/cancellation propagation: when ctx
+// expires the caller unblocks immediately with ctx.Err(), and if the
+// request has not yet entered a running batch it is dropped at batch
+// formation. A member deadline tighter than MaxWait flushes the batch
+// early, so a tight-deadline request is never parked past its budget.
+func (b *Batcher) DoContext(ctx context.Context, req Request) (*Response, error) {
 	if req.Steps <= 0 {
-		return nil, fmt.Errorf("infer: request needs steps >= 1, got %d", req.Steps)
+		return nil, &RequestError{Start: req.Start, Steps: req.Steps, Reason: "steps must be >= 1"}
 	}
-	c := &call{req: req, ch: make(chan callResult, 1)}
+	if b.sc != nil {
+		if err := b.sc.CheckStart(req.Start); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := &call{req: req, ctx: ctx, ch: make(chan callResult, 1)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -93,19 +136,53 @@ func (b *Batcher) Do(req Request) (*Response, error) {
 		// dedicated dispatcher goroutine.
 		b.run(batch)
 	case len(b.pending) == 1:
-		b.timer = time.AfterFunc(b.MaxWait, b.flushTimeout)
+		wait := b.MaxWait
+		if dl, ok := ctx.Deadline(); ok {
+			if until := time.Until(dl); until < wait {
+				wait = until
+			}
+		}
+		b.armLocked(wait)
 		b.mu.Unlock()
 	default:
+		// A new member with a deadline tighter than the armed flush
+		// caps the batch's wait horizon.
+		if dl, ok := ctx.Deadline(); ok && dl.Before(b.timerAt) {
+			b.armLocked(time.Until(dl))
+		}
 		b.mu.Unlock()
 	}
-	r := <-c.ch
-	return r.resp, r.err
+	select {
+	case r := <-c.ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The result channel is buffered: if a running batch finishes
+		// this request later, its send does not block or leak.
+		return nil, ctx.Err()
+	}
+}
+
+// armLocked (re)arms the flush timer to fire after d. Caller holds
+// b.mu. Each arming bumps the generation so a stale timer that fires
+// after a fill or re-arm claims nothing.
+func (b *Batcher) armLocked(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.gen++
+	gen := b.gen
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.timerAt = time.Now().Add(d)
+	b.timer = time.AfterFunc(d, func() { b.flushTimer(gen) })
 }
 
 // takeLocked claims the pending batch (caller holds b.mu).
 func (b *Batcher) takeLocked() []*call {
 	batch := b.pending
 	b.pending = nil
+	b.gen++
 	if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil
@@ -113,15 +190,27 @@ func (b *Batcher) takeLocked() []*call {
 	return batch
 }
 
-// flushTimeout fires when a partially filled batch hits MaxWait.
-func (b *Batcher) flushTimeout() {
+// flushTimer fires when a partially filled batch hits its wait
+// horizon (MaxWait or the tightest member deadline).
+func (b *Batcher) flushTimer(gen uint64) {
 	b.mu.Lock()
+	if gen != b.gen {
+		// A fill, re-arm, or Close already claimed this batch.
+		b.mu.Unlock()
+		return
+	}
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	b.run(batch)
 }
 
-// run executes one coalesced batch. Requests may ask for different
+// DroppedExpired reports how many requests were dropped at batch
+// formation because their context had already expired — dead clients
+// that never occupied a batch slot.
+func (b *Batcher) DroppedExpired() int64 { return b.expired.Load() }
+
+// run executes one coalesced batch. Members whose context has expired
+// are dropped before batch formation. Requests may ask for different
 // horizons; the engine rolls the batch out to the longest one and each
 // response keeps only its own steps (shorter trajectories ride along —
 // their forward cost is shared, not added).
@@ -134,20 +223,32 @@ func (b *Batcher) run(batch []*call) {
 			b.inflight.Done()
 		}
 	}()
+	live := batch[:0]
+	for _, c := range batch {
+		if err := c.ctx.Err(); err != nil {
+			b.expired.Add(1)
+			c.ch <- callResult{err: err}
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
 	maxSteps := 0
-	starts := make([]int, len(batch))
-	for i, c := range batch {
+	starts := make([]int, len(live))
+	for i, c := range live {
 		starts[i] = c.req.Start
 		if c.req.Steps > maxSteps {
 			maxSteps = c.req.Steps
 		}
 	}
 	scores := b.eng.ScoredRolloutBatch(b.sc, starts, maxSteps)
-	for i, c := range batch {
+	for i, c := range live {
 		c.ch <- callResult{resp: &Response{
 			Start:     c.req.Start,
 			Steps:     c.req.Steps,
-			Coalesced: len(batch),
+			Coalesced: len(live),
 			Scores:    scores[i][:c.req.Steps],
 		}}
 	}

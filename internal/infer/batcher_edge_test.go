@@ -1,0 +1,229 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherDoRacesClose hammers Do from many goroutines while Close
+// runs concurrently: every request must resolve exactly once — served
+// with valid scores or refused with ErrClosed — with no hang, double
+// send, or lost reply. Run under `make race`.
+func TestBatcherDoRacesClose(t *testing.T) {
+	b, _ := batcherFixture(t, 4, 5*time.Millisecond)
+	const n = 32
+	var served, refused int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Do(Request{Start: i % 64, Steps: 1})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && len(r.Scores) == 1:
+				served++
+			case errors.Is(err, ErrClosed):
+				refused++
+			default:
+				t.Errorf("request %d: r=%v err=%v", i, r, err)
+			}
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let some requests get in first
+	b.Close()
+	wg.Wait()
+	if served+refused != n {
+		t.Fatalf("%d served + %d refused != %d submitted", served, refused, n)
+	}
+	if served == 0 {
+		t.Log("note: Close won the race before any request was admitted")
+	}
+}
+
+// TestBatcherDoubleClose proves Close is idempotent and that a closed
+// batcher refuses work without panicking.
+func TestBatcherDoubleClose(t *testing.T) {
+	b, _ := batcherFixture(t, 4, time.Millisecond)
+	if _, err := b.Do(Request{Start: 0, Steps: 1}); err != nil {
+		t.Fatalf("warm request: %v", err)
+	}
+	b.Close()
+	b.Close()
+	if _, err := b.Do(Request{Start: 0, Steps: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after double Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherTimerFillRace races the MaxWait timer against batch fill:
+// with a timer short enough to fire mid-fill, every submitted request
+// must still be served exactly once, whichever side claims the batch.
+// The generation counter in the batcher is what makes a stale timer
+// claim nothing; this is its regression test. Run under `make race`.
+func TestBatcherTimerFillRace(t *testing.T) {
+	b, _ := batcherFixture(t, 4, 0) // 0 clamps to the 2ms default — still racy vs fill
+	defer b.Close()
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < b.MaxBatch; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := b.Do(Request{Start: i, Steps: 1})
+				if err != nil || len(r.Scores) != 1 {
+					t.Errorf("round %d request %d: r=%v err=%v", round, i, r, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// TestBatcherDefaultsMaxWait pins the constructor's clamping of
+// zero/negative MaxWait (and zero MaxBatch) to usable defaults.
+func TestBatcherDefaultsMaxWait(t *testing.T) {
+	for _, w := range []time.Duration{0, -time.Second} {
+		b, eng := batcherFixture(t, 8, w)
+		if b.MaxWait <= 0 {
+			t.Fatalf("MaxWait %v not clamped to a positive default", w)
+		}
+		if b.MaxBatch != 8 {
+			t.Fatalf("MaxBatch = %d, want 8", b.MaxBatch)
+		}
+		// A lone request must still be served promptly.
+		start := time.Now()
+		if _, err := b.Do(Request{Start: 0, Steps: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if e := time.Since(start); e > 5*time.Second {
+			t.Fatalf("lone request took %v", e)
+		}
+		b.Close()
+		// maxBatch <= 0 defaults to the engine's fused width.
+		b2 := NewBatcher(eng, b.sc, 0, 0)
+		if b2.MaxBatch != eng.Cfg.MaxBatch {
+			t.Fatalf("MaxBatch default = %d, want engine width %d", b2.MaxBatch, eng.Cfg.MaxBatch)
+		}
+		b2.Close()
+	}
+}
+
+// TestBatcherValidationTyped proves bad requests are refused at
+// admission with *RequestError — before they can reach the engine.
+func TestBatcherValidationTyped(t *testing.T) {
+	b, _ := batcherFixture(t, 4, time.Millisecond)
+	defer b.Close()
+	for _, req := range []Request{
+		{Start: 0, Steps: 0},
+		{Start: 0, Steps: -3},
+		{Start: -1, Steps: 1},
+		{Start: 1 << 20, Steps: 1},
+	} {
+		var re *RequestError
+		_, err := b.Do(req)
+		if !errors.As(err, &re) {
+			t.Fatalf("request %+v: got %v, want *RequestError", req, err)
+		}
+		if re.Start != req.Start || re.Reason == "" {
+			t.Fatalf("request %+v: malformed error %+v", req, re)
+		}
+	}
+}
+
+// TestScoredRolloutBatchPanicsTyped pins the direct-engine contract:
+// the no-error-return ScoredRolloutBatch fails fast on a bad start with
+// the same typed error, as a panic value, instead of an index panic
+// deep in the rollout.
+func TestScoredRolloutBatchPanicsTyped(t *testing.T) {
+	b, eng := batcherFixture(t, 2, time.Millisecond)
+	defer b.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("bad start did not panic")
+		}
+		if _, ok := r.(*RequestError); !ok {
+			t.Fatalf("panic value %T, want *RequestError", r)
+		}
+	}()
+	eng.ScoredRolloutBatch(b.sc, []int{-7}, 1)
+}
+
+// TestBatcherContextExpiredBeforeFormation parks a request whose
+// deadline passes before the batch runs: the caller unblocks with
+// ctx.Err() and the member is dropped at formation (DroppedExpired),
+// never occupying a batch slot.
+func TestBatcherContextExpiredBeforeFormation(t *testing.T) {
+	b, _ := batcherFixture(t, 8, 300*time.Millisecond)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.DoContext(ctx, Request{Start: 0, Steps: 1})
+		done <- err
+	}()
+	// Wait for admission, then cancel the parked request.
+	for end := time.Now().Add(5 * time.Second); ; {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled request returned %v", err)
+	}
+	// A live request flushes the batch; the canceled member must not
+	// share it.
+	r, err := b.DoContext(context.Background(), Request{Start: 1, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Coalesced != 1 {
+		t.Fatalf("canceled member occupied a batch slot: coalesced %d", r.Coalesced)
+	}
+	if got := b.DroppedExpired(); got != 1 {
+		t.Fatalf("DroppedExpired = %d, want 1", got)
+	}
+}
+
+// TestBatcherDeadlineCapsWait proves a member deadline tighter than
+// MaxWait flushes the batch early: against a 10s MaxWait, a 100ms
+// deadline must yield a response (or a deadline error) in well under a
+// second.
+func TestBatcherDeadlineCapsWait(t *testing.T) {
+	b, _ := batcherFixture(t, 8, 10*time.Second)
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	r, err := b.DoContext(ctx, Request{Start: 0, Steps: 1})
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline did not cap the batch horizon: waited %v", elapsed)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err == nil && len(r.Scores) != 1 {
+		t.Fatalf("served response malformed: %+v", r)
+	}
+	// An already-expired context is refused before admission.
+	dead, cancelDead := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelDead()
+	if _, err := b.DoContext(dead, Request{Start: 0, Steps: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired context admitted: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"fmt"
 	"sync"
 
 	"orbit/internal/climate"
@@ -103,6 +104,18 @@ func (sc *ScoreCache) LeadHours() float64 {
 	return float64(sc.DS.LeadSteps) * 24 / climate.StepsPerDay
 }
 
+// CheckStart validates a rollout start index against the dataset
+// window, returning a *RequestError outside [0, DS.Len()). Batcher and
+// the serving layer call it at admission; ScoredRolloutBatch calls it
+// again so even direct engine callers fail fast with a typed error
+// instead of panicking deep inside the rollout.
+func (sc *ScoreCache) CheckStart(start int) error {
+	if n := sc.DS.Len(); start < 0 || start >= n {
+		return &RequestError{Start: start, Reason: fmt.Sprintf("start outside [0,%d)", n)}
+	}
+	return nil
+}
+
 // ScoredRollout rolls out from the dataset sample at index start and
 // scores every step's wRMSE and wACC against the verifying truth.
 func (e *Engine) ScoredRollout(sc *ScoreCache, start, steps int) []StepScore {
@@ -113,6 +126,14 @@ func (e *Engine) ScoredRollout(sc *ScoreCache, start, steps int) []StepScore {
 // into batched forward passes while each request keeps its own score
 // trajectory.
 func (e *Engine) ScoredRolloutBatch(sc *ScoreCache, starts []int, steps int) [][]StepScore {
+	for _, s := range starts {
+		if err := sc.CheckStart(s); err != nil {
+			// No error return in this signature (the embedded-library
+			// path); fail loudly at the boundary with the typed error
+			// rather than an index panic deep in the rollout.
+			panic(err)
+		}
+	}
 	n := len(starts)
 	lead := sc.LeadHours()
 	ics := make([]*tensor.Tensor, n)

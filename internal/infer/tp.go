@@ -64,6 +64,40 @@ func NewTPForecaster(m *vit.Model, tp int) (*TPForecaster, error) {
 	return f, nil
 }
 
+// Machine returns the simulated cluster backing the forecaster's TP
+// group. Fault-injection harnesses use it to kill serving devices
+// (cluster.FaultInjector.Arm, Device.Kill) the same way the elastic
+// trainer's chaos tests do.
+func (f *TPForecaster) Machine() *cluster.Machine { return f.machine }
+
+// Machine returns the simulated cluster machine backing a TP-sharded
+// engine, nil for single-device engines (which run in-process and
+// have no simulated hardware to fail).
+func (e *Engine) Machine() *cluster.Machine {
+	if e.tp == nil {
+		return nil
+	}
+	return e.tp.machine
+}
+
+// CheckHealth returns a *cluster.DeadDeviceError when any device
+// backing the engine has been killed by fault injection, nil for
+// healthy (and for single-device) engines. Like the elastic trainer,
+// serving health is checked at batch boundaries: an in-flight forward
+// on a just-killed device completes (the SPMD walk cannot deadlock on
+// a latched death), and the next health check observes the loss.
+func (e *Engine) CheckHealth() error {
+	if e.tp == nil {
+		return nil
+	}
+	for _, d := range e.tp.machine.Devices {
+		if err := d.CheckAlive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Forward runs one sample [C, H, W] through the TP-sharded trunk,
 // producing [OutC, H, W]. The result is head-owned and valid until the
 // forecaster's next call. Within each block, partial sums are reduced

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"orbit/internal/cluster"
+	"orbit/internal/infer"
+)
+
+// TestChaosTPReplicaKilledMidBatch is the serving chaos drill: two
+// TP=2 replicas, and PR 3's cluster fault injector arms a time-kill on
+// a device of replica 0's simulated machine. The device's simulated
+// clock only advances while a forward is in flight, so the kill fires
+// *during* replica 0's first batch and latches at the post-batch
+// health check — the batch's results are discarded and retried on
+// replica 1. Both replicas shard the same model with the same TP
+// width, so the reduction order is identical and the retried results
+// must be bit-identical to a run that never saw a fault. No request
+// may be lost.
+func TestChaosTPReplicaKilledMidBatch(t *testing.T) {
+	m, sc := fixtureModel(t, 29)
+
+	// Baseline: an identical TP=2 pool with no faults.
+	base := newReplica(t, 0, m, sc, 4, 2)
+	want := make(map[int][]infer.StepScore)
+	for i := 0; i < 8; i++ {
+		want[i] = base.Engine.ScoredRollout(sc, i, 1+i%3)
+	}
+
+	repA := newReplica(t, 0, m, sc, 4, 2)
+	repB := newReplica(t, 1, m, sc, 4, 2)
+	inj := cluster.NewFaultInjector()
+	// Any forward advances the simulated clocks well past this, so the
+	// first batch placed on replica A is guaranteed to straddle the
+	// kill.
+	inj.KillDeviceAtTime(0, 1e-12)
+	inj.Arm(repA.Engine.Machine())
+
+	s, err := NewServer(Config{MaxBatch: 4, MaxWait: 100 * time.Millisecond}, []*Replica{repA, repB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 8
+	resps := make([]*Response, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Do(context.Background(), Request{Start: i, Steps: 1 + i%3})
+			if err != nil {
+				t.Errorf("request %d lost to the fault: %v", i, err)
+				return
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+
+	failedOver := 0
+	for i, r := range resps {
+		if r == nil {
+			t.Fatalf("request %d never answered", i)
+		}
+		if !reflect.DeepEqual(r.Scores, want[i]) {
+			t.Fatalf("request %d: post-failover scores differ from the no-fault baseline (replica %d, retries %d)",
+				i, r.Replica, r.Retries)
+		}
+		if r.Retries > 0 {
+			failedOver++
+			if r.Replica != repB.ID {
+				t.Fatalf("request %d retried onto replica %d, want the healthy replica %d", i, r.Replica, repB.ID)
+			}
+		}
+	}
+	if failedOver == 0 {
+		t.Fatal("fault injection never forced a failover — the chaos drill tested nothing")
+	}
+	st := s.Stats()
+	if st.ReplicaFailures < 1 || st.Retries < 1 {
+		t.Fatalf("failover not recorded in stats: %+v", st)
+	}
+	if st.HealthyReplicas != 1 {
+		t.Fatalf("killed TP replica still counted healthy: %+v", st)
+	}
+	var dde *cluster.DeadDeviceError
+	if err := repA.checkErr(); !errors.As(err, &dde) {
+		t.Fatalf("replica A's death should surface the cluster fault, got %v", err)
+	}
+	if repA.Engine.Machine().FirstDead() < 0 {
+		t.Fatal("injected device not dead on the simulated machine")
+	}
+}
+
+// TestChaosPoolExhaustion kills every replica's cluster and proves
+// requests fail fast with ErrNoHealthyReplica — bounded failure, not a
+// hang.
+func TestChaosPoolExhaustion(t *testing.T) {
+	m, sc := fixtureModel(t, 30)
+	repA := newReplica(t, 0, m, sc, 4, 2)
+	repB := newReplica(t, 1, m, sc, 4, 2)
+	s, err := NewServer(Config{MaxBatch: 4, MaxWait: time.Millisecond}, []*Replica{repA, repB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Warm path first: both replicas healthy.
+	if _, err := s.Do(context.Background(), Request{Start: 0, Steps: 1}); err != nil {
+		t.Fatalf("healthy pool refused a request: %v", err)
+	}
+	repA.Engine.Machine().KillDevice(0)
+	repB.Engine.Machine().KillDevice(1)
+	if _, err := s.Do(context.Background(), Request{Start: 1, Steps: 1}); !errors.Is(err, ErrNoHealthyReplica) {
+		t.Fatalf("exhausted pool: got %v, want ErrNoHealthyReplica", err)
+	}
+	if st := s.Stats(); st.HealthyReplicas != 0 {
+		t.Fatalf("dead pool reports %d healthy replicas", st.HealthyReplicas)
+	}
+}

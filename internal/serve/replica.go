@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orbit/internal/infer"
+	"orbit/internal/metrics"
+	"orbit/internal/tensor"
+)
+
+// DeadReplicaError reports a replica unavailable for serving: killed
+// by cluster fault injection (a TP-sharded replica losing a simulated
+// device), by Kill, or latched dead after a failed batch.
+type DeadReplicaError struct {
+	Replica int
+	Cause   error
+}
+
+func (e *DeadReplicaError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("serve: replica %d dead: %v", e.Replica, e.Cause)
+	}
+	return fmt.Sprintf("serve: replica %d dead", e.Replica)
+}
+
+func (e *DeadReplicaError) Unwrap() error { return e.Cause }
+
+// Replica is one inference engine in the serving pool. TP-sharded
+// engines carry their simulated cluster (Engine.Machine), so PR 3's
+// fault injection kills serving replicas exactly the way it kills
+// training nodes; single-device replicas die via Kill or a failed
+// batch. ScoreCaches may be shared between replicas of the same model
+// — the cache is concurrency-safe and the truth tensors are identical.
+type Replica struct {
+	ID     int
+	Engine *infer.Engine
+	Scores *infer.ScoreCache
+
+	dead    atomic.Bool
+	causeMu sync.Mutex
+	cause   error
+
+	// afterRun, when set, fires between the forward and the post-batch
+	// health check — the test hook that makes "killed mid-batch"
+	// deterministic for single-device replicas (TP replicas use real
+	// cluster fault injection instead).
+	afterRun func()
+}
+
+// NewReplica wires a pool replica over an engine and its score cache.
+func NewReplica(id int, eng *infer.Engine, sc *infer.ScoreCache) *Replica {
+	return &Replica{ID: id, Engine: eng, Scores: sc}
+}
+
+// Kill marks the replica dead — the process-local analogue of cluster
+// fault injection for replicas without a simulated machine.
+func (r *Replica) Kill() {
+	r.markDead(nil)
+}
+
+func (r *Replica) markDead(cause error) {
+	r.causeMu.Lock()
+	if r.cause == nil {
+		r.cause = cause
+	}
+	r.causeMu.Unlock()
+	r.dead.Store(true)
+}
+
+// checkErr returns the replica's health as an error: nil when
+// servable, *cluster.DeadDeviceError when its simulated cluster lost a
+// device, *DeadReplicaError when latched dead.
+func (r *Replica) checkErr() error {
+	if err := r.Engine.CheckHealth(); err != nil {
+		return err
+	}
+	if r.dead.Load() {
+		r.causeMu.Lock()
+		cause := r.cause
+		r.causeMu.Unlock()
+		return &DeadReplicaError{Replica: r.ID, Cause: cause}
+	}
+	return nil
+}
+
+// Healthy reports whether the dispatcher may place batches here. A
+// cluster death observed here is latched, so the replica never flaps
+// back.
+func (r *Replica) Healthy() bool {
+	if err := r.checkErr(); err != nil {
+		r.markDead(err)
+		return false
+	}
+	return true
+}
+
+// run executes one coalesced batch on this replica, filling each
+// call's result buffers. Health is checked before and after the
+// forward: a replica killed mid-batch returns an error and its
+// (complete but untrusted) results are discarded, so the dispatcher's
+// retry on a healthy replica regenerates them bit-identically.
+func (r *Replica) run(batch []*call) error {
+	if err := r.checkErr(); err != nil {
+		return err
+	}
+	n := len(batch)
+	ics := make([]*tensor.Tensor, n)
+	leads := make([]float64, n)
+	lead := r.Scores.LeadHours()
+	leadSteps := r.Scores.DS.LeadSteps
+	maxSteps := 0
+	for i, c := range batch {
+		ics[i] = r.Scores.InputAt(c.req.Start)
+		leads[i] = lead
+		if c.req.Steps > maxSteps {
+			maxSteps = c.req.Steps
+		}
+		// Fresh result buffers per attempt: a retried batch must not
+		// leak a dead replica's partial results.
+		if c.degraded {
+			c.means = make([][]float64, c.req.Steps)
+			c.scores = nil
+		} else {
+			c.scores = make([]infer.StepScore, c.req.Steps)
+			c.means = nil
+			// Warm the shared truth/climatology caches before the
+			// fan-out, as infer.ScoredRolloutBatch does.
+			for k := 0; k < c.req.Steps; k++ {
+				idx := c.req.Start + (k+1)*leadSteps
+				r.Scores.TruthAt(idx)
+				r.Scores.ClimAt(idx)
+			}
+		}
+	}
+	mc := r.Engine.Model.Config
+	hw := mc.Height * mc.Width
+	r.Engine.RolloutBatch(ics, maxSteps, leads, func(sample, step int, pred *tensor.Tensor) {
+		c := batch[sample]
+		if step >= c.req.Steps {
+			// Riding along past its own horizon for the batch's sake;
+			// no scoring work.
+			return
+		}
+		if c.degraded {
+			// Raw-rollout summary: per-channel spatial means, no truth
+			// or climatology generation.
+			m := make([]float64, mc.OutChannels)
+			pd := pred.Data()
+			for ch := 0; ch < mc.OutChannels; ch++ {
+				var sum float64
+				for _, v := range pd[ch*hw : (ch+1)*hw] {
+					sum += float64(v)
+				}
+				m[ch] = sum / float64(hw)
+			}
+			c.means[step] = m
+			return
+		}
+		idx := c.req.Start + (step+1)*leadSteps
+		truth := r.Scores.TruthAt(idx)
+		clim := r.Scores.ClimAt(idx)
+		c.scores[step] = infer.StepScore{
+			Step:      step,
+			LeadHours: float64(step+1) * lead,
+			RMSE:      metrics.WeightedRMSE(pred, truth),
+			ACC:       metrics.WeightedACC(pred, truth, clim),
+		}
+	})
+	if r.afterRun != nil {
+		r.afterRun()
+	}
+	return r.checkErr()
+}

@@ -68,6 +68,7 @@ import (
 	"orbit/internal/infer"
 	"orbit/internal/perf"
 	"orbit/internal/plan"
+	"orbit/internal/serve"
 	"orbit/internal/train"
 	"orbit/internal/vit"
 )
@@ -265,6 +266,72 @@ func NewScoreCache(ds *climate.Dataset, chans []int) *ScoreCache {
 // NewRolloutBatcher wires dynamic request batching over an engine.
 func NewRolloutBatcher(eng *InferenceEngine, sc *ScoreCache, maxBatch int, maxWait time.Duration) *RolloutBatcher {
 	return infer.NewBatcher(eng, sc, maxBatch, maxWait)
+}
+
+// RolloutRequestError is the typed validation error the batcher and
+// the forecast server return for a bad start index or horizon; match
+// it with errors.As.
+type RolloutRequestError = infer.RequestError
+
+// --- resilient serving (admission control, deadlines, failover) ---
+
+// ServeConfig tunes the resilient serving front end: batch formation,
+// the bounded admission queue, priority shedding, degraded mode, and
+// failover retry policy.
+type ServeConfig = serve.Config
+
+// ServeRequest and ServeResponse are the resilient serving units; the
+// response is annotated with the replica, retry count, and degraded
+// flag the resilience machinery produced.
+type (
+	ServeRequest  = serve.Request
+	ServeResponse = serve.Response
+)
+
+// RequestPriority orders requests under overload: low sheds first,
+// high is never served degraded.
+type RequestPriority = serve.Priority
+
+// Request priorities.
+const (
+	PriorityLow    = serve.PriorityLow
+	PriorityNormal = serve.PriorityNormal
+	PriorityHigh   = serve.PriorityHigh
+)
+
+// ParseRequestPriority maps a wire name ("", "low", "normal", "high")
+// to a RequestPriority.
+func ParseRequestPriority(s string) (RequestPriority, error) { return serve.ParsePriority(s) }
+
+// ServeReplica is one health-checked inference engine in the serving
+// pool.
+type ServeReplica = serve.Replica
+
+// ServeStats is the /v1/stats snapshot: queue depth, sheds, retries,
+// degraded serves, and latency quantiles.
+type ServeStats = serve.Stats
+
+// ForecastServer is the overload-safe, fault-tolerant serving front
+// end: bounded admission queue, deadline-aware batch formation, and a
+// replica pool with bit-identical batch failover.
+type ForecastServer = serve.Server
+
+// Serving error classes for HTTP mapping (429 / 503).
+var (
+	ErrServerOverloaded = serve.ErrOverloaded
+	ErrServerClosed     = serve.ErrClosed
+	ErrNoHealthyReplica = serve.ErrNoHealthyReplica
+)
+
+// NewServeReplica wires a pool replica over an engine and its score
+// cache.
+func NewServeReplica(id int, eng *InferenceEngine, sc *ScoreCache) *ServeReplica {
+	return serve.NewReplica(id, eng, sc)
+}
+
+// NewForecastServer wires the resilience layer over a replica pool.
+func NewForecastServer(cfg ServeConfig, replicas []*ServeReplica) (*ForecastServer, error) {
+	return serve.NewServer(cfg, replicas)
 }
 
 // --- parallelism over the simulated cluster ---

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# PR 6 serving-resilience load test, recorded into BENCH_PR6.json.
+# Drives the env-gated TestLoadSweep in internal/serve: an offered-load
+# sweep (0.5x / 1x / 2x of measured saturation) over a two-replica
+# pool with a pinned per-batch service cost, recording p50/p99 latency,
+# shed rate, and max queue depth per point, plus an unprotected
+# baseline (same stack, unbounded queue) at 2x overload. The headline
+# contrast: at 2x the protected server sheds the excess and keeps p99
+# within the queue-drain bound; the unprotected server serves
+# everything and its p99 grows with the length of the overload.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-$PWD/BENCH_PR6.json}
+
+ORBIT_BENCH_PR6="$OUT" go test ./internal/serve/ -run '^TestLoadSweep$' -count=1 -v -timeout 900s \
+	| grep -E 'loadtest|saturation|ok ' || true
+
+if [ ! -s "$OUT" ]; then
+	echo "bench_pr6: $OUT was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"

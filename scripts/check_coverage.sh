@@ -25,3 +25,4 @@ check() {
 check ./internal/ckpt/ 75
 check ./internal/cluster/ 90
 check ./internal/infer/ 85
+check ./internal/serve/ 85

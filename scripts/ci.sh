@@ -2,9 +2,10 @@
 # CI entry point: build, vet, gofmt check, staticcheck (when the
 # binary is installed — the hosted workflow installs it), full tests,
 # a race-detector pass over the communication / parallelism / elastic-
-# training layers, a one-iteration benchmark smoke over the attention
-# hot path, and the coverage gate for the checkpoint and cluster
-# fault-injection packages.
+# training / serving layers (including the serving chaos tests), a
+# one-iteration benchmark smoke over the attention hot path, and the
+# coverage gate for the checkpoint, cluster fault-injection, and
+# inference/serving packages.
 set -eu
 cd "$(dirname "$0")/.."
 make ci
