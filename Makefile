@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 fuzz-smoke golden docs-check examples
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 bench-pr7 fuzz-smoke golden docs-check examples
 
 ci: build vet fmt-check staticcheck docs-check test race bench-smoke cover
 
@@ -41,9 +41,12 @@ test:
 # the serving resilience layer in internal/serve (admission queue,
 # replica failover, chaos tests) plus orbit-serve's SIGTERM drain. The
 # async cross-talk, batcher edge-case, and serving chaos tests are
-# specifically written to be meaningful under -race.
+# specifically written to be meaningful under -race. internal/guard
+# adds the training-run supervisor: the watchdog goroutine's verdicts
+# racing live rank goroutines (the stalled-TP-rank recovery test is
+# written for this stage) and the rollback/replay loop.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
+	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/guard/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
 
 # Documentation gates: every package must carry a package comment
 # (scripts/check_pkgdoc.sh), and the checker proves it can fail via
@@ -96,6 +99,12 @@ bench-pr4:
 # overload, recorded into BENCH_PR6.json.
 bench-pr6:
 	sh scripts/bench_pr6.sh
+
+# Training-resilience measurement: guarded vs unguarded step time
+# (supervision tax must stay under 5%) and v3 checkpoint
+# save/verified-load throughput, recorded into BENCH_PR7.json.
+bench-pr7:
+	sh scripts/bench_pr7.sh
 
 # Runs the checkpoint fuzz targets over their committed seed corpus
 # (no new fuzzing): regressions in the hardened parsers fail fast.

@@ -16,9 +16,19 @@
 //	orbit-pretrain -layout auto -nodes 2 -steps 20             # auto-planner picks the layout
 //	orbit-pretrain -layout auto -kill-node-step 12 -ckpt-dir d # survive a node loss, replan, resume
 //
-// Fault tolerance (single-model mode):
+// Distributed runs execute under the training-run supervisor: corrupt
+// checkpoints are quarantined in favor of an older valid generation
+// (-keep), divergent steps roll back to the last good checkpoint
+// (-max-rollbacks), and a hung rank is detected and evicted by the
+// wall-clock watchdog (-step-deadline):
 //
-//	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt
+//	orbit-pretrain -layout 2x4x2 -ckpt-dir d -keep 3 -step-deadline 2s
+//	orbit-pretrain -layout 2x4x2 -ckpt-dir d -stall-node-step 12 -step-deadline 500ms
+//
+// Fault tolerance (single-model mode; -keep retains generations so a
+// corrupt newest checkpoint falls back to an older valid one):
+//
+//	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt -keep 3
 //	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt -kill-step 120   # dies after step 120
 //	orbit-pretrain -steps 200 -ckpt-every 50 -state run.state.orbt -resume run.state.orbt
 //
@@ -33,6 +43,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	orbit "orbit"
 )
@@ -54,7 +65,11 @@ func main() {
 	tokens := flag.Int("tokens", 16, "tokens per sample of the distributed stack (-layout mode)")
 	globalBatch := flag.Int("global-batch", 16, "fixed global batch micro-batched over the data ranks (-layout mode)")
 	ckptDir := flag.String("ckpt-dir", "", "sharded-checkpoint directory (-layout mode; enables fault recovery)")
+	keep := flag.Int("keep", 0, "retain the newest N checkpoint generations for corruption fallback (0 = single checkpoint, overwritten in place)")
 	killNodeStep := flag.Int("kill-node-step", 0, "simulate a whole-node failure at this step (-layout mode)")
+	stallNodeStep := flag.Int("stall-node-step", 0, "simulate a node hanging (not dying) mid-step at this step; the watchdog must detect it (-layout mode)")
+	stepDeadline := flag.Duration("step-deadline", 0, "hang watchdog: declare the run stalled when no rank makes progress for this long (0 disables; -layout mode)")
+	maxRollbacks := flag.Int("max-rollbacks", 2, "divergence supervisor: checkpoint rollbacks to attempt before giving up (-layout mode)")
 	computeScale := flag.Float64("compute-scale", 1e-3, "device-throughput scale for -layout mode: the functional workload is toy-sized, so scaling compute down gives the simulated machine (and the auto-planner) a production compute/communication ratio (1 = full-speed Frontier)")
 	flag.Parse()
 
@@ -68,8 +83,9 @@ func main() {
 	}
 
 	if *layoutFlag != "" {
-		runElastic(*layoutFlag, *nodes, *embed, *heads, *layers, *tokens,
-			*globalBatch, *steps, *ckptEvery, *ckptDir, *killNodeStep, *computeScale)
+		runGuarded(*layoutFlag, *nodes, *embed, *heads, *layers, *tokens,
+			*globalBatch, *steps, *ckptEvery, *keep, *ckptDir,
+			*killNodeStep, *stallNodeStep, *maxRollbacks, *stepDeadline, *computeScale)
 		return
 	}
 
@@ -83,7 +99,13 @@ func main() {
 	var tr *orbit.Trainer
 	done := 0
 	if *resume != "" {
-		st, err := orbit.LoadTrainerState(*resume)
+		// Resume from the newest retained generation that passes
+		// integrity verification — a corrupt newest checkpoint is
+		// quarantined and an older valid one used instead.
+		st, from, quarantined, err := orbit.LoadLatestTrainerState(*resume)
+		for _, q := range quarantined {
+			fmt.Printf("warning: corrupt checkpoint quarantined: %s\n", q)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +114,7 @@ func main() {
 			log.Fatal(err)
 		}
 		done = st.Meta.Step
-		fmt.Printf("resumed from %s at step %d (%d samples)\n", *resume, done, st.Meta.Samples)
+		fmt.Printf("resumed from %s at step %d (%d samples)\n", from, done, st.Meta.Samples)
 	} else {
 		m, err := orbit.NewModel(cfg, tc.Seed)
 		if err != nil {
@@ -122,7 +144,13 @@ func main() {
 		}
 		lastLoss = curve[len(curve)-1].Loss
 		if *ckptEvery > 0 && done%*ckptEvery == 0 && done < *steps {
-			if err := orbit.SaveTrainerState(*statePath, tr, false); err != nil {
+			var err error
+			if *keep > 0 {
+				err = orbit.SaveTrainerStateRetained(*statePath, tr, false, *keep)
+			} else {
+				err = orbit.SaveTrainerState(*statePath, tr, false)
+			}
+			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("checkpoint: step %d -> %s\n", done, *statePath)
@@ -148,17 +176,19 @@ func main() {
 	}
 }
 
-// runElastic is the -layout mode: distributed Hybrid-STOP training of
-// a transformer stack over the simulated cluster, with planner-chosen
-// or explicit parallelism and optional fault injection.
-func runElastic(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatch, steps, ckptEvery int, ckptDir string, killNodeStep int, computeScale float64) {
+// runGuarded is the -layout mode: distributed Hybrid-STOP training of
+// a transformer stack over the simulated cluster under the training-run
+// supervisor — planner-chosen or explicit parallelism, elastic fault
+// recovery, checkpoint-integrity fallback, divergence rollback, and
+// (with -step-deadline) the hang watchdog.
+func runGuarded(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatch, steps, ckptEvery, keep int, ckptDir string, killNodeStep, stallNodeStep, maxRollbacks int, stepDeadline time.Duration, computeScale float64) {
 	cfg := orbit.ElasticConfig{
 		Nodes: nodes,
 		Dim:   dim, Heads: heads, Layers: layers, Tokens: tokens,
 		GlobalBatch: globalBatch,
 		LR:          1e-2, MinLR: 1e-3, WarmupSteps: 2,
 		TotalSteps: steps, Seed: 3, DataSeed: 7,
-		CkptDir: ckptDir, CkptEvery: ckptEvery,
+		CkptDir: ckptDir, CkptEvery: ckptEvery, Keep: keep,
 		ComputeScale: computeScale,
 		Opts:         orbit.DefaultOptions(),
 	}
@@ -185,18 +215,40 @@ func runElastic(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatc
 		cfg.Layout = orbit.Layout{TP: tp, FSDP: fsdp, DDP: ddp}
 	}
 	var inj *orbit.FaultInjector
-	if killNodeStep > 0 {
+	if killNodeStep > 0 || stallNodeStep > 0 {
 		inj = orbit.NewFaultInjector()
-		inj.KillNodeAtStep(cfg.Nodes-1, killNodeStep)
+		if killNodeStep > 0 {
+			inj.KillNodeAtStep(cfg.Nodes-1, killNodeStep)
+		}
+		if stallNodeStep > 0 {
+			if stepDeadline <= 0 {
+				log.Fatal("-stall-node-step needs -step-deadline: a stalled node hangs forever without the watchdog")
+			}
+			inj.StallNodeAtStep(cfg.Nodes-1, stallNodeStep)
+		}
 	}
-	res, err := orbit.RunElastic(cfg, inj)
+	res, err := orbit.RunGuarded(orbit.GuardConfig{
+		Elastic:      cfg,
+		Inj:          inj,
+		StepDeadline: stepDeadline,
+		MaxRollbacks: maxRollbacks,
+	})
+	if res != nil {
+		for _, ev := range res.Events {
+			fmt.Printf("  [step %3d] %-14s %s\n", ev.Step, ev.Kind, ev.Detail)
+		}
+		if res.Elastic != nil {
+			for _, ev := range res.Elastic.Events {
+				fmt.Printf("  [step %3d] %-14s %s\n", ev.Step, ev.Kind, ev.Detail)
+			}
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, ev := range res.Events {
-		fmt.Printf("  [step %3d] %-10s %s\n", ev.Step, ev.Kind, ev.Detail)
-	}
-	fmt.Printf("trained %d steps at final layout TP=%d FSDP=%d DDP=%d on %d nodes (%d rebuilds)\n",
-		steps, res.FinalLayout.TP, res.FinalLayout.FSDP, res.FinalLayout.DDP, res.FinalNodes, res.Rebuilds)
+	el := res.Elastic
+	fmt.Printf("trained %d steps at final layout TP=%d FSDP=%d DDP=%d on %d nodes (%d rebuilds, %d rollbacks, %d watchdog kills)\n",
+		steps, el.FinalLayout.TP, el.FinalLayout.FSDP, el.FinalLayout.DDP, el.FinalNodes, el.Rebuilds,
+		res.Rollbacks, res.WatchdogKills)
 	fmt.Printf("loss: %.4f -> %.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
 }

@@ -16,7 +16,11 @@
 //
 // Format version history: version 1 files are weights-only with no
 // kind byte; version 2 adds a kind byte after the version field and
-// the training-state sections. Version-1 files remain loadable.
+// the training-state sections; version 3 appends a CRC32C checksum to
+// every section (and records per-shard digests in sharded manifests),
+// so loads verify integrity before deserializing — corruption yields
+// a typed *CorruptError, never silently-wrong weights. Version-1 and
+// version-2 files remain loadable.
 package ckpt
 
 import (
@@ -37,8 +41,8 @@ import (
 const magic = "ORBT"
 
 // Version is the current container format version written by Save and
-// SaveTrainState. Readers accept versions 1 and 2.
-const Version = uint32(2)
+// SaveTrainState. Readers accept versions 1 through 3.
+const Version = uint32(3)
 
 // kind bytes distinguishing version-2 payloads.
 const (
@@ -96,37 +100,46 @@ func atomicWrite(path string, body func(io.Writer) error) error {
 }
 
 func write(w io.Writer, m *vit.Model, half bool) error {
-	return writeModel(w, m, half, kindWeights)
+	return writeModel(newCRCWriter(w), m, half, kindWeights)
 }
 
-// writeModel emits the common header + config + parameter sections.
-func writeModel(w io.Writer, m *vit.Model, half bool, kind uint8) error {
-	if _, err := w.Write([]byte(magic)); err != nil {
+// writeModel emits the common header + config + parameter sections,
+// each followed by its CRC32C (version 3). A caller continuing with
+// training-state sections must keep writing through the same
+// crcWriter so its section boundaries line up with the reader's.
+func writeModel(cw *crcWriter, m *vit.Model, half bool, kind uint8) error {
+	if _, err := cw.Write([]byte(magic)); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, Version); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, kind); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, kind); err != nil {
 		return err
 	}
 	cfgJSON, err := json.Marshal(m.Config)
 	if err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(cfgJSON))); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(cfgJSON))); err != nil {
 		return err
 	}
-	if _, err := w.Write(cfgJSON); err != nil {
+	if _, err := cw.Write(cfgJSON); err != nil {
+		return err
+	}
+	if err := cw.section(); err != nil {
 		return err
 	}
 	params := m.Params()
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(params))); err != nil {
 		return err
 	}
 	for _, p := range params {
-		if err := writeParam(w, p, half); err != nil {
+		if err := writeParam(cw, p, half); err != nil {
 			return fmt.Errorf("ckpt: writing %s: %w", p.Name, err)
+		}
+		if err := cw.section(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -167,18 +180,24 @@ func writeParam(w io.Writer, p *nn.Param, half bool) error {
 	return err
 }
 
-// Load reconstructs a model from a checkpoint file. It accepts both
-// version-1 (weights-only) and version-2 files; for a version-2
+// Load reconstructs a model from a checkpoint file. It accepts
+// version-1 (weights-only) through version-3 files; for a
 // training-state checkpoint, the trailing optimizer sections are
-// ignored and just the model is returned.
+// ignored and just the model is returned. Version-3 section checksums
+// are verified before deserializing; any structural or checksum
+// failure is reported as a *CorruptError (environmental errors from
+// opening the file pass through unwrapped).
 func Load(path string) (*vit.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	m, _, err := read(bufio.NewReader(f), fileBudget(f))
-	return m, err
+	m, _, err := read(newCRCReader(bufio.NewReader(f), path), fileBudget(f))
+	if err != nil {
+		return nil, corruptAt(path, err)
+	}
+	return m, nil
 }
 
 // fileBudget returns the file's size, used to bound what a declared
@@ -209,7 +228,7 @@ func readHeader(r io.Reader) (ver uint32, kind uint8, err error) {
 	case 1:
 		// Version 1 has no kind byte and is always weights-only.
 		return ver, kindWeights, nil
-	case 2:
+	case 2, 3:
 		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
 			return 0, 0, fmt.Errorf("ckpt: truncated header: %w", err)
 		}
@@ -258,21 +277,27 @@ func checkLoadable(cfg vit.Config, budget int64) error {
 
 // read parses the header + model sections, leaving the reader at any
 // trailing training-state sections. budget is the total file size,
-// bounding what the declared configuration may allocate.
-func read(r io.Reader, budget int64) (*vit.Model, uint8, error) {
-	_, kind, err := readHeader(r)
+// bounding what the declared configuration may allocate. For
+// version-3 files every section checksum is verified before the
+// section's bytes are deserialized.
+func read(cr *crcReader, budget int64) (*vit.Model, uint8, error) {
+	ver, kind, err := readHeader(cr)
 	if err != nil {
 		return nil, 0, err
 	}
+	cr.check = ver >= 3
 	var cfgLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &cfgLen); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &cfgLen); err != nil {
 		return nil, 0, err
 	}
 	if cfgLen > maxConfigJSON {
 		return nil, 0, fmt.Errorf("ckpt: config section length %d is implausible", cfgLen)
 	}
 	cfgJSON := make([]byte, cfgLen)
-	if _, err := io.ReadFull(r, cfgJSON); err != nil {
+	if _, err := io.ReadFull(cr, cfgJSON); err != nil {
+		return nil, 0, err
+	}
+	if err := cr.section("config"); err != nil {
 		return nil, 0, err
 	}
 	var cfg vit.Config
@@ -287,7 +312,7 @@ func read(r io.Reader, budget int64) (*vit.Model, uint8, error) {
 		return nil, 0, err
 	}
 	var count uint32
-	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
 		return nil, 0, err
 	}
 	params := m.Params()
@@ -295,8 +320,11 @@ func read(r io.Reader, budget int64) (*vit.Model, uint8, error) {
 		return nil, 0, fmt.Errorf("ckpt: %d stored params, model has %d", count, len(params))
 	}
 	for _, p := range params {
-		if err := readParam(r, p); err != nil {
+		if err := readParam(cr, p); err != nil {
 			return nil, 0, fmt.Errorf("ckpt: reading %s: %w", p.Name, err)
+		}
+		if err := cr.section(p.Name); err != nil {
+			return nil, 0, err
 		}
 	}
 	return m, kind, nil

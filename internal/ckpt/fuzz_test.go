@@ -3,6 +3,8 @@ package ckpt
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,6 +14,8 @@ import (
 )
 
 // fuzzSeedModel builds a deterministic tiny checkpoint for seeding.
+// Save writes the current container version, so this is a v3 file with
+// per-section CRC32C trailers.
 func fuzzSeedModel(f *testing.F) []byte {
 	f.Helper()
 	m, err := vit.New(vit.Tiny(2, 8, 8), 1)
@@ -27,6 +31,66 @@ func fuzzSeedModel(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	return b
+}
+
+// fuzzSeedTrainState builds a minimal v3 training-state checkpoint
+// (kind byte 1, train-meta and per-parameter moment sections).
+func fuzzSeedTrainState(f *testing.F) []byte {
+	f.Helper()
+	cfg := vit.Config{Name: "fuzz", Channels: 1, OutChannels: 1,
+		Height: 2, Width: 2, Patch: 2, EmbedDim: 2, Layers: 1, Heads: 1}
+	m, err := vit.New(cfg, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	st := &TrainState{Model: m}
+	for _, p := range m.Params() {
+		st.OptM = append(st.OptM, make([]float32, p.W.Len()))
+		st.OptV = append(st.OptV, make([]float32, p.W.Len()))
+	}
+	path := filepath.Join(f.TempDir(), "seed.state.ckpt")
+	if err := SaveTrainState(path, st, false); err != nil {
+		f.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// v3SectionSeeds derives the PR-7 integrity corpus from a valid v3
+// file: truncations at section/CRC-trailer boundaries, flips inside
+// the config-section CRC, flips in the final section CRC, and a
+// version byte downgraded to 2 so the CRC trailers are misparsed as
+// payload.
+func v3SectionSeeds(f *testing.F, valid []byte) [][]byte {
+	f.Helper()
+	// Header layout: magic(4) + version uint32(4) + kind(1) + cfgLen
+	// uint32(4) + cfgJSON, then the config section's CRC32C trailer.
+	if len(valid) < 17 || binary.LittleEndian.Uint32(valid[4:8]) < 3 {
+		f.Fatalf("seed is not a v3 container (len %d)", len(valid))
+	}
+	cfgLen := int(binary.LittleEndian.Uint32(valid[9:13]))
+	cfgCRC := 13 + cfgLen // config-section CRC32C trailer offset
+	if cfgCRC+4 > len(valid) {
+		f.Fatalf("config section (%d bytes) overruns the %d-byte seed", cfgLen, len(valid))
+	}
+	mut := func(off int, bit byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[off] ^= bit
+		return b
+	}
+	return [][]byte{
+		valid[:cfgCRC],          // truncated before the config CRC
+		valid[:cfgCRC+2],        // truncated inside the config CRC
+		valid[:len(valid)-3],    // truncated inside the final section CRC
+		mut(cfgCRC, 0x01),       // bit flip in the config CRC region
+		mut(cfgCRC+3, 0x80),     //   "
+		mut(len(valid)-1, 0x01), // bit flip in the final section CRC
+		mut(len(valid)-4, 0xff), //   "
+		mut(4, valid[4]^2),      // version byte says 2, CRC trailers still present
+	}
 }
 
 // FuzzLoadModel feeds arbitrary bytes to the checkpoint file readers:
@@ -69,6 +133,25 @@ func FuzzLoadModel(f *testing.F) {
 		mut[off] ^= 0x80
 		f.Add(mut)
 	}
+	// v3 integrity corpus: section-boundary truncations and flips
+	// inside the CRC32C trailers, for both checkpoint kinds. The seeds
+	// with damaged CRC regions are the regression pin for the
+	// fail-closed guarantee: a reader must never deserialize a section
+	// whose trailer it cannot verify.
+	for _, s := range v3SectionSeeds(f, valid) {
+		f.Add(s)
+	}
+	state := fuzzSeedTrainState(f)
+	f.Add(state)
+	for _, s := range v3SectionSeeds(f, state) {
+		f.Add(s)
+	}
+	// Kind byte flipped on a train-state file: the config-section CRC
+	// covers the kind, so this must surface as corruption, not as a
+	// "weights-only checkpoint" usage error.
+	kindFlip := append([]byte(nil), state...)
+	kindFlip[8] ^= 0x01
+	f.Add(kindFlip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
@@ -122,6 +205,11 @@ func FuzzLoadManifest(f *testing.F) {
 	f.Add([]byte(`{"version":2,"layout":{"tp":70000,"fsdp":70000,"ddp":1},"flat_lens":[1],"shards":[]}`))
 	f.Add([]byte(`{"version":2,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[99999999999],"shards":["s.bin"]}`))
 	f.Add([]byte("ORBS\x02\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff"))
+	// PR-7 digest seeds: manifests carrying shard_crcs that cannot
+	// match (wrong digest, wrong count, absurd values).
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":["shard-s1-t0-f0.bin"],"shard_crcs":[3735928559]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":2,"ddp":1},"flat_lens":[8,8],"shards":["shard-s1-t0-f0.bin","shard-s1-t0-f1.bin"],"shard_crcs":[1]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":["shard-s1-t0-f0.bin"],"shard_crcs":[4294967295,0,1]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Scenario 1: the bytes are the manifest.
@@ -156,5 +244,26 @@ func FuzzLoadManifest(f *testing.F) {
 			t.Fatal(err)
 		}
 		_, _, _ = LoadSharded(dir2) // must not panic
+
+		// Scenario 3: the same shard bytes behind a manifest whose
+		// digest is guaranteed wrong (the file's real CRC32C, inverted).
+		// Verification runs before shard parsing, so NO input may load —
+		// and the failure must be the typed corruption error.
+		dir3 := t.TempDir()
+		man3 := man2
+		man3.ShardCRCs = []uint32{^crc32.Checksum(data, castagnoli)}
+		mj3, _ := json.Marshal(man3)
+		if err := os.WriteFile(filepath.Join(dir3, ManifestName), mj3, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir3, "shard-s1-t0-f0.bin"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var corrupt *CorruptError
+		if _, _, err := LoadSharded(dir3); err == nil {
+			t.Fatal("digest-mismatched shard loaded")
+		} else if !errors.As(err, &corrupt) {
+			t.Fatalf("digest mismatch produced %T, want *CorruptError: %v", err, err)
+		}
 	})
 }

@@ -1,0 +1,138 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Retained checkpoint generations. A single latest-only checkpoint is
+// a single point of failure: one flipped bit and the whole run is
+// unrecoverable. SaveTrainStateRetained keeps a ring of the last
+// `keep` step-scoped generation files next to the base path, and
+// LoadLatestValidState walks the ring newest-first, quarantining any
+// generation that fails integrity verification and falling back to
+// the previous good one. The sharded-directory analogue lives in
+// shard.go (SaveShardedKeep / LoadShardedLatestValid).
+
+// quarantineSuffix marks a checkpoint file that failed verification
+// and was set aside so retries and GC never mistake it for live.
+const quarantineSuffix = ".quarantined"
+
+// stateGenPath returns the step-scoped generation path for a base
+// checkpoint path: base.g<step>.
+func stateGenPath(base string, step int) string {
+	return fmt.Sprintf("%s.g%d", base, step)
+}
+
+type stateGen struct {
+	step int
+	path string
+}
+
+// stateGenerations lists base's retained generation files, newest
+// step first.
+func stateGenerations(base string) []stateGen {
+	matches, err := filepath.Glob(base + ".g*")
+	if err != nil {
+		return nil
+	}
+	var gens []stateGen
+	for _, path := range matches {
+		if strings.HasSuffix(path, quarantineSuffix) {
+			continue
+		}
+		step, err := strconv.Atoi(strings.TrimPrefix(path, base+".g"))
+		if err != nil || step < 0 {
+			continue
+		}
+		gens = append(gens, stateGen{step: step, path: path})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].step > gens[j].step })
+	return gens
+}
+
+// SaveTrainStateRetained writes the training state to a step-scoped
+// generation file (base.g<step>), copies it over base as the
+// newest-commit pointer, and prunes generations beyond keep (keep <=
+// 1 retains only the newest). base stays a plain, fully loadable
+// checkpoint for tools that know nothing about generations.
+func SaveTrainStateRetained(base string, st *TrainState, half bool, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	gen := stateGenPath(base, st.Meta.Step)
+	if err := SaveTrainState(gen, st, half); err != nil {
+		return err
+	}
+	// A copy, not a hardlink: a generation and the base pointer must
+	// not share bytes, or corruption of one silently corrupts both.
+	if err := copyFileAtomic(gen, base); err != nil {
+		return err
+	}
+	for i, g := range stateGenerations(base) {
+		if i >= keep {
+			os.Remove(g.path)
+			os.Remove(g.path + quarantineSuffix)
+		}
+	}
+	return nil
+}
+
+// LoadLatestValidState resumes from the newest generation of base
+// that passes integrity verification, trying base itself last (a
+// legacy checkpoint with no generation ring). A generation that fails
+// with *CorruptError is renamed aside with a ".quarantined" suffix
+// and skipped; other errors (a weights-only file, permissions) abort
+// immediately — they are usage or environment problems, not
+// corruption. Returns the state, the path it was loaded from, and
+// the quarantined paths.
+func LoadLatestValidState(base string) (*TrainState, string, []string, error) {
+	var candidates []string
+	for _, g := range stateGenerations(base) {
+		candidates = append(candidates, g.path)
+	}
+	candidates = append(candidates, base)
+	var quarantined []string
+	var lastCorrupt error
+	for _, path := range candidates {
+		st, err := LoadTrainState(path)
+		if err == nil {
+			return st, path, quarantined, nil
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			return nil, "", quarantined, err
+		}
+		lastCorrupt = err
+		if os.Rename(path, path+quarantineSuffix) == nil {
+			quarantined = append(quarantined, path)
+		}
+	}
+	if lastCorrupt != nil {
+		return nil, "", quarantined, fmt.Errorf("ckpt: no valid checkpoint generation at %s: %w", base, lastCorrupt)
+	}
+	return nil, "", quarantined, fmt.Errorf("ckpt: no checkpoint at %s: %w", base, os.ErrNotExist)
+}
+
+// copyFileAtomic copies src over dst with the same temp-and-rename
+// discipline as checkpoint writes.
+func copyFileAtomic(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return atomicWrite(dst, func(w io.Writer) error {
+		_, cerr := io.Copy(w, in)
+		return cerr
+	})
+}

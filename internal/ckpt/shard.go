@@ -1,14 +1,18 @@
 package ckpt
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"orbit/internal/tensor"
 )
@@ -91,6 +95,10 @@ type Manifest struct {
 	RNG tensor.RNGState `json:"rng"`
 	// Shards lists the shard file names (one per (T,F) position).
 	Shards []string `json:"shards"`
+	// ShardCRCs carries the whole-file CRC32C digest of each shard,
+	// aligned with Shards. Written since format version 3; loads of
+	// older manifests (no digests) skip verification.
+	ShardCRCs []uint32 `json:"shard_crcs,omitempty"`
 }
 
 // FlatLensFor returns the logical flat lengths of TP row t.
@@ -137,6 +145,9 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("ckpt: shard name %q is not a bare file name", name)
 		}
 	}
+	if len(m.ShardCRCs) != 0 && len(m.ShardCRCs) != len(m.Shards) {
+		return fmt.Errorf("ckpt: %d shard digests for %d shards", len(m.ShardCRCs), len(m.Shards))
+	}
 	return nil
 }
 
@@ -163,20 +174,43 @@ func ShardFileName(step, t, f int) string {
 // a multiple of the FSDP extent f (parallel.FlattenParams' rule).
 func PaddedLen(l, f int) int { return (l + f - 1) / f * f }
 
-// SaveSharded writes a complete sharded checkpoint into dir, creating
-// it if needed. Shard files (step-scoped names, atomically renamed
-// into place) are written first, the manifest commits last, and only
-// then are shards of superseded steps pruned — so a crash anywhere
-// leaves a loadable checkpoint.
+// GenManifestName returns the step-scoped generation manifest name
+// inside a checkpoint dir. ManifestName stays the newest-commit
+// pointer (a byte-identical copy of the newest generation manifest)
+// so consumers that know nothing about retention — the inference
+// loader — keep working.
+func GenManifestName(step int) string {
+	return fmt.Sprintf("manifest-s%d.json", step)
+}
+
+// SaveSharded writes a complete sharded checkpoint into dir, retaining
+// only the newest generation (SaveShardedKeep with keep=1).
 func SaveSharded(dir string, man *Manifest, shards []*RankShard) error {
+	return SaveShardedKeep(dir, man, shards, 1)
+}
+
+// SaveShardedKeep writes a complete sharded checkpoint into dir,
+// creating it if needed, and retains the newest `keep` generations
+// (keep <= 1 behaves like SaveSharded). Shard files (step-scoped
+// names, atomically renamed into place) are written first — each
+// file's CRC32C digest is recorded in the manifest — then the
+// step-scoped generation manifest, then ManifestName commits as the
+// newest-generation pointer; only then are manifests and shards of
+// expired generations pruned. A crash anywhere leaves a loadable
+// checkpoint.
+func SaveShardedKeep(dir string, man *Manifest, shards []*RankShard, keep int) error {
 	if len(shards) != man.Layout.TP*man.Layout.FSDP {
 		return fmt.Errorf("ckpt: %d shards for a %d×%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+	}
+	if keep < 1 {
+		keep = 1
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	man.Version = int(Version)
 	man.Shards = man.Shards[:0]
+	man.ShardCRCs = man.ShardCRCs[:0]
 	ordered := append([]*RankShard(nil), shards...)
 	sort.Slice(ordered, func(i, j int) bool {
 		if ordered[i].T != ordered[j].T {
@@ -186,34 +220,65 @@ func SaveSharded(dir string, man *Manifest, shards []*RankShard) error {
 	})
 	for _, sh := range ordered {
 		name := ShardFileName(man.Step, sh.T, sh.F)
-		if err := writeShardFile(filepath.Join(dir, name), sh); err != nil {
+		crc, err := writeShardFile(filepath.Join(dir, name), sh)
+		if err != nil {
 			return err
 		}
 		man.Shards = append(man.Shards, name)
+		man.ShardCRCs = append(man.ShardCRCs, crc)
 	}
 	manJSON, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	err = atomicWrite(filepath.Join(dir, ManifestName), func(w io.Writer) error {
-		_, werr := w.Write(manJSON)
-		return werr
-	})
-	if err != nil {
-		return err
+	for _, name := range []string{GenManifestName(man.Step), ManifestName} {
+		err = atomicWrite(filepath.Join(dir, name), func(w io.Writer) error {
+			_, werr := w.Write(manJSON)
+			return werr
+		})
+		if err != nil {
+			return err
+		}
 	}
-	pruneStaleShards(dir, man.Shards)
+	gcGenerations(dir, man, keep)
 	return nil
 }
 
-// pruneStaleShards best-effort removes shard files the committed
-// manifest does not reference (leftovers from superseded saves or
-// crashed attempts).
-func pruneStaleShards(dir string, keep []string) {
-	live := make(map[string]bool, len(keep))
-	for _, name := range keep {
+// gcGenerations prunes generation manifests beyond keep and any shard
+// file no retained manifest references. Best-effort: GC failures must
+// never fail a save.
+func gcGenerations(dir string, cur *Manifest, keep int) {
+	live := make(map[string]bool, len(cur.Shards))
+	for _, name := range cur.Shards {
 		live[name] = true
 	}
+	gens := shardGenerations(dir)
+	retained := 0
+	for _, g := range gens {
+		if g.step == cur.Step {
+			// The generation just written is always retained (and its
+			// shards are already in the live set).
+			continue
+		}
+		if retained < keep-1 {
+			retained++
+			if man, err := readManifest(filepath.Join(dir, GenManifestName(g.step))); err == nil {
+				for _, name := range man.Shards {
+					live[name] = true
+				}
+			}
+			continue
+		}
+		os.Remove(filepath.Join(dir, GenManifestName(g.step)))
+		os.Remove(filepath.Join(dir, GenManifestName(g.step)+quarantineSuffix))
+	}
+	pruneStaleShards(dir, live)
+}
+
+// pruneStaleShards best-effort removes shard files no retained
+// manifest references (leftovers from expired generations or crashed
+// attempts).
+func pruneStaleShards(dir string, live map[string]bool) {
 	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
 	if err != nil {
 		return
@@ -225,46 +290,157 @@ func pruneStaleShards(dir string, keep []string) {
 	}
 }
 
-// LoadSharded reads a checkpoint directory, returning the manifest and
-// all shards in (T,F) order.
-func LoadSharded(dir string) (*Manifest, []*RankShard, error) {
-	manJSON, err := os.ReadFile(filepath.Join(dir, ManifestName))
+type shardGen struct {
+	step int
+}
+
+// shardGenerations lists the generation manifests in dir, newest step
+// first.
+func shardGenerations(dir string) []shardGen {
+	matches, err := filepath.Glob(filepath.Join(dir, "manifest-s*.json"))
 	if err != nil {
-		return nil, nil, err
+		return nil
+	}
+	var gens []shardGen
+	for _, path := range matches {
+		base := filepath.Base(path)
+		step, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "manifest-s"), ".json"))
+		if err != nil || step < 0 {
+			continue
+		}
+		gens = append(gens, shardGen{step: step})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].step > gens[j].step })
+	return gens
+}
+
+// readManifest parses and validates a manifest file. Structural
+// failures come back as *CorruptError.
+func readManifest(path string) (*Manifest, error) {
+	manJSON, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
 	var man Manifest
 	if err := json.Unmarshal(manJSON, &man); err != nil {
-		return nil, nil, fmt.Errorf("ckpt: bad manifest: %w", err)
+		return nil, &CorruptError{Path: path, Section: "manifest", Err: err}
 	}
-	if man.Version != int(Version) {
-		return nil, nil, fmt.Errorf("ckpt: unsupported sharded version %d", man.Version)
+	if man.Version < 2 || man.Version > int(Version) {
+		return nil, &CorruptError{Path: path, Section: "manifest",
+			Err: fmt.Errorf("unsupported sharded version %d", man.Version)}
 	}
 	if err := man.Validate(); err != nil {
-		return nil, nil, err
+		return nil, &CorruptError{Path: path, Section: "manifest", Err: err}
 	}
 	if len(man.Shards) != man.Layout.TP*man.Layout.FSDP {
-		return nil, nil, fmt.Errorf("ckpt: manifest lists %d shards for a %d×%d grid",
-			len(man.Shards), man.Layout.TP, man.Layout.FSDP)
+		return nil, &CorruptError{Path: path, Section: "manifest",
+			Err: fmt.Errorf("manifest lists %d shards for a %d×%d grid", len(man.Shards), man.Layout.TP, man.Layout.FSDP)}
+	}
+	return &man, nil
+}
+
+// LoadSharded reads a checkpoint directory's committed (newest)
+// generation, returning the manifest and all shards in (T,F) order.
+// Shard digests, when the manifest carries them, are verified before
+// any shard byte is deserialized; corruption anywhere yields a
+// *CorruptError.
+func LoadSharded(dir string) (*Manifest, []*RankShard, error) {
+	return loadShardedFrom(dir, ManifestName)
+}
+
+func loadShardedFrom(dir, manifestFile string) (*Manifest, []*RankShard, error) {
+	man, err := readManifest(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, nil, err
 	}
 	var shards []*RankShard
 	for t := 0; t < man.Layout.TP; t++ {
 		for f := 0; f < man.Layout.FSDP; f++ {
-			name := man.Shards[t*man.Layout.FSDP+f]
-			sh, err := readShardFile(filepath.Join(dir, name))
+			i := t*man.Layout.FSDP + f
+			name := man.Shards[i]
+			path := filepath.Join(dir, name)
+			data, err := os.ReadFile(path)
 			if err != nil {
-				return nil, nil, err
+				// A shard the manifest references but the directory lacks
+				// means the generation is incomplete — corruption, not
+				// environment.
+				return nil, nil, &CorruptError{Path: path, Section: "shard file", Err: err}
+			}
+			if len(man.ShardCRCs) > 0 {
+				if got := crc32.Checksum(data, castagnoli); got != man.ShardCRCs[i] {
+					return nil, nil, &CorruptError{Path: path, Section: "shard digest",
+						Err: fmt.Errorf("crc32c mismatch: manifest %08x, file %08x", man.ShardCRCs[i], got)}
+				}
+			}
+			sh, err := readShard(bytes.NewReader(data), path)
+			if err != nil {
+				return nil, nil, corruptAt(path, err)
 			}
 			if sh.T != t || sh.F != f {
-				return nil, nil, fmt.Errorf("ckpt: shard file %s claims position (%d,%d)", name, sh.T, sh.F)
+				return nil, nil, &CorruptError{Path: path,
+					Err: fmt.Errorf("shard file claims position (%d,%d), manifest says (%d,%d)", sh.T, sh.F, t, f)}
 			}
 			if len(sh.Blocks) != len(man.FlatLens) {
-				return nil, nil, fmt.Errorf("ckpt: shard (%d,%d) has %d blocks, manifest has %d",
-					t, f, len(sh.Blocks), len(man.FlatLens))
+				return nil, nil, &CorruptError{Path: path,
+					Err: fmt.Errorf("shard (%d,%d) has %d blocks, manifest has %d", t, f, len(sh.Blocks), len(man.FlatLens))}
 			}
 			shards = append(shards, sh)
 		}
 	}
-	return &man, shards, nil
+	return man, shards, nil
+}
+
+// LoadShardedLatestValid resumes from the newest checkpoint
+// generation in dir that passes digest verification. A generation
+// that fails is quarantined — its manifest renamed aside with a
+// ".quarantined" suffix so nothing loads it again — and the next
+// older generation is tried. On fallback the committed ManifestName
+// pointer is repaired to the good generation. Returns the manifest,
+// shards, and the quarantined manifest names. Directories written
+// before the generation ring existed (bare manifest.json only) load
+// through the same path.
+func LoadShardedLatestValid(dir string) (*Manifest, []*RankShard, []string, error) {
+	gens := shardGenerations(dir)
+	if len(gens) == 0 {
+		man, shards, err := LoadSharded(dir)
+		return man, shards, nil, err
+	}
+	var quarantined []string
+	var lastErr error
+	for _, g := range gens {
+		name := GenManifestName(g.step)
+		man, shards, err := loadShardedFrom(dir, name)
+		if err == nil {
+			if len(quarantined) > 0 {
+				repairCommitPointer(dir, man)
+			}
+			return man, shards, quarantined, nil
+		}
+		lastErr = err
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			return nil, nil, quarantined, err
+		}
+		if os.Rename(filepath.Join(dir, name), filepath.Join(dir, name+quarantineSuffix)) == nil {
+			quarantined = append(quarantined, name)
+		}
+	}
+	return nil, nil, quarantined, fmt.Errorf("ckpt: no valid checkpoint generation in %s: %w", dir, lastErr)
+}
+
+// repairCommitPointer rewrites ManifestName to point at the
+// generation that actually loaded, after newer generations were
+// quarantined. Best-effort: the generation manifests remain the
+// source of truth.
+func repairCommitPointer(dir string, man *Manifest) {
+	manJSON, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return
+	}
+	atomicWrite(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, werr := w.Write(manJSON)
+		return werr
+	})
 }
 
 // HasManifest reports whether dir contains a complete sharded
@@ -356,48 +532,51 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 	return out, nil
 }
 
-func writeShardFile(path string, sh *RankShard) error {
-	return atomicWrite(path, func(w io.Writer) error {
-		if _, err := w.Write([]byte(shardMagic)); err != nil {
+// writeShardFile writes one shard, returning the CRC32C digest of the
+// file's bytes for the manifest.
+func writeShardFile(path string, sh *RankShard) (uint32, error) {
+	var crc uint32
+	err := atomicWrite(path, func(w io.Writer) error {
+		cw := newCRCWriter(w)
+		if _, err := cw.Write([]byte(shardMagic)); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, Version); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint16(sh.T)); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint16(sh.T)); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint16(sh.F)); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint16(sh.F)); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(sh.Blocks))); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(sh.Blocks))); err != nil {
 			return err
 		}
 		for b, blk := range sh.Blocks {
 			if len(blk.M) != len(blk.W) || len(blk.V) != len(blk.W) {
 				return fmt.Errorf("ckpt: shard (%d,%d) block %d has mismatched W/M/V lengths", sh.T, sh.F, b)
 			}
-			if err := writeF32Section(w, blk.W); err != nil {
+			if err := writeF32Section(cw, blk.W); err != nil {
 				return err
 			}
-			if err := writeF32Section(w, blk.M); err != nil {
+			if err := writeF32Section(cw, blk.M); err != nil {
 				return err
 			}
-			if err := writeF32Section(w, blk.V); err != nil {
+			if err := writeF32Section(cw, blk.V); err != nil {
 				return err
 			}
 		}
+		crc = cw.sum
 		return nil
 	})
+	return crc, err
 }
 
-func readShardFile(path string) (*RankShard, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+// readShard parses a shard file's bytes. The binary layout is
+// unchanged since version 2 (integrity is the manifest's whole-file
+// digest, not in-band checksums), so readers accept both.
+func readShard(r io.Reader, path string) (*RankShard, error) {
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, fmt.Errorf("ckpt: truncated shard %s: %w", path, err)
@@ -409,7 +588,7 @@ func readShardFile(path string) (*RankShard, error) {
 	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
 		return nil, err
 	}
-	if ver != Version {
+	if ver < 2 || ver > Version {
 		return nil, fmt.Errorf("ckpt: unsupported shard version %d in %s", ver, path)
 	}
 	var t16, f16 uint16

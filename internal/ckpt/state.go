@@ -42,7 +42,7 @@ type TrainState struct {
 	Meta       TrainMeta
 }
 
-// SaveTrainState writes a version-2 training-state checkpoint. With
+// SaveTrainState writes a version-3 training-state checkpoint. With
 // half=true the weights are stored bfloat16; optimizer moments are
 // always stored float32 (their low bits steer Adam's denominator, so
 // truncating them breaks bit-identical resume). The write is atomic:
@@ -54,24 +54,34 @@ func SaveTrainState(path string, st *TrainState, half bool) error {
 			len(st.OptM), len(st.OptV), len(st.Model.Params()))
 	}
 	return atomicWrite(path, func(w io.Writer) error {
-		if err := writeModel(w, st.Model, half, kindTrain); err != nil {
+		cw := newCRCWriter(w)
+		if err := writeModel(cw, st.Model, half, kindTrain); err != nil {
 			return err
 		}
 		metaJSON, err := json.Marshal(st.Meta)
 		if err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(metaJSON))); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(metaJSON))); err != nil {
 			return err
 		}
-		if _, err := w.Write(metaJSON); err != nil {
+		if _, err := cw.Write(metaJSON); err != nil {
+			return err
+		}
+		if err := cw.section(); err != nil {
 			return err
 		}
 		for i := range st.OptM {
-			if err := writeF32Section(w, st.OptM[i]); err != nil {
+			if err := writeF32Section(cw, st.OptM[i]); err != nil {
 				return err
 			}
-			if err := writeF32Section(w, st.OptV[i]); err != nil {
+			if err := cw.section(); err != nil {
+				return err
+			}
+			if err := writeF32Section(cw, st.OptV[i]); err != nil {
+				return err
+			}
+			if err := cw.section(); err != nil {
 				return err
 			}
 		}
@@ -80,45 +90,57 @@ func SaveTrainState(path string, st *TrainState, half bool) error {
 }
 
 // LoadTrainState reads a training-state checkpoint written by
-// SaveTrainState.
+// SaveTrainState. Version-3 section checksums are verified before
+// deserializing; structural or checksum failures come back as a
+// *CorruptError. Passing a weights-only checkpoint is a usage error,
+// not corruption, and stays a plain error.
 func LoadTrainState(path string) (*TrainState, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	m, kind, err := read(r, fileBudget(f))
+	cr := newCRCReader(bufio.NewReader(f), path)
+	m, kind, err := read(cr, fileBudget(f))
 	if err != nil {
-		return nil, err
+		return nil, corruptAt(path, err)
 	}
 	if kind != kindTrain {
 		return nil, fmt.Errorf("ckpt: %s is a weights-only checkpoint, not a training state", path)
 	}
 	st := &TrainState{Model: m}
 	var metaLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
-		return nil, fmt.Errorf("ckpt: truncated training meta: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, &metaLen); err != nil {
+		return nil, corruptAt(path, fmt.Errorf("ckpt: truncated training meta: %w", err))
 	}
 	if metaLen > maxConfigJSON {
-		return nil, fmt.Errorf("ckpt: training meta length %d is implausible", metaLen)
+		return nil, corruptAt(path, fmt.Errorf("ckpt: training meta length %d is implausible", metaLen))
 	}
 	metaJSON := make([]byte, metaLen)
-	if _, err := io.ReadFull(r, metaJSON); err != nil {
-		return nil, fmt.Errorf("ckpt: truncated training meta: %w", err)
+	if _, err := io.ReadFull(cr, metaJSON); err != nil {
+		return nil, corruptAt(path, fmt.Errorf("ckpt: truncated training meta: %w", err))
+	}
+	if err := cr.section("train meta"); err != nil {
+		return nil, err
 	}
 	if err := json.Unmarshal(metaJSON, &st.Meta); err != nil {
-		return nil, err
+		return nil, corruptAt(path, err)
 	}
 	params := m.Params()
 	for i, p := range params {
-		mBuf, err := readF32Section(r, p.W.Len())
+		mBuf, err := readF32Section(cr, p.W.Len())
 		if err != nil {
-			return nil, fmt.Errorf("ckpt: reading moment m[%d]: %w", i, err)
+			return nil, corruptAt(path, fmt.Errorf("ckpt: reading moment m[%d]: %w", i, err))
 		}
-		vBuf, err := readF32Section(r, p.W.Len())
+		if err := cr.section(fmt.Sprintf("moment m[%d]", i)); err != nil {
+			return nil, err
+		}
+		vBuf, err := readF32Section(cr, p.W.Len())
 		if err != nil {
-			return nil, fmt.Errorf("ckpt: reading moment v[%d]: %w", i, err)
+			return nil, corruptAt(path, fmt.Errorf("ckpt: reading moment v[%d]: %w", i, err))
+		}
+		if err := cr.section(fmt.Sprintf("moment v[%d]", i)); err != nil {
+			return nil, err
 		}
 		st.OptM = append(st.OptM, mBuf)
 		st.OptV = append(st.OptV, vBuf)

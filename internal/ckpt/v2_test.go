@@ -64,7 +64,59 @@ func TestLoadVersion1BackwardCompat(t *testing.T) {
 	}
 }
 
-func TestSaveWritesVersion2(t *testing.T) {
+// writeV2 emits the exact version-2 on-disk format (kind byte, no
+// section checksums), which PR 3–6 builds produced, so the
+// backward-compat contract is pinned against real bytes rather than
+// against the current writer.
+func writeV2(t *testing.T, path string, m *vit.Model, half bool, kind uint8) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(2))
+	buf.WriteByte(kind)
+	cfgJSON, err := json.Marshal(m.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(cfgJSON)))
+	buf.Write(cfgJSON)
+	params := m.Params()
+	binary.Write(&buf, binary.LittleEndian, uint32(len(params)))
+	w := bufio.NewWriter(&buf)
+	for _, p := range params {
+		if err := writeParam(w, p, half); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadVersion2BackwardCompat pins the promise that a version-2
+// file written by an older build — no section checksums — still
+// loads bit-exactly.
+func TestLoadVersion2BackwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2.orbt")
+	m, err := vit.New(vit.Tiny(3, 8, 16), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeV2(t, path, m, false, kindWeights)
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("loading version-2 file: %v", err)
+	}
+	rng := tensor.NewRNG(3)
+	x := tensor.Randn(rng, 1, 3, 8, 16)
+	if !tensor.AllClose(back.Forward(x, 24), m.Forward(x, 24), 0, 0) {
+		t.Error("version-2 fp32 load should be bit exact")
+	}
+}
+
+func TestSaveWritesVersion3(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "m.orbt")
 	m, _ := vit.New(vit.Tiny(2, 8, 8), 1)
@@ -75,8 +127,8 @@ func TestSaveWritesVersion2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := binary.LittleEndian.Uint32(raw[4:8]); got != 2 {
-		t.Errorf("stored version %d, want 2", got)
+	if got := binary.LittleEndian.Uint32(raw[4:8]); got != 3 {
+		t.Errorf("stored version %d, want 3", got)
 	}
 	if raw[8] != kindWeights {
 		t.Errorf("stored kind %d, want weights-only", raw[8])

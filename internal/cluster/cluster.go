@@ -12,6 +12,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Spec describes the hardware characteristics of the simulated
@@ -101,14 +102,29 @@ type Device struct {
 	// memory or health operation, like a node crash noticed at the
 	// next RCCL call).
 	killAtTime float64
+	// stalled / stallAtTime model a hung-but-alive device (stall.go):
+	// operations block on cond until Kill or Resume. cond is created
+	// lazily so Device literals in tests keep working.
+	stalled     bool
+	stallAtTime float64
+	cond        *sync.Cond
+	// lastOp / commWait are straggler-detection signals (stall.go),
+	// atomics so a supervisor polls them without taking d.mu.
+	lastOp   atomic.Int64
+	commWait atomic.Int32
 }
 
 // Kill marks the device dead immediately. Subsequent Alloc,
 // ComputeChecked, and CheckAlive calls return *DeadDeviceError.
+// Operations blocked on a stall are woken and return the error — a
+// kill is the only way a stalled rank's step ever terminates.
 func (d *Device) Kill() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.dead = true
+	if d.cond != nil {
+		d.cond.Broadcast()
+	}
 }
 
 // KillAtTime schedules the device to die once its simulated clock
@@ -158,6 +174,9 @@ func (d *Device) Alloc(bytes int64) error {
 	if d.dead {
 		return &DeadDeviceError{Device: d.ID, Node: d.Node}
 	}
+	if err := d.waitWhileStalledLocked(); err != nil {
+		return err
+	}
 	if d.memUsed+bytes > d.Spec.MemPerGPU {
 		return &OOMError{Device: d.ID, Requested: bytes, Used: d.memUsed, Capacity: d.Spec.MemPerGPU}
 	}
@@ -165,6 +184,7 @@ func (d *Device) Alloc(bytes int64) error {
 	if d.memUsed > d.memPeak {
 		d.memPeak = d.memUsed
 	}
+	d.touchProgress()
 	return nil
 }
 
@@ -178,8 +198,12 @@ func (d *Device) ComputeChecked(flops int64) error {
 	if d.dead {
 		return &DeadDeviceError{Device: d.ID, Node: d.Node}
 	}
+	if err := d.waitWhileStalledLocked(); err != nil {
+		return err
+	}
 	d.flops += flops
 	d.clock += float64(flops) / (d.Spec.PeakFLOPS * d.Spec.Efficiency)
+	d.touchProgress()
 	return nil
 }
 
@@ -215,12 +239,19 @@ func (d *Device) MemPeak() int64 {
 }
 
 // Compute records flops of work and advances the device clock by the
-// corresponding time at sustained throughput.
+// corresponding time at sustained throughput. A stalled device parks
+// the caller like the checked variants; if the stall ends in a kill,
+// Compute returns silently having done no work and the death surfaces
+// at the caller's next checked operation.
 func (d *Device) Compute(flops int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.waitWhileStalledLocked() != nil {
+		return
+	}
 	d.flops += flops
 	d.clock += float64(flops) / (d.Spec.PeakFLOPS * d.Spec.Efficiency)
+	d.touchProgress()
 }
 
 // FLOPs returns the cumulative operation count.
@@ -376,12 +407,14 @@ func (m *Machine) FirstDead() int {
 
 // Fault is one scheduled failure: at simulated-training Step (when
 // Step >= 0) or simulated Time (seconds, when Time > 0), the target
-// device — or the whole Node when Device is negative — is killed.
+// device — or the whole Node when Device is negative — is killed, or
+// stalled when Stall is set (hung-but-alive, see stall.go).
 type Fault struct {
 	Step   int // trigger step; -1 disables step triggering
 	Time   float64
-	Device int // device id, or -1 to kill the whole Node
+	Device int // device id, or -1 to target the whole Node
 	Node   int
+	Stall  bool // stall instead of kill
 }
 
 // FaultInjector schedules device/node kills against a machine. Step
@@ -430,13 +463,19 @@ func (fi *FaultInjector) Arm(m *Machine) {
 			continue
 		}
 		if f.Device >= 0 && f.Device < len(m.Devices) {
-			m.Devices[f.Device].KillAtTime(f.Time)
+			if f.Stall {
+				m.Devices[f.Device].StallAtTime(f.Time)
+			} else {
+				m.Devices[f.Device].KillAtTime(f.Time)
+			}
 		}
 	}
 }
 
 // FireStep triggers every not-yet-fired step fault with Step <= step,
-// returning true when any fired. Call at each training-step boundary.
+// returning true when any kill fired. Call at each training-step
+// boundary. Stall faults fire silently — the training loop noticing a
+// stall at the boundary would defeat the failure mode they model.
 func (fi *FaultInjector) FireStep(m *Machine, step int) bool {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
@@ -445,13 +484,19 @@ func (fi *FaultInjector) FireStep(m *Machine, step int) bool {
 		if fi.fired[i] || f.Step < 0 || f.Step > step {
 			continue
 		}
-		if f.Device >= 0 {
+		switch {
+		case f.Stall && f.Device >= 0:
+			m.StallDevice(f.Device)
+		case f.Stall:
+			m.StallNode(f.Node)
+		case f.Device >= 0:
 			m.KillDevice(f.Device)
-		} else {
+			any = true
+		default:
 			m.KillNode(f.Node)
+			any = true
 		}
 		fi.fired[i] = true
-		any = true
 	}
 	return any
 }

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Stall injection. A stalled device is the insidious failure mode of
+// large clusters: the rank stops making progress — a wedged kernel, a
+// flapping NIC, a throttled straggler — but never reports dead, so
+// health checks (CheckAlive) keep passing while every collective the
+// rank participates in blocks forever. Stalled devices park their
+// callers inside Alloc/Compute until the device is killed (the
+// watchdog's job) or resumed. Detection signals for a supervisor:
+// LastProgress (wall-clock time of the device's last completed local
+// operation) and InCommWait (whether the rank is parked at a
+// collective rendezvous — a waiting rank is a victim, not the
+// straggler).
+
+// Stall marks the device stalled immediately: its next memory or
+// compute operation blocks until Kill or Resume. Health checks still
+// report the device alive — that is the point.
+func (d *Device) Stall() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stalled = true
+}
+
+// StallAtTime schedules the device to stall once its simulated clock
+// reaches t seconds, latched at the next memory or compute operation.
+func (d *Device) StallAtTime(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stallAtTime = t
+}
+
+// Resume clears a stall, waking any blocked operations.
+func (d *Device) Resume() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stalled = false
+	d.stallAtTime = 0
+	if d.cond != nil {
+		d.cond.Broadcast()
+	}
+}
+
+// Stalled reports whether the device is currently stalled.
+func (d *Device) Stalled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evalStallLocked()
+	return d.stalled
+}
+
+// evalStallLocked latches a time-scheduled stall. Caller holds d.mu.
+func (d *Device) evalStallLocked() {
+	if d.stallAtTime > 0 && d.clock >= d.stallAtTime {
+		d.stalled = true
+	}
+}
+
+// waitWhileStalledLocked parks the caller while the device is stalled,
+// returning *DeadDeviceError if the device is (or becomes) dead — the
+// only way out of a stall besides Resume. Caller holds d.mu.
+func (d *Device) waitWhileStalledLocked() error {
+	d.evalStallLocked()
+	for d.stalled && !d.dead {
+		if d.cond == nil {
+			d.cond = sync.NewCond(&d.mu)
+		}
+		d.cond.Wait()
+	}
+	if d.dead {
+		return &DeadDeviceError{Device: d.ID, Node: d.Node}
+	}
+	return nil
+}
+
+// touchProgress records a completed local operation for straggler
+// detection. Wall-clock, not the simulated clock: the watchdog
+// measures real elapsed time, since a stalled simulation advances no
+// simulated time at all.
+func (d *Device) touchProgress() {
+	d.lastOp.Store(time.Now().UnixNano())
+}
+
+// LastProgress returns the wall-clock time of the device's last
+// completed memory or compute operation (zero time if none yet).
+func (d *Device) LastProgress() time.Time {
+	ns := d.lastOp.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// BeginCommWait / EndCommWait bracket a rank parking at a collective
+// rendezvous, so a supervisor can tell waiting victims from the
+// straggler they are waiting on.
+func (d *Device) BeginCommWait() { d.commWait.Add(1) }
+
+// EndCommWait ends a BeginCommWait bracket.
+func (d *Device) EndCommWait() { d.commWait.Add(-1) }
+
+// InCommWait reports whether the rank driving this device is parked
+// in a collective wait.
+func (d *Device) InCommWait() bool { return d.commWait.Load() > 0 }
+
+// StallDevice stalls device id (no-op for out-of-range ids, matching
+// KillDevice).
+func (m *Machine) StallDevice(id int) {
+	if id >= 0 && id < len(m.Devices) {
+		m.Devices[id].Stall()
+	}
+}
+
+// StallNode stalls every device on a node.
+func (m *Machine) StallNode(node int) {
+	for _, d := range m.Devices {
+		if d.Node == node {
+			d.Stall()
+		}
+	}
+}
+
+// StallDeviceAtStep schedules device id to stall at the given step.
+func (fi *FaultInjector) StallDeviceAtStep(id, step int) {
+	fi.add(Fault{Step: step, Device: id, Node: -1, Stall: true})
+}
+
+// StallNodeAtStep schedules a whole node to stall at the given step.
+func (fi *FaultInjector) StallNodeAtStep(node, step int) {
+	fi.add(Fault{Step: step, Device: -1, Node: node, Stall: true})
+}
+
+// StallDeviceAtTime schedules device id to stall when its simulated
+// clock reaches t seconds; call Arm after (re)building the machine.
+func (fi *FaultInjector) StallDeviceAtTime(id int, t float64) {
+	fi.add(Fault{Step: -1, Time: t, Device: id, Node: -1, Stall: true})
+}

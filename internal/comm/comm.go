@@ -123,20 +123,29 @@ type Handle struct {
 
 // Wait blocks until the collective completes, then advances the
 // rank's simulated clock to the completion time (attributing the gap
-// to communication — zero if local compute already passed it).
+// to communication — zero if local compute already passed it). On a
+// poisoned group Wait panics with Poisoned (see poison.go); the
+// blocked span is bracketed on the rank's device so a supervisor can
+// tell a waiting victim from the straggler it waits on.
 func (h Handle) Wait() {
 	g := h.g
+	d := g.devices[h.rank]
 	g.mu.Lock()
 	p := h.p
 	for !p.done {
+		if g.poisoned {
+			g.mu.Unlock()
+			panic(Poisoned{})
+		}
+		d.BeginCommWait()
 		g.cond.Wait()
+		d.EndCommWait()
 	}
 	completion := p.completion
 	p.waited++
 	if p.waited == len(g.devices) {
 		g.recycle(p)
 	}
-	d := g.devices[h.rank]
 	g.mu.Unlock()
 	d.AdvanceTo(completion, 0)
 }
@@ -159,6 +168,10 @@ type Group struct {
 	// latest collective; in-flight collectives serialize behind it.
 	streamFree float64
 	scratch    []float64 // float64 accumulation for reductions
+	// poisoned permanently aborts the group: posts and waits panic with
+	// Poisoned so a dead rank's peers unwind instead of blocking forever
+	// (poison.go).
+	poisoned bool
 }
 
 // NewGroup builds a communicator. The cost model uses intra-node link
@@ -267,6 +280,10 @@ func (g *Group) postShared(op opKind, rank int, in []float32, scale, cost float6
 func (g *Group) postMode(op opKind, rank int, in, dst []float32, scale, cost float64, shared bool) Handle {
 	clk := g.devices[rank].Clock()
 	g.mu.Lock()
+	if g.poisoned {
+		g.mu.Unlock()
+		panic(Poisoned{})
+	}
 	seq := g.postSeq[rank]
 	g.postSeq[rank]++
 	p := g.pendingFor(seq, op, scale, cost)
@@ -292,10 +309,17 @@ func (g *Group) postMode(op opKind, rank int, in, dst []float32, scale, cost flo
 // this rank's result buffer.
 func (h Handle) waitShared() []float32 {
 	g := h.g
+	d := g.devices[h.rank]
 	g.mu.Lock()
 	p := h.p
 	for !p.done {
+		if g.poisoned {
+			g.mu.Unlock()
+			panic(Poisoned{})
+		}
+		d.BeginCommWait()
 		g.cond.Wait()
+		d.EndCommWait()
 	}
 	completion := p.completion
 	out := p.dsts[h.rank]
@@ -303,7 +327,6 @@ func (h Handle) waitShared() []float32 {
 	if p.waited == len(g.devices) {
 		g.recycle(p)
 	}
-	d := g.devices[h.rank]
 	g.mu.Unlock()
 	d.AdvanceTo(completion, 0)
 	return out

@@ -1,0 +1,29 @@
+package comm
+
+// Group poisoning. Handle.Wait blocks until the last rank of the
+// group posts; a rank that dies (or stalls and is killed) mid-step
+// therefore strands every peer waiting on it — forever, since a dead
+// rank posts nothing. Poison is the tear-down escape hatch: a rank
+// that hits a device error poisons its groups, which wakes every
+// blocked peer; each wakes with a Poisoned panic, unwinds its step
+// (poisoning its own groups on the way out, so the abort propagates
+// transitively across the whole grid), and the step loop converts the
+// unwound step into the elastic rebuild path. Poisoned groups are
+// permanently unusable — the rebuild constructs fresh ones.
+
+// Poisoned is the panic payload thrown by collective operations on a
+// poisoned group. Step drivers recover it at the rank-goroutine
+// boundary and convert it into an error; any other panic passes
+// through untouched.
+type Poisoned struct{}
+
+func (Poisoned) Error() string { return "comm: collective aborted: group poisoned by a failed rank" }
+
+// Poison marks the group dead and wakes every rank blocked in a
+// collective wait. Idempotent and safe from any goroutine.
+func (g *Group) Poison() {
+	g.mu.Lock()
+	g.poisoned = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

@@ -512,3 +512,17 @@ func (e *Engine) ddpBucketedReduce() {
 func (e *Engine) AverageLoss(local float64) float64 {
 	return e.Groups.All.AllReduceScalar(e.Rank, local) / float64(e.Groups.All.Size())
 }
+
+// PoisonComm aborts every collective this rank's communicators may
+// block on: peers of a failed rank wake with a comm.Poisoned panic
+// instead of waiting forever on a post that will never come. Each
+// unwinding peer poisons its own groups in turn, so the abort
+// propagates transitively across the whole TP×FSDP×DDP grid. The
+// engine (and the shared groups) are unusable afterwards — the
+// elastic rebuild path constructs fresh ones.
+func (e *Engine) PoisonComm() {
+	e.Groups.TP.Poison()
+	e.Groups.FSDP.Poison()
+	e.Groups.DDP.Poison()
+	e.Groups.All.Poison()
+}

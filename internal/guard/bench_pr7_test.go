@@ -1,0 +1,153 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"orbit/internal/ckpt"
+	"orbit/internal/core"
+	"orbit/internal/train"
+	"orbit/internal/vit"
+)
+
+// TestBenchPR7 is the PR 7 resilience-overhead measurement, env-gated
+// so `go test ./...` stays fast. Run via `make bench-pr7`
+// (scripts/bench_pr7.sh), which records the results into
+// BENCH_PR7.json.
+//
+// Two measurements:
+//
+//   - Guarded-step overhead: the SAME elastic workload run bare
+//     (train.RunElastic) and under the full supervisor (sentinel
+//     armed, watchdog polling on a 5 s deadline), interleaved
+//     repetitions, median ms/step. The supervision tax — per-micro
+//     heartbeats, the host-side gradient-norm reduction, and the EWMA
+//     check — must stay under 5%.
+//
+//   - Checkpoint throughput: v3 single-file training-state save
+//     (CRC32C sections computed inline) and load (every section
+//     verified before deserialization), median MB/s over a ~10 MB
+//     state.
+func TestBenchPR7(t *testing.T) {
+	out := os.Getenv("ORBIT_BENCH_PR7")
+	if out == "" {
+		t.Skip("set ORBIT_BENCH_PR7=<output.json> to run the PR 7 measurement")
+	}
+
+	const reps = 5
+	stepCfg := func() train.ElasticConfig {
+		return train.ElasticConfig{
+			Layout: core.Layout{TP: 1, FSDP: 2, DDP: 2}, Nodes: 1, GPUsPerNode: 8,
+			Dim: 64, Heads: 4, Layers: 2, Tokens: 16,
+			GlobalBatch: 8, LR: 1e-2, MinLR: 1e-3, WarmupSteps: 2,
+			TotalSteps: 24, Seed: 3, DataSeed: 7,
+			// No periodic checkpoints: the timed region isolates the
+			// per-step supervision tax.
+			CkptDir: t.TempDir(), CkptEvery: 0,
+			Opts: core.DefaultOptions(),
+		}
+	}
+
+	var bareMS, guardMS []float64
+	for rep := 0; rep < reps; rep++ {
+		// Interleave the two arms so host drift hits both equally.
+		cfgB := stepCfg()
+		start := time.Now()
+		if _, err := train.RunElastic(cfgB, nil); err != nil {
+			t.Fatal(err)
+		}
+		bareMS = append(bareMS, float64(time.Since(start).Milliseconds())/float64(cfgB.TotalSteps))
+
+		cfgG := stepCfg()
+		start = time.Now()
+		if _, err := Run(Config{Elastic: cfgG, StepDeadline: 5 * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+		guardMS = append(guardMS, float64(time.Since(start).Milliseconds())/float64(cfgG.TotalSteps))
+	}
+	bare, guarded := median(bareMS), median(guardMS)
+	overheadPct := (guarded - bare) / bare * 100
+	t.Logf("step: unguarded %.3f ms, guarded %.3f ms, overhead %.2f%%", bare, guarded, overheadPct)
+	if overheadPct >= 5 {
+		t.Errorf("guarded-step overhead %.2f%% >= 5%% budget", overheadPct)
+	}
+
+	// Checkpoint save/verify/load throughput on a ~10 MB v3 state.
+	mcfg := vit.Config{Name: "bench", Channels: 2, OutChannels: 2,
+		Height: 16, Width: 32, Patch: 4, EmbedDim: 128, Layers: 4, Heads: 4}
+	m, err := vit.New(mcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &ckpt.TrainState{Model: m}
+	for _, p := range m.Params() {
+		st.OptM = append(st.OptM, make([]float32, p.W.Len()))
+		st.OptV = append(st.OptV, make([]float32, p.W.Len()))
+	}
+	path := filepath.Join(t.TempDir(), "bench.state.orbt")
+	var saveMS, loadMS []float64
+	var sizeBytes int64
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		if err := ckpt.SaveTrainState(path, st, false); err != nil {
+			t.Fatal(err)
+		}
+		saveMS = append(saveMS, float64(time.Since(start).Microseconds())/1000)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizeBytes = fi.Size()
+		start = time.Now()
+		if _, err := ckpt.LoadTrainState(path); err != nil {
+			t.Fatal(err)
+		}
+		loadMS = append(loadMS, float64(time.Since(start).Microseconds())/1000)
+	}
+	mb := float64(sizeBytes) / (1 << 20)
+	saveMBs := mb / (median(saveMS) / 1000)
+	loadMBs := mb / (median(loadMS) / 1000)
+	t.Logf("ckpt: %.1f MB, save %.0f MB/s, verify+load %.0f MB/s", mb, saveMBs, loadMBs)
+
+	report := map[string]any{
+		"bench":     "pr7_training_resilience",
+		"date":      time.Now().UTC().Format("2006-01-02"),
+		"reps":      reps,
+		"benchmark": "guarded vs unguarded elastic step (1x2x2, dim 64, 24 steps); v3 train-state checkpoint save / verified load",
+		"step_overhead": map[string]any{
+			"unguarded_ms_per_step": round3(bare),
+			"guarded_ms_per_step":   round3(guarded),
+			"overhead_pct":          round3(overheadPct),
+			"budget_pct":            5,
+		},
+		"checkpoint": map[string]any{
+			"state_bytes":            sizeBytes,
+			"save_mb_per_s":          round3(saveMBs),
+			"verified_load_mb_per_s": round3(loadMBs),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("benchpr7: wrote %s\n", out)
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

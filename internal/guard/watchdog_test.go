@@ -1,0 +1,145 @@
+package guard
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orbit/internal/cluster"
+)
+
+func TestSentinelTriggers(t *testing.T) {
+	s := &sentinel{alpha: 0.3, spike: 10, warmup: 2}
+	for step, gn := range []float64{1.0, 1.1, 0.9} {
+		if err := s.check(step, 0.5, gn); err != nil {
+			t.Fatalf("healthy step %d flagged: %v", step, err)
+		}
+	}
+	err := s.check(3, 0.5, 50) // ~50× the EWMA, warmup passed
+	var div *DivergenceError
+	if !asDivergence(err, &div) || div.Reason != "grad norm spike" {
+		t.Fatalf("spike not flagged: %v", err)
+	}
+	if err := s.check(3, math.NaN(), 1); err == nil {
+		t.Fatal("NaN loss not flagged")
+	}
+	if err := s.check(3, 0.5, math.Inf(1)); err == nil {
+		t.Fatal("Inf grad norm not flagged")
+	}
+	// Reset clears the spike memory: the same norm that spiked is the
+	// new baseline.
+	s.reset()
+	if err := s.check(4, 0.5, 50); err != nil {
+		t.Fatalf("post-reset baseline flagged: %v", err)
+	}
+}
+
+func TestSentinelSpikeUnarmedDuringWarmup(t *testing.T) {
+	s := &sentinel{alpha: 0.3, spike: 10, warmup: 3}
+	if err := s.check(0, 0.5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// A huge jump inside warmup is tolerated (loss-landscape cliffs at
+	// initialization are normal); only non-finite values trip here.
+	if err := s.check(1, 0.5, 1.0); err != nil {
+		t.Fatalf("warmup spike flagged: %v", err)
+	}
+}
+
+func TestSaltValueDeterministicNonZero(t *testing.T) {
+	a := saltValue(7, 1, 6)
+	if a != saltValue(7, 1, 6) {
+		t.Fatal("saltValue not deterministic")
+	}
+	if a == 0 {
+		t.Fatal("saltValue returned 0 (a no-op XOR)")
+	}
+	if a == saltValue(7, 2, 6) {
+		t.Fatal("different attempts must produce different salts")
+	}
+}
+
+func TestPickStragglerPrefersNonWaiting(t *testing.T) {
+	m := cluster.NewMachine(cluster.Frontier(), 1, 4)
+	d := m.Devices
+	// d0: victim parked at a rendezvous (old progress, in comm wait);
+	// d1: straggler (old progress, NOT waiting); d2: recently active.
+	d[0].Compute(1)
+	d[1].Compute(1)
+	d[0].BeginCommWait()
+	time.Sleep(2 * time.Millisecond)
+	d[2].Compute(1)
+	if got := pickStraggler(d[:3]); got != d[1] {
+		t.Fatalf("picked device %d, want straggler 1", got.ID)
+	}
+	// With the straggler dead, any non-waiting rank still outranks the
+	// waiting one, regardless of age.
+	d[1].Kill()
+	if got := pickStraggler(d[:3]); got != d[2] {
+		t.Fatalf("picked device %d, want non-waiting 2", got.ID)
+	}
+	// Only a waiting rank left: the fallback shoots it anyway —
+	// over-killing beats hanging forever.
+	d[2].Kill()
+	if got := pickStraggler(d[:3]); got != d[0] {
+		t.Fatalf("fallback picked device %d, want 0", got.ID)
+	}
+	d[0].Kill()
+	if got := pickStraggler(d[:3]); got != nil {
+		t.Fatalf("all dead: picked device %d, want nil", got.ID)
+	}
+}
+
+func TestWatchdogKillBudgetExhaustedKillsMachine(t *testing.T) {
+	// Two single-device nodes: the first verdict evicts one node, the
+	// exhausted budget then kills the other.
+	m := cluster.NewMachine(cluster.Frontier(), 2, 1)
+	var mu sync.Mutex
+	var details []string
+	w := newWatchdog(10*time.Millisecond, 5*time.Millisecond, 1, 1,
+		func(step int, detail string) {
+			mu.Lock()
+			details = append(details, detail)
+			mu.Unlock()
+		})
+	defer w.stop()
+	w.watch(m, 2)
+	// Nothing ever progresses: the watchdog kills its one allowed
+	// victim, then — still no progress — gives up by killing the rest.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.FirstDead() < 0 || m.Devices[0].Alive() || m.Devices[1].Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never exhausted its budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(details) < 2 {
+		t.Fatalf("want a kill and a giveup notification, got %v", details)
+	}
+	if !strings.Contains(details[len(details)-1], "exhausted") {
+		t.Fatalf("last notification should report the exhausted budget: %v", details)
+	}
+}
+
+func TestMergeLossesOverlaysExecutedSteps(t *testing.T) {
+	dst := []float64{1, 2, 3, 4}
+	mergeLosses(dst, []float64{0, 0, 30, 40})
+	want := []float64{1, 2, 30, 40}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func asDivergence(err error, div **DivergenceError) bool {
+	d, ok := err.(*DivergenceError)
+	if ok {
+		*div = d
+	}
+	return ok
+}

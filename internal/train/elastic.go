@@ -1,11 +1,14 @@
 package train
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"orbit/internal/ckpt"
 	"orbit/internal/cluster"
+	"orbit/internal/comm"
 	"orbit/internal/core"
 	"orbit/internal/nn"
 	"orbit/internal/optim"
@@ -83,6 +86,22 @@ type ElasticConfig struct {
 	CkptEvery int
 	// Resume starts from CkptDir's checkpoint when one exists.
 	Resume bool
+	// Keep is how many checkpoint generations to retain in CkptDir
+	// (0 or 1 = newest only). With Keep > 1 a corrupt newest
+	// generation is quarantined on load and the run falls back to the
+	// next retained one instead of dying.
+	Keep int
+
+	// StepSalt perturbs the data-stream seed of individual steps
+	// (stepSeed ^= StepSalt[step]) without consuming extra RNG draws,
+	// so the checkpointed stream stays aligned. The supervisor uses it
+	// to advance a rolled-back run past a data-dependent bad window:
+	// every later step still sees its original seed.
+	StepSalt map[int]uint64
+
+	// Hooks are the supervisor's observation points; nil runs
+	// unsupervised with zero overhead.
+	Hooks *Hooks
 
 	// AutoPlan consults the parallelism auto-planner (internal/plan)
 	// on every rebuild after a node loss, replacing the fixed
@@ -196,7 +215,7 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 	resume := cfg.Resume && cfg.CkptDir != "" && ckpt.HasManifest(cfg.CkptDir)
 	for {
 		if err := j.build(resume); err != nil {
-			return nil, err
+			return j.res, err
 		}
 		if resume {
 			j.event(j.step, "resume", fmt.Sprintf("layout TP=%d FSDP=%d DDP=%d on %d nodes",
@@ -204,7 +223,9 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 		}
 		restart, err := j.trainUntilFaultOrDone()
 		if err != nil {
-			return nil, err
+			// Partial result: the supervisor reads the events and losses
+			// accumulated up to the abort.
+			return j.res, err
 		}
 		if !restart {
 			break
@@ -237,8 +258,19 @@ func (j *elasticJob) trainUntilFaultOrDone() (restart bool, err error) {
 		}
 		loss, err := j.runStep()
 		if err != nil {
-			// A failure that surfaced from inside the step (e.g. OOM on
-			// rebuild-sized devices) is not recoverable by shrinking.
+			if j.isMidStepFault(err) {
+				// A device died (or a stalled rank was shot by the
+				// watchdog) in the middle of the step: the surviving
+				// ranks unwound via group poisoning, so the machine is
+				// quiescent and the elastic rebuild path applies.
+				j.event(j.step, "fault", fmt.Sprintf("mid-step failure: %v", err))
+				if err := j.handleFault(); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+			// Anything else (e.g. OOM on rebuild-sized devices, a
+			// supervisor abort) is not recoverable by shrinking.
 			return false, err
 		}
 		j.res.Losses[j.step] = loss
@@ -251,6 +283,18 @@ func (j *elasticJob) trainUntilFaultOrDone() (restart bool, err error) {
 		}
 	}
 	return false, nil
+}
+
+// isMidStepFault reports whether a step error is a device failure the
+// elastic rebuild can recover from: either a rank saw its own device
+// die, or every surviving rank only reported peer-abort collateral and
+// the machine confirms a death.
+func (j *elasticJob) isMidStepFault(err error) bool {
+	var dde *cluster.DeadDeviceError
+	if errors.As(err, &dde) {
+		return true
+	}
+	return errors.Is(err, errPeerAborted) && j.machine.FirstDead() >= 0
 }
 
 // handleFault records the failure and shrinks the job to the surviving
@@ -367,6 +411,12 @@ func (j *elasticJob) build(resume bool) error {
 			j.accum[r][b] = make([]float32, c.W.Len())
 		}
 	}
+	if h := j.cfg.Hooks; h != nil && h.OnBuild != nil {
+		// Before load(): the supervisor must see the machine (and, in
+		// tests, get a chance to corrupt a checkpoint) before the load
+		// path runs.
+		h.OnBuild(j.machine, j.layout)
+	}
 	if resume {
 		return j.load()
 	}
@@ -413,13 +463,22 @@ func (j *elasticJob) save() error {
 		}
 		shards = append(shards, sh)
 	}
-	return ckpt.SaveSharded(j.cfg.CkptDir, man, shards)
+	keep := j.cfg.Keep
+	if keep < 1 {
+		keep = 1
+	}
+	return ckpt.SaveShardedKeep(j.cfg.CkptDir, man, shards, keep)
 }
 
-// load restores the newest checkpoint into the freshly built engines,
-// resharding when the saved FSDP extent differs from the current one.
+// load restores the newest *valid* checkpoint into the freshly built
+// engines, resharding when the saved FSDP extent differs from the
+// current one. A corrupt generation is quarantined and the next
+// retained one used instead (see ckpt.LoadShardedLatestValid).
 func (j *elasticJob) load() error {
-	man, shards, err := ckpt.LoadSharded(j.cfg.CkptDir)
+	man, shards, quarantined, err := ckpt.LoadShardedLatestValid(j.cfg.CkptDir)
+	for _, q := range quarantined {
+		j.event(j.step, "quarantine", fmt.Sprintf("corrupt checkpoint generation quarantined: %s", q))
+	}
 	if err != nil {
 		return err
 	}
@@ -463,9 +522,24 @@ func (j *elasticJob) load() error {
 	return nil
 }
 
-// runStep executes one SPMD optimizer step over the global batch.
+// runStep executes one SPMD optimizer step over the global batch, in
+// two phases with the supervisor hooks between them:
+//
+//	A. every rank forward/backwards its micro-batches, accumulating
+//	   gradients into j.accum (no weight mutation);
+//	B. host hooks run (GradHook, then the grad norm + OnStep verdict);
+//	C. every rank copies its accumulator into the chunk grads and
+//	   applies the optimizer.
+//
+// Because weights only change in phase C, an OnStep abort leaves the
+// model exactly at the last step boundary — clean for rollback. The
+// math is identical to the single-phase form: the per-rank sequence of
+// float operations is unchanged.
 func (j *elasticJob) runStep() (float64, error) {
 	stepSeed := j.dataRNG.Uint64() // exactly one draw per step (checkpointed stream)
+	if salt, ok := j.cfg.StepSalt[j.step]; ok {
+		stepSeed ^= salt
+	}
 	dataRanks := j.layout.FSDP * j.layout.DDP
 	micros := j.cfg.GlobalBatch / dataRanks
 	lr := j.sched.LR(j.step)
@@ -477,14 +551,30 @@ func (j *elasticJob) runStep() (float64, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = j.rankStep(rank, stepSeed, micros, lr, &losses[rank])
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(comm.Poisoned); ok {
+						// A peer failed and poisoned a shared group;
+						// propagate the abort to this rank's other
+						// groups and unwind quietly.
+						j.engines[rank].PoisonComm()
+						errs[rank] = errPeerAborted
+						return
+					}
+					panic(rec)
+				}
+			}()
+			if err := j.rankAccumulate(rank, stepSeed, micros, &losses[rank]); err != nil {
+				// This rank's own device failed mid-collective: peers
+				// are (or will be) stranded in waits — wake them.
+				j.engines[rank].PoisonComm()
+				errs[rank] = err
+			}
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
+	if err := stepError(errs); err != nil {
+		return 0, err
 	}
 	// Host-side loss averaging over the data ranks (deterministic
 	// order; TP peers duplicate their sample's loss).
@@ -494,13 +584,70 @@ func (j *elasticJob) runStep() (float64, error) {
 			total += losses[r]
 		}
 	}
-	return total / float64(dataRanks), nil
+	loss := total / float64(dataRanks)
+	if h := j.cfg.Hooks; h != nil {
+		if h.GradHook != nil {
+			for r := range j.engines {
+				h.GradHook(j.step, stepSeed, r, j.accum[r])
+			}
+		}
+		if h.OnStep != nil {
+			if err := h.OnStep(j.step, loss, j.gradNorm()); err != nil {
+				return 0, fmt.Errorf("train: step %d vetoed by supervisor: %w", j.step, err)
+			}
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for b, cp := range j.engines[rank].Chunks() {
+				copy(cp.Grad.Data(), j.accum[rank][b])
+			}
+			j.opts[rank].Step(lr)
+		}(r)
+	}
+	wg.Wait()
+	return loss, nil
 }
 
-// rankStep is one rank's contribution: `micros` forward/backward
-// passes with gradient accumulation, then the optimizer step on the
-// rank-owned chunks.
-func (j *elasticJob) rankStep(rank int, stepSeed uint64, micros int, lr float64, lossOut *float64) error {
+// gradNorm is the global L2 norm of the step's accumulated gradient,
+// summed over the D=0 plane (whose (T,F) chunks partition the logical
+// parameters exactly once; DDP replicas are identical). Computed only
+// when an OnStep hook wants it.
+func (j *elasticJob) gradNorm() float64 {
+	// One rank per goroutine: the reduction runs every supervised step
+	// and is the dominant term of the supervision tax on small models.
+	sums := make([]float64, len(j.engines))
+	var wg sync.WaitGroup
+	for r, e := range j.engines {
+		if e.Coord.D != 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var s float64
+			for _, a := range j.accum[r] {
+				for _, v := range a {
+					s += float64(v) * float64(v)
+				}
+			}
+			sums[r] = s
+		}(r)
+	}
+	wg.Wait()
+	var sum float64
+	for _, s := range sums {
+		sum += s
+	}
+	return math.Sqrt(sum)
+}
+
+// rankAccumulate is one rank's phase A: `micros` forward/backward
+// passes with gradient accumulation into j.accum. Weights and
+// optimizer state are untouched — phase C applies them.
+func (j *elasticJob) rankAccumulate(rank int, stepSeed uint64, micros int, lossOut *float64) error {
 	e := j.engines[rank]
 	c := e.Coord
 	dataRank := c.D*j.layout.FSDP + c.F
@@ -511,9 +658,14 @@ func (j *elasticJob) rankStep(rank int, stepSeed uint64, micros int, lr float64,
 			accum[b][i] = 0
 		}
 	}
+	beat := func(int, int) {}
+	if h := j.cfg.Hooks; h != nil && h.OnBeat != nil {
+		beat = h.OnBeat
+	}
 	invMicros := float32(1) / float32(micros)
 	var lossSum float64
 	for mu := 0; mu < micros; mu++ {
+		beat(rank, j.step)
 		x, tgt := elasticSample(stepSeed, dataRank*micros+mu, j.cfg.Tokens, j.cfg.Dim)
 		y, err := e.Forward(x)
 		if err != nil {
@@ -534,10 +686,6 @@ func (j *elasticJob) rankStep(rank int, stepSeed uint64, micros int, lr float64,
 			}
 		}
 	}
-	for b, cp := range chunks {
-		copy(cp.Grad.Data(), accum[b])
-	}
-	j.opts[rank].Step(lr)
 	*lossOut = lossSum
 	return nil
 }

@@ -65,6 +65,7 @@ import (
 	"orbit/internal/cluster"
 	"orbit/internal/core"
 	"orbit/internal/experiments"
+	"orbit/internal/guard"
 	"orbit/internal/infer"
 	"orbit/internal/perf"
 	"orbit/internal/plan"
@@ -146,6 +147,59 @@ func NewFaultInjector() *FaultInjector { return cluster.NewFaultInjector() }
 func RunElastic(cfg ElasticConfig, inj *FaultInjector) (*ElasticResult, error) {
 	return train.RunElastic(cfg, inj)
 }
+
+// SaveTrainerStateRetained checkpoints a trainer's training state as a
+// retained generation ring: the newest `keep` generations survive
+// alongside the committed base checkpoint, so a corrupted newest file
+// still leaves an older valid one to fall back to.
+func SaveTrainerStateRetained(path string, t *Trainer, half bool, keep int) error {
+	return ckpt.SaveTrainStateRetained(path, t.CaptureState(), half, keep)
+}
+
+// LoadLatestTrainerState loads the newest retained training-state
+// generation at base path `path` that passes integrity verification,
+// quarantining (renaming aside) any corrupt newer generations it had
+// to skip. It returns the state, the file it actually loaded, and the
+// quarantined paths. A plain single-file checkpoint (no generations)
+// loads as the base generation.
+func LoadLatestTrainerState(path string) (*TrainState, string, []string, error) {
+	return ckpt.LoadLatestValidState(path)
+}
+
+// CheckpointCorruptError is the typed error every checkpoint reader
+// returns when a file fails integrity verification (CRC32C section or
+// shard-digest mismatch, truncation, malformed structure); match it
+// with errors.As to distinguish corruption from usage errors.
+type CheckpointCorruptError = ckpt.CorruptError
+
+// --- training-run supervision ---
+
+// GuardConfig configures a supervised training run: the wrapped
+// elastic job plus the divergence-rollback policy (spike factor,
+// rollback budget, data-salt window) and the hang/straggler watchdog
+// (step deadline, kill budget).
+type GuardConfig = guard.Config
+
+// GuardResult reports a supervised run: merged losses across rollback
+// attempts, supervisor events, and the per-attempt elastic results.
+type GuardResult = guard.Result
+
+// GuardEvent is one supervisor decision (divergence, rollback, salt,
+// watchdog-kill, giveup).
+type GuardEvent = guard.Event
+
+// DivergenceError describes the unhealthy step that triggered a
+// rollback (non-finite loss/grad norm, or a gradient-norm spike).
+type DivergenceError = guard.DivergenceError
+
+// TrainHooks are the observation points RunGuarded composes with; user
+// code may layer its own on GuardConfig.Elastic.Hooks.
+type TrainHooks = train.Hooks
+
+// RunGuarded executes a training run under the full supervisor:
+// checkpoint-integrity fallback, numerical-health rollback, and the
+// hang/straggler watchdog.
+func RunGuarded(cfg GuardConfig) (*GuardResult, error) { return guard.Run(cfg) }
 
 // --- data ---
 

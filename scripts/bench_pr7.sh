@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# PR 7 training-resilience measurement, recorded into BENCH_PR7.json.
+# Drives the env-gated TestBenchPR7 in internal/guard: the same
+# elastic workload run bare and under the full supervisor (interleaved
+# repetitions, median ms/step — the supervision tax must stay under
+# 5%), plus v3 checkpoint throughput (CRC32C-sectioned save, verified
+# load) on a ~10 MB training state.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-$PWD/BENCH_PR7.json}
+
+ORBIT_BENCH_PR7="$OUT" go test ./internal/guard/ -run '^TestBenchPR7$' -count=1 -v -timeout 900s \
+	| grep -E 'benchpr7|step:|ckpt:|ok ' || true
+
+if [ ! -s "$OUT" ]; then
+	echo "bench_pr7: $OUT was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"

@@ -24,5 +24,6 @@ check() {
 # lower them without justification in the PR description.
 check ./internal/ckpt/ 75
 check ./internal/cluster/ 90
+check ./internal/guard/ 85
 check ./internal/infer/ 85
 check ./internal/serve/ 85
