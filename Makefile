@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 bench-pr7 fuzz-smoke golden docs-check examples
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 bench-pr7 bench-pr8 check-bench fuzz-smoke golden docs-check examples
 
-ci: build vet fmt-check staticcheck docs-check test race bench-smoke cover
+ci: build vet fmt-check staticcheck docs-check check-bench test race bench-smoke cover
+
+# Every scripts/bench_prN.sh must have its BENCH_PRN.json committed —
+# a measurement script without a recorded report is an unfinished PR.
+check-bench:
+	sh scripts/check_bench.sh
 
 build:
 	$(GO) build ./...
@@ -46,7 +51,7 @@ test:
 # racing live rank goroutines (the stalled-TP-rank recovery test is
 # written for this stage) and the rollback/replay loop.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/guard/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fft/... ./internal/afno/... ./internal/optim/... ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/guard/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
 
 # Documentation gates: every package must carry a package comment
 # (scripts/check_pkgdoc.sh), and the checker proves it can fail via
@@ -105,6 +110,12 @@ bench-pr6:
 # save/verified-load throughput, recorded into BENCH_PR7.json.
 bench-pr7:
 	sh scripts/bench_pr7.sh
+
+# Intra-rank kernel-scaling measurement: matmul + fused attention at
+# GOMAXPROCS 1/2/4/8 with speedups vs the single-worker arm and the
+# planner's Amdahl clock model, recorded into BENCH_PR8.json.
+bench-pr8:
+	sh scripts/bench_pr8.sh
 
 # Runs the checkpoint fuzz targets over their committed seed corpus
 # (no new fuzzing): regressions in the hardened parsers fail fast.

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"runtime"
+	"testing"
+
+	"orbit/internal/tensor"
+)
+
+// TestBlockDeterministicAcrossGOMAXPROCS runs a transformer block
+// large enough that its matmuls, softmax, GELU and LayerNorm all
+// cross the parallel-dispatch threshold, and demands bit-identical
+// forward outputs and parameter gradients at GOMAXPROCS 1, 4 and 8:
+// the fixed tile decomposition makes the worker count unobservable.
+func TestBlockDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	const dim, heads, tokens = 128, 8, 96
+	run := func() ([]float32, []float32, [][]float32) {
+		rng := tensor.NewRNG(97)
+		blk := NewTransformerBlock("sweep", dim, heads, true, rng)
+		x := tensor.Randn(rng, 1, tokens, dim)
+		g := tensor.Randn(rng, 1, tokens, dim)
+		y := blk.Forward(x)
+		dx := blk.Backward(g)
+		grads := make([][]float32, 0, len(blk.Params()))
+		for _, p := range blk.Params() {
+			grads = append(grads, append([]float32(nil), p.Grad.Data()...))
+		}
+		return append([]float32(nil), y.Data()...), append([]float32(nil), dx.Data()...), grads
+	}
+	var refY, refDX []float32
+	var refG [][]float32
+	for i, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		y, dx, grads := run()
+		if i == 0 {
+			refY, refDX, refG = y, dx, grads
+			continue
+		}
+		for c := range y {
+			if y[c] != refY[c] {
+				t.Fatalf("GOMAXPROCS=%d: forward diverges at %d: %v != %v", procs, c, y[c], refY[c])
+			}
+		}
+		for c := range dx {
+			if dx[c] != refDX[c] {
+				t.Fatalf("GOMAXPROCS=%d: input gradient diverges at %d", procs, c)
+			}
+		}
+		for pi := range grads {
+			for c := range grads[pi] {
+				if grads[pi][c] != refG[pi][c] {
+					t.Fatalf("GOMAXPROCS=%d: param %d gradient diverges at %d", procs, pi, c)
+				}
+			}
+		}
+	}
+}

@@ -28,7 +28,85 @@ type LayerNorm struct {
 	rstd []float64      // cached reciprocal std per row
 	out  *tensor.Tensor // owned output buffer
 	dx   *tensor.Tensor // owned input-gradient buffer
-	dh   []float64      // per-row backward scratch (dy ⊙ γ)
+
+	fwd lnFwdJob // persistent forward job (zero-alloc dispatch)
+	bwd lnBwdJob // persistent backward job + per-tile reduction scratch
+}
+
+// lnFwdJob normalizes rows [r0, r1). Rows are independent, so any
+// tile split produces the serial result bit-for-bit.
+type lnFwdJob struct {
+	xd, hd, od, g, b []float32
+	rstd             []float64
+	dim              int
+	eps              float64
+}
+
+func (j *lnFwdJob) Tile(_, r0, r1 int) {
+	dim := j.dim
+	for r := r0; r < r1; r++ {
+		xr := j.xd[r*dim : (r+1)*dim]
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(dim)
+		var variance float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(dim)
+		rstd := 1 / math.Sqrt(variance+j.eps)
+		j.rstd[r] = rstd
+		hr := j.hd[r*dim : (r+1)*dim]
+		or := j.od[r*dim : (r+1)*dim]
+		for c, v := range xr {
+			h := float32((float64(v) - mean) * rstd)
+			hr[c] = h
+			or[c] = h*j.g[c] + j.b[c]
+		}
+	}
+}
+
+// lnBwdJob computes per-row input gradients and accumulates the
+// cross-row dγ/dβ reduction into PER-TILE partials (tile t owns
+// dg/db/dh[t*dim:(t+1)*dim]). Backward merges the partials serially
+// in tile order, so the reduction sequence is a function of the fixed
+// tile decomposition only — bit-identical at any worker count.
+type lnBwdJob struct {
+	dyd, hd, dxd, g []float32
+	rstd            []float64
+	dim             int
+	dg, db          []float32 // [tiles*dim] partial parameter gradients
+	dh              []float64 // [tiles*dim] per-row dxhat scratch
+}
+
+func (j *lnBwdJob) Tile(tile, r0, r1 int) {
+	dim := j.dim
+	dg := j.dg[tile*dim : (tile+1)*dim]
+	db := j.db[tile*dim : (tile+1)*dim]
+	dh := j.dh[tile*dim : (tile+1)*dim]
+	invD := 1 / float64(dim)
+	for r := r0; r < r1; r++ {
+		dyr := j.dyd[r*dim : (r+1)*dim]
+		hr := j.hd[r*dim : (r+1)*dim][:dim]
+		dxr := j.dxd[r*dim : (r+1)*dim][:dim]
+		var sumDh, sumDhH float64
+		for c, dyv := range dyr {
+			d := float64(dyv) * float64(j.g[c])
+			dh[c] = d
+			sumDh += d
+			sumDhH += d * float64(hr[c])
+			dg[c] += dyv * hr[c]
+			db[c] += dyv
+		}
+		rstd := j.rstd[r]
+		a, b := invD*sumDh, invD*sumDhH
+		for c, d := range dh {
+			dxr[c] = float32(rstd * (d - a - float64(hr[c])*b))
+		}
+	}
 }
 
 // NewLayerNorm builds a layer norm over vectors of length dim with
@@ -61,31 +139,12 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	l.rstd = l.rstd[:rows]
 	l.out = tensor.Ensure(l.out, x.Shape()...)
-	g, b := l.Gamma.W.Data(), l.Beta.W.Data()
-	xd, hd, od := x.Data(), l.xhat.Data(), l.out.Data()
-	for r := 0; r < rows; r++ {
-		xr := xd[r*dim : (r+1)*dim]
-		var mean float64
-		for _, v := range xr {
-			mean += float64(v)
-		}
-		mean /= float64(dim)
-		var variance float64
-		for _, v := range xr {
-			d := float64(v) - mean
-			variance += d * d
-		}
-		variance /= float64(dim)
-		rstd := 1 / math.Sqrt(variance+l.Eps)
-		l.rstd[r] = rstd
-		hr := hd[r*dim : (r+1)*dim]
-		or := od[r*dim : (r+1)*dim]
-		for c, v := range xr {
-			h := float32((float64(v) - mean) * rstd)
-			hr[c] = h
-			or[c] = h*g[c] + b[c]
-		}
+	l.fwd = lnFwdJob{
+		xd: x.Data(), hd: l.xhat.Data(), od: l.out.Data(),
+		g: l.Gamma.W.Data(), b: l.Beta.W.Data(),
+		rstd: l.rstd, dim: dim, eps: l.Eps,
 	}
+	tensor.ParallelFor(rows, rows*dim*8, &l.fwd)
 	return l.out
 }
 
@@ -93,34 +152,35 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 // standard layer-norm backward:
 // dx = rstd/D · (D·dxhat − Σdxhat − xhat·Σ(dxhat⊙xhat)) with
 // dxhat = dy ⊙ γ.
+//
+// dγ/dβ reduce across every row, so tiles accumulate partials that
+// are merged here in fixed tile order — the one reduction in the
+// threaded kernels whose sequence differs from the old single-pass
+// serial loop, chosen so results cannot depend on the worker count.
 func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	rows, dim := l.rows(dy, "Backward"), l.Dim
 	l.dx = tensor.Ensure(l.dx, dy.Shape()...)
-	g := l.Gamma.W.Data()
-	dg, db := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
-	dyd, hd, dxd := dy.Data(), l.xhat.Data(), l.dx.Data()
-	if cap(l.dh) < dim {
-		l.dh = make([]float64, dim)
+	tiles := tensor.NumTiles(rows)
+	if cap(l.bwd.dg) < tiles*dim {
+		l.bwd.dg = make([]float32, tiles*dim)
+		l.bwd.db = make([]float32, tiles*dim)
+		l.bwd.dh = make([]float64, tiles*dim)
 	}
-	dh := l.dh[:dim]
-	invD := 1 / float64(dim)
-	for r := 0; r < rows; r++ {
-		dyr := dyd[r*dim : (r+1)*dim]
-		hr := hd[r*dim : (r+1)*dim][:dim]
-		dxr := dxd[r*dim : (r+1)*dim][:dim]
-		var sumDh, sumDhH float64
-		for c, dyv := range dyr {
-			d := float64(dyv) * float64(g[c])
-			dh[c] = d
-			sumDh += d
-			sumDhH += d * float64(hr[c])
-			dg[c] += dyv * hr[c]
-			db[c] += dyv
-		}
-		rstd := l.rstd[r]
-		a, b := invD*sumDh, invD*sumDhH
-		for c, d := range dh {
-			dxr[c] = float32(rstd * (d - a - float64(hr[c])*b))
+	l.bwd.dg = l.bwd.dg[:tiles*dim]
+	l.bwd.db = l.bwd.db[:tiles*dim]
+	l.bwd.dh = l.bwd.dh[:tiles*dim]
+	clear(l.bwd.dg)
+	clear(l.bwd.db)
+	l.bwd.dyd, l.bwd.hd, l.bwd.dxd = dy.Data(), l.xhat.Data(), l.dx.Data()
+	l.bwd.g, l.bwd.rstd, l.bwd.dim = l.Gamma.W.Data(), l.rstd, dim
+	tensor.ParallelFor(rows, rows*dim*8, &l.bwd)
+	dg, db := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	for t := 0; t < tiles; t++ {
+		pg := l.bwd.dg[t*dim : (t+1)*dim]
+		pb := l.bwd.db[t*dim : (t+1)*dim]
+		for c := 0; c < dim; c++ {
+			dg[c] += pg[c]
+			db[c] += pb[c]
 		}
 	}
 	return l.dx

@@ -40,7 +40,36 @@ type AdamW struct {
 	params []*nn.Param
 	m, v   []*tensor.Tensor
 	step   int
+	job    adamwJob // persistent update job (zero-alloc dispatch)
 }
+
+// adamwJob applies the AdamW update over elements [j0, j1) of one
+// parameter. Each element's update reads and writes only its own
+// w/g/m/v cells, so any tile split is bit-identical to the serial
+// loop.
+type adamwJob struct {
+	w, g, m, v            []float32
+	beta1, beta2, eps, wd float64
+	bc1, bc2, lr          float64
+}
+
+func (a *adamwJob) Tile(_, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		gj := float64(a.g[j])
+		mj := a.beta1*float64(a.m[j]) + (1-a.beta1)*gj
+		vj := a.beta2*float64(a.v[j]) + (1-a.beta2)*gj*gj
+		a.m[j] = float32(mj)
+		a.v[j] = float32(vj)
+		mhat := mj / a.bc1
+		vhat := vj / a.bc2
+		upd := a.lr * (mhat/(math.Sqrt(vhat)+a.eps) + a.wd*float64(a.w[j]))
+		a.w[j] = float32(float64(a.w[j]) - upd)
+	}
+}
+
+// optimCost weights one optimizer-update element (float64 math plus a
+// square root) against the dispatch threshold.
+const optimCost = 8
 
 // NewAdamW builds an AdamW optimizer with standard defaults
 // (β1=0.9, β2=0.999, ε=1e-8).
@@ -63,21 +92,13 @@ func (a *AdamW) Step(lr float64) {
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
 	for i, p := range a.params {
-		w := p.W.Data()
-		g := p.Grad.Data()
-		m := a.m[i].Data()
-		v := a.v[i].Data()
-		for j := range w {
-			gj := float64(g[j])
-			mj := a.Beta1*float64(m[j]) + (1-a.Beta1)*gj
-			vj := a.Beta2*float64(v[j]) + (1-a.Beta2)*gj*gj
-			m[j] = float32(mj)
-			v[j] = float32(vj)
-			mhat := mj / bc1
-			vhat := vj / bc2
-			upd := lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*float64(w[j]))
-			w[j] = float32(float64(w[j]) - upd)
+		a.job = adamwJob{
+			w: p.W.Data(), g: p.Grad.Data(), m: a.m[i].Data(), v: a.v[i].Data(),
+			beta1: a.Beta1, beta2: a.Beta2, eps: a.Eps, wd: a.WeightDecay,
+			bc1: bc1, bc2: bc2, lr: lr,
 		}
+		n := p.W.Len()
+		tensor.ParallelFor(n, n*optimCost, &a.job)
 		p.W.Bump()
 	}
 }
@@ -109,6 +130,22 @@ type SGD struct {
 
 	params []*nn.Param
 	vel    []*tensor.Tensor
+	job    sgdJob // persistent update job (zero-alloc dispatch)
+}
+
+// sgdJob applies the momentum-SGD update over elements [j0, j1) of
+// one parameter; elements are independent, so tiling is exact.
+type sgdJob struct {
+	w, g, v []float32
+	mu, lr  float64
+}
+
+func (s *sgdJob) Tile(_, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		vj := s.mu*float64(s.v[j]) + float64(s.g[j])
+		s.v[j] = float32(vj)
+		s.w[j] = float32(float64(s.w[j]) - s.lr*vj)
+	}
 }
 
 // NewSGD builds an SGD optimizer.
@@ -123,14 +160,9 @@ func NewSGD(params []*nn.Param, momentum float64) *SGD {
 // Step applies w ← w − lr·(μ·vel + g).
 func (s *SGD) Step(lr float64) {
 	for i, p := range s.params {
-		w := p.W.Data()
-		g := p.Grad.Data()
-		v := s.vel[i].Data()
-		for j := range w {
-			vj := s.Momentum*float64(v[j]) + float64(g[j])
-			v[j] = float32(vj)
-			w[j] = float32(float64(w[j]) - lr*vj)
-		}
+		s.job = sgdJob{w: p.W.Data(), g: p.Grad.Data(), v: s.vel[i].Data(), mu: s.Momentum, lr: lr}
+		n := p.W.Len()
+		tensor.ParallelFor(n, n*optimCost, &s.job)
 		p.W.Bump()
 	}
 }

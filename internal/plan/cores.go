@@ -1,0 +1,39 @@
+package plan
+
+// Cores-aware compute clock. The intra-rank parallel runtime
+// (internal/tensor ParallelFor) threads every hot kernel across a
+// rank's cores, so a rank's effective throughput is no longer the
+// single-core clock that PR 1's benchmarks calibrated. The planner
+// prices layouts against Spec.PeakFLOPS; these helpers scale that
+// clock by the measured multicore kernel speedup so layout pricing
+// reflects threaded ranks (ROADMAP item 3, closed by PR 8).
+
+// kernelSerialFraction is the Amdahl serial fraction fit to the PR 8
+// kernel sweep (BENCH_PR8.json): packing, dispatch, and the softmax
+// row reductions that stay on the calling goroutine. See
+// docs/PERFORMANCE.md for the measurement protocol.
+const kernelSerialFraction = 0.08
+
+// KernelCoreSpeedup returns the modeled throughput multiplier of the
+// threaded kernels on `cores` cores relative to one core:
+// S(c) = 1 / (s + (1-s)/c), Amdahl's law with the serial fraction fit
+// from the matmul+attention sweep. cores <= 1 returns 1.
+func KernelCoreSpeedup(cores int) float64 {
+	if cores <= 1 {
+		return 1
+	}
+	s := kernelSerialFraction
+	return 1 / (s + (1-s)/float64(cores))
+}
+
+// ScaledShapeCores is ScaledShape with the per-device compute clock
+// additionally multiplied by KernelCoreSpeedup(cores): the shape of a
+// cluster whose ranks each run the threaded kernels on `cores` cores.
+// Links are untouched — threading a rank speeds up its compute, not
+// its NICs — so more cores shift the compute/communication balance
+// toward communication exactly as they do on real hardware.
+func ScaledShapeCores(nodes int, computeScale float64, cores int) ClusterShape {
+	c := ScaledShape(nodes, computeScale)
+	c.Spec.PeakFLOPS *= KernelCoreSpeedup(cores)
+	return c
+}

@@ -1,0 +1,51 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKernelCoreSpeedup(t *testing.T) {
+	if got := KernelCoreSpeedup(1); got != 1 {
+		t.Fatalf("speedup(1) = %v, want 1", got)
+	}
+	if got := KernelCoreSpeedup(0); got != 1 {
+		t.Fatalf("speedup(0) = %v, want 1", got)
+	}
+	prev := 1.0
+	for _, c := range []int{2, 4, 8, 16, 64} {
+		s := KernelCoreSpeedup(c)
+		if s <= prev {
+			t.Fatalf("speedup not monotone: S(%d) = %v <= %v", c, s, prev)
+		}
+		if s > float64(c) {
+			t.Fatalf("superlinear speedup S(%d) = %v", c, s)
+		}
+		prev = s
+	}
+	// The acceptance bar: the modeled 8-core speedup clears 5x.
+	if s := KernelCoreSpeedup(8); s < 5 {
+		t.Fatalf("S(8) = %v, want >= 5", s)
+	}
+	// Amdahl ceiling: speedup approaches 1/s, never exceeds it.
+	if s := KernelCoreSpeedup(1 << 20); s > 1/kernelSerialFraction {
+		t.Fatalf("S(inf) = %v above Amdahl ceiling %v", s, 1/kernelSerialFraction)
+	}
+}
+
+func TestScaledShapeCores(t *testing.T) {
+	base := ScaledShape(2, 1e-3)
+	c8 := ScaledShapeCores(2, 1e-3, 8)
+	want := base.Spec.PeakFLOPS * KernelCoreSpeedup(8)
+	if math.Abs(c8.Spec.PeakFLOPS-want) > 1e-6*want {
+		t.Fatalf("PeakFLOPS = %v, want %v", c8.Spec.PeakFLOPS, want)
+	}
+	if c8.Spec.IntraNodeBandwidth != base.Spec.IntraNodeBandwidth ||
+		c8.Spec.InterNodeBandwidth != base.Spec.InterNodeBandwidth {
+		t.Fatalf("cores clock must not touch links")
+	}
+	one := ScaledShapeCores(2, 1e-3, 1)
+	if one.Spec.PeakFLOPS != base.Spec.PeakFLOPS {
+		t.Fatalf("1-core shape should equal ScaledShape")
+	}
+}

@@ -1,0 +1,107 @@
+package tensor
+
+import "sync"
+
+// Row-wise and elementwise kernel dispatch. Softmax and the GELU
+// family are embarrassingly parallel — each output row (softmax) or
+// element (GELU) depends only on its own inputs — so they split over
+// the ParallelFor runtime with no cross-tile reduction at all. Each
+// tile runs exactly the serial loop over its own range, and the
+// vectorized exp/tanh slice kernels are bit-identical to their scalar
+// references per element, so results do not depend on where tile
+// boundaries fall: any worker count produces the same bits.
+//
+// elemCost* weight the per-element arithmetic when comparing against
+// parallelThreshold (which is calibrated in multiply-adds): a
+// transcendental costs far more than a fused multiply-add, so these
+// kernels go parallel at smaller tensors than a matmul would.
+
+const (
+	elemCostTranscendental = 16 // exp/tanh polynomial kernels
+	elemCostArithmetic     = 4  // plain multiply-add loops
+)
+
+type elemKind uint8
+
+const (
+	elemSoftmax elemKind = iota
+	elemSoftmaxBwd
+	elemGELU
+	elemGELUBwd
+	elemGELUCached
+	elemGELUBwdCached
+)
+
+// elemJob is one row-wise or elementwise kernel invocation. For the
+// softmax kinds items are rows of width cols; for the GELU kinds
+// items are flat elements.
+type elemJob struct {
+	kind           elemKind
+	x, th, dy, out []float32
+	cols           int
+}
+
+// Tile implements Job. Each case is the unchanged serial loop
+// restricted to [i0, i1).
+func (j *elemJob) Tile(_, i0, i1 int) {
+	switch j.kind {
+	case elemSoftmax:
+		for r := i0; r < i1; r++ {
+			softmaxRow(j.x[r*j.cols:(r+1)*j.cols], j.out[r*j.cols:(r+1)*j.cols])
+		}
+	case elemSoftmaxBwd:
+		cols := j.cols
+		for r := i0; r < i1; r++ {
+			yr := j.x[r*cols : (r+1)*cols]
+			dr := j.dy[r*cols : (r+1)*cols]
+			or := j.out[r*cols : (r+1)*cols]
+			var dot float64
+			for i := range yr {
+				dot += float64(yr[i]) * float64(dr[i])
+			}
+			for i := range yr {
+				or[i] = yr[i] * (dr[i] - float32(dot))
+			}
+		}
+	case elemGELU:
+		x, d := j.x[i0:i1], j.out[i0:i1]
+		for i, v := range x {
+			d[i] = geluScalar(v)
+		}
+	case elemGELUBwd:
+		x, dyd, d := j.x[i0:i1], j.dy[i0:i1], j.out[i0:i1]
+		for i, v := range x {
+			d[i] = dyd[i] * geluGradScalar(v)
+		}
+	case elemGELUCached:
+		x, td, d := j.x[i0:i1], j.th[i0:i1], j.out[i0:i1]
+		for i, v := range x {
+			td[i] = geluC0 * (v + geluC1*v*v*v)
+		}
+		tanhSlice(td, td)
+		for i, v := range x {
+			d[i] = 0.5 * v * (1 + td[i])
+		}
+	case elemGELUBwdCached:
+		x, td, dyd, d := j.x[i0:i1], j.th[i0:i1], j.dy[i0:i1], j.out[i0:i1]
+		for i, v := range x {
+			t := td[i]
+			sech2 := 1 - t*t
+			du := float32(geluC0) * (1 + 3*geluC1*v*v)
+			d[i] = dyd[i] * (0.5*(1+t) + 0.5*v*sech2*du)
+		}
+	}
+}
+
+var elemJobPool = sync.Pool{New: func() any { return new(elemJob) }}
+
+// dispatchElem runs an elemJob over n items with the given arithmetic
+// estimate, borrowing a pooled instance so the steady state allocates
+// nothing.
+func dispatchElem(j elemJob, n, flops int) {
+	e := elemJobPool.Get().(*elemJob)
+	*e = j
+	ParallelFor(n, flops, e)
+	*e = elemJob{}
+	elemJobPool.Put(e)
+}

@@ -164,12 +164,14 @@ func BatchedMatMulInto(dst, t, u *Tensor) *Tensor {
 	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
 		panic(fmt.Sprintf("tensor: BatchedMatMulInto shapes %v @ %v -> %v", t.shape, u.shape, dst.shape))
 	}
-	pb := getPack(k * n)
+	pb := getPack(b * k * n)
 	bt := *pb
-	for i := 0; i < b; i++ {
-		packTranspose(bt, u.data[i*k*n:(i+1)*k*n], k, n)
-		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: t.data[i*m*k : (i+1)*m*k], bt: bt, k: k, n: n, scale: 1, mode: dotOverwrite}, m)
-	}
+	packBatched(bt, u.data, b, k, n)
+	dispatchDotBatched(batchedDotTask{
+		t: dotTask{k: k, n: n, scale: 1, mode: dotOverwrite}, m: m,
+		dst: dst.data, a: t.data, bt: bt,
+		dstStride: m * n, aStride: m * k, btStride: k * n,
+	}, b)
 	putPack(pb)
 	return dst
 }
@@ -182,9 +184,11 @@ func BatchedMatMulTransBScaledInto(dst, t, u *Tensor, scale float32) *Tensor {
 	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
 		panic(fmt.Sprintf("tensor: BatchedMatMulTransBScaledInto shapes %v @ %vᵀ -> %v", t.shape, u.shape, dst.shape))
 	}
-	for i := 0; i < b; i++ {
-		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: t.data[i*m*k : (i+1)*m*k], bt: u.data[i*n*k : (i+1)*n*k], k: k, n: n, scale: scale, mode: dotOverwrite}, m)
-	}
+	dispatchDotBatched(batchedDotTask{
+		t: dotTask{k: k, n: n, scale: scale, mode: dotOverwrite}, m: m,
+		dst: dst.data, a: t.data, bt: u.data,
+		dstStride: m * n, aStride: m * k, btStride: n * k,
+	}, b)
 	return dst
 }
 
@@ -195,15 +199,17 @@ func BatchedMatMulTransAInto(dst, t, u *Tensor) *Tensor {
 	if k != k2 || dst.shape[1] != m || dst.shape[2] != n {
 		panic(fmt.Sprintf("tensor: BatchedMatMulTransAInto shapes %vᵀ @ %v -> %v", t.shape, u.shape, dst.shape))
 	}
-	pa := getPack(k * m)
+	pa := getPack(b * k * m)
 	at := *pa
-	pb := getPack(k * n)
+	pb := getPack(b * k * n)
 	bt := *pb
-	for i := 0; i < b; i++ {
-		packTranspose(at, t.data[i*k*m:(i+1)*k*m], k, m)
-		packTranspose(bt, u.data[i*k*n:(i+1)*k*n], k, n)
-		dispatchDot(dotTask{dst: dst.data[i*m*n : (i+1)*m*n], a: at, bt: bt, k: k, n: n, scale: 1, mode: dotOverwrite}, m)
-	}
+	packBatched(at, t.data, b, k, m)
+	packBatched(bt, u.data, b, k, n)
+	dispatchDotBatched(batchedDotTask{
+		t: dotTask{k: k, n: n, scale: 1, mode: dotOverwrite}, m: m,
+		dst: dst.data, a: at, bt: bt,
+		dstStride: m * n, aStride: m * k, btStride: k * n,
+	}, b)
 	putPack(pb)
 	putPack(pa)
 	return dst

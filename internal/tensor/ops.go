@@ -199,11 +199,8 @@ func SoftmaxInto(dst, t *Tensor) *Tensor {
 	dst.mustMatch(t, "SoftmaxInto")
 	cols := t.shape[len(t.shape)-1]
 	rows := len(t.data) / cols
-	for r := 0; r < rows; r++ {
-		in := t.data[r*cols : (r+1)*cols]
-		o := dst.data[r*cols : (r+1)*cols]
-		softmaxRow(in, o)
-	}
+	dispatchElem(elemJob{kind: elemSoftmax, x: t.data, out: dst.data, cols: cols},
+		rows, len(t.data)*elemCostTranscendental)
 	return dst
 }
 
@@ -244,18 +241,8 @@ func SoftmaxBackwardInto(dst, y, dy *Tensor) *Tensor {
 	dst.mustMatch(y, "SoftmaxBackward")
 	cols := y.shape[len(y.shape)-1]
 	rows := len(y.data) / cols
-	for r := 0; r < rows; r++ {
-		yr := y.data[r*cols : (r+1)*cols]
-		dr := dy.data[r*cols : (r+1)*cols]
-		or := dst.data[r*cols : (r+1)*cols]
-		var dot float64
-		for i := range yr {
-			dot += float64(yr[i]) * float64(dr[i])
-		}
-		for i := range yr {
-			or[i] = yr[i] * (dr[i] - float32(dot))
-		}
-	}
+	dispatchElem(elemJob{kind: elemSoftmaxBwd, x: y.data, dy: dy.data, out: dst.data, cols: cols},
+		rows, len(y.data)*elemCostArithmetic)
 	return dst
 }
 
@@ -268,10 +255,8 @@ func SoftmaxBackward(y, dy *Tensor) *Tensor {
 // GELUInto applies the tanh-approximate GELU into dst (may alias t).
 func GELUInto(dst, t *Tensor) *Tensor {
 	dst.mustMatch(t, "GELUInto")
-	d := dst.data
-	for i, v := range t.data {
-		d[i] = geluScalar(v)
-	}
+	dispatchElem(elemJob{kind: elemGELU, x: t.data, out: dst.data},
+		len(t.data), len(t.data)*elemCostTranscendental)
 	return dst
 }
 
@@ -294,10 +279,8 @@ func geluScalar(x float32) float32 {
 func GELUBackwardInto(dst, x, dy *Tensor) *Tensor {
 	x.mustMatch(dy, "GELUBackward")
 	dst.mustMatch(x, "GELUBackward")
-	d, dyd := dst.data, dy.data
-	for i, v := range x.data {
-		d[i] = dyd[i] * geluGradScalar(v)
-	}
+	dispatchElem(elemJob{kind: elemGELUBwd, x: x.data, dy: dy.data, out: dst.data},
+		len(x.data), len(x.data)*elemCostTranscendental)
 	return dst
 }
 
@@ -313,17 +296,11 @@ func GELUBackward(x, dy *Tensor) *Tensor {
 func GELUCachedInto(dst, th, x *Tensor) *Tensor {
 	dst.mustMatch(x, "GELUCachedInto")
 	th.mustMatch(x, "GELUCachedInto")
-	d, td := dst.data, th.data
-	// Stage the tanh arguments in th, run the (vectorized) slice tanh
-	// in place, then finish the gate — same per-element operations as
-	// the fused scalar loop, so results are bit-identical.
-	for i, v := range x.data {
-		td[i] = geluC0 * (v + geluC1*v*v*v)
-	}
-	tanhSlice(td, td)
-	for i, v := range x.data {
-		d[i] = 0.5 * v * (1 + td[i])
-	}
+	// Each tile stages the tanh arguments in th, runs the (vectorized)
+	// slice tanh in place, then finishes the gate — same per-element
+	// operations as the fused scalar loop, so results are bit-identical.
+	dispatchElem(elemJob{kind: elemGELUCached, x: x.data, th: th.data, out: dst.data},
+		len(x.data), len(x.data)*elemCostTranscendental)
 	return dst
 }
 
@@ -335,13 +312,8 @@ func GELUBackwardCachedInto(dst, x, th, dy *Tensor) *Tensor {
 	x.mustMatch(dy, "GELUBackwardCached")
 	dst.mustMatch(x, "GELUBackwardCached")
 	th.mustMatch(x, "GELUBackwardCached")
-	d, td, dyd := dst.data, th.data, dy.data
-	for i, v := range x.data {
-		t := td[i]
-		sech2 := 1 - t*t
-		du := float32(geluC0) * (1 + 3*geluC1*v*v)
-		d[i] = dyd[i] * (0.5*(1+t) + 0.5*v*sech2*du)
-	}
+	dispatchElem(elemJob{kind: elemGELUBwdCached, x: x.data, th: th.data, dy: dy.data, out: dst.data},
+		len(x.data), len(x.data)*elemCostArithmetic*2)
 	return dst
 }
 

@@ -5,14 +5,17 @@ import (
 	"sync"
 )
 
-// This file implements the persistent worker pool behind every large
-// kernel dispatch. The seed engine spawned a fresh set of goroutines
-// for each matrix product; at transformer step rates that is thousands
-// of goroutine launches per second, each with scheduler and stack
-// setup cost. Instead a fixed pool of GOMAXPROCS workers is started
-// lazily on the first large dispatch and reused for the life of the
-// process, and tasks are passed by value through a buffered channel so
-// a steady-state dispatch performs no heap allocations.
+// This file holds the packed dot-product kernel — the oldest client
+// of the worker pool, which parallel.go has since generalized into
+// the ParallelFor/Job runtime every hot kernel (batched attention
+// products, softmax/GELU, LayerNorm, FFT, AFNO, optimizer updates)
+// dispatches through. The dot kernel's single-matrix and batched
+// (head-major) dispatchers both live here: a dotTask is a Job whose
+// items are output rows, and a batchedDotTask flattens the
+// (batch, row) space so all B·H heads of an attention product share
+// one fixed tile decomposition. Tile ownership is fixed (parallel.go)
+// and each output row's reduction sequence never depends on how rows
+// are grouped, so results are bit-identical at any worker count.
 
 // dotMode selects how the micro-kernel writes its register
 // accumulators back to the destination.
@@ -25,72 +28,110 @@ const (
 )
 
 // dotTask is one packed-dot-product kernel invocation: compute
-// dst[r,c] ← op(Σ_i a[r,i]·bt[c,i]) for rows [r0,r1). Tasks are plain
-// values so they can travel through the pool channel without
-// allocating.
+// dst[r,c] ← op(Σ_i a[r,i]·bt[c,i]). Dispatches borrow a pooled
+// instance so the steady state allocates nothing.
 type dotTask struct {
 	dst, a, bt, bias []float32
 	k, n             int
 	scale            float32
 	mode             dotMode
-	r0, r1           int
-	wg               *sync.WaitGroup
 }
 
-var (
-	poolOnce  sync.Once
-	poolTasks chan dotTask
-	poolSize  int
-)
+// Tile implements Job over output rows.
+func (t *dotTask) Tile(_, r0, r1 int) { dotRange(t, r0, r1) }
 
-func startPool() {
-	poolSize = runtime.GOMAXPROCS(0)
-	poolTasks = make(chan dotTask, 8*poolSize)
-	for w := 0; w < poolSize; w++ {
-		go func() {
-			for t := range poolTasks {
-				dotRange(&t, t.r0, t.r1)
-				t.wg.Done()
-			}
-		}()
-	}
-}
-
-// wgPool recycles WaitGroups across dispatches; a stack-declared
-// WaitGroup would escape to the heap through the task channel.
-var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
-
-// parallelThreshold is the minimum multiply-add count below which a
-// kernel stays on the calling goroutine; cross-worker handoff costs
-// more than it saves on tiny matrices.
-const parallelThreshold = 1 << 16
+// dotTaskPool recycles the boxed dotTask a parallel dispatch shares
+// across its tiles.
+var dotTaskPool = sync.Pool{New: func() any { return new(dotTask) }}
 
 // dispatchDot runs a dot task over m rows, splitting it across the
 // worker pool when the arithmetic is large enough to amortize handoff.
-// The caller always executes the final chunk itself.
 func dispatchDot(t dotTask, m int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers == 1 || m == 1 || m*t.k*t.n < parallelThreshold {
+	if m == 1 || m*t.k*t.n < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
 		dotRange(&t, 0, m)
 		return
 	}
-	poolOnce.Do(startPool)
-	if workers > m {
-		workers = m
+	dt := dotTaskPool.Get().(*dotTask)
+	*dt = t
+	forkTiles(m, NumTiles(m), dt)
+	*dt = dotTask{}
+	dotTaskPool.Put(dt)
+}
+
+// batchedDotTask runs the dot kernel over the flattened (batch, row)
+// item space: item u is row u%m of batch entry u/m. Parallelizing
+// over this flat space instead of nesting a per-batch dispatch keeps
+// all B·H attention heads under ONE fixed tile decomposition (no
+// nested ParallelFor from a worker) while still splitting within a
+// head when the batch count is small.
+type batchedDotTask struct {
+	t                            dotTask // per-head template: k, n, scale, mode, bias
+	m                            int     // rows per batch entry
+	dst, a, bt                   []float32
+	dstStride, aStride, btStride int
+}
+
+// Tile implements Job over flattened (batch, row) items.
+func (b *batchedDotTask) Tile(_, u0, u1 int) {
+	t := b.t
+	for u0 < u1 {
+		h := u0 / b.m
+		r0 := u0 - h*b.m
+		r1 := r0 + (u1 - u0)
+		if r1 > b.m {
+			r1 = b.m
+		}
+		t.dst = b.dst[h*b.dstStride : (h+1)*b.dstStride]
+		t.a = b.a[h*b.aStride : (h+1)*b.aStride]
+		t.bt = b.bt[h*b.btStride : (h+1)*b.btStride]
+		dotRange(&t, r0, r1)
+		u0 += r1 - r0
 	}
-	chunk := (m + workers - 1) / workers
-	wg := wgPool.Get().(*sync.WaitGroup)
-	t.wg = wg
-	r0 := 0
-	for r0+chunk < m {
-		t.r0, t.r1 = r0, r0+chunk
-		wg.Add(1)
-		poolTasks <- t
-		r0 += chunk
+}
+
+var batchedDotTaskPool = sync.Pool{New: func() any { return new(batchedDotTask) }}
+
+// dispatchDotBatched runs a batched dot task over batch·m rows.
+func dispatchDotBatched(t batchedDotTask, batch int) {
+	n := batch * t.m
+	if n*t.t.k*t.t.n < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		t.Tile(0, 0, n)
+		return
 	}
-	dotRange(&t, r0, m)
-	wg.Wait()
-	wgPool.Put(wg)
+	bt := batchedDotTaskPool.Get().(*batchedDotTask)
+	*bt = t
+	forkTiles(n, NumTiles(n), bt)
+	*bt = batchedDotTask{}
+	batchedDotTaskPool.Put(bt)
+}
+
+// packBatch is the Job that transposes every batch entry's operand
+// panel ahead of a batched product: item h packs src entry h into
+// dst entry h.
+type packBatch struct {
+	dst, src             []float32
+	rows, cols           int
+	dstStride, srcStride int
+}
+
+// Tile implements Job over batch entries.
+func (p *packBatch) Tile(_, h0, h1 int) {
+	for h := h0; h < h1; h++ {
+		packTranspose(p.dst[h*p.dstStride:(h+1)*p.dstStride], p.src[h*p.srcStride:(h+1)*p.srcStride], p.rows, p.cols)
+	}
+}
+
+var packBatchPool = sync.Pool{New: func() any { return new(packBatch) }}
+
+// packBatched transposes all `batch` panels of src ([rows, cols]
+// each) into dst, in parallel across entries when large enough.
+func packBatched(dst, src []float32, batch, rows, cols int) {
+	p := packBatchPool.Get().(*packBatch)
+	*p = packBatch{dst: dst, src: src, rows: rows, cols: cols,
+		dstStride: rows * cols, srcStride: rows * cols}
+	ParallelFor(batch, batch*rows*cols, p)
+	*p = packBatch{}
+	packBatchPool.Put(p)
 }
 
 // packPool recycles the packing buffers used to transpose operands

@@ -1,0 +1,8 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled gates the AllocsPerRun assertions: race-detector
+// instrumentation allocates on its own, so the zero-allocation tests
+// only run in normal builds.
+const raceEnabled = false

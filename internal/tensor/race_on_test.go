@@ -1,0 +1,6 @@
+//go:build race
+
+package tensor
+
+// raceEnabled gates the AllocsPerRun assertions; see race_off_test.go.
+const raceEnabled = true

@@ -1,0 +1,50 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"orbit/internal/core"
+)
+
+// TestElasticStepDeterministicAcrossGOMAXPROCS runs the same
+// Hybrid-STOP elastic training job at GOMAXPROCS 1, 4 and 8 and
+// requires a bit-identical loss trajectory. The per-rank goroutines
+// all dispatch threaded kernels into the shared worker pool
+// concurrently; fixed tile ownership keeps every gradient reduction's
+// sequence independent of which worker executes which tile. The
+// shapes are chosen so the attention and MLP matmuls cross the
+// parallel threshold and actually fork.
+func TestElasticStepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	cfg := func() ElasticConfig {
+		return ElasticConfig{
+			Layout: core.Layout{TP: 2, FSDP: 2, DDP: 1}, Nodes: 1, GPUsPerNode: 4,
+			Dim: 64, Heads: 4, Layers: 2, Tokens: 64,
+			GlobalBatch: 4, LR: 1e-2, MinLR: 1e-3, WarmupSteps: 2,
+			TotalSteps: 4, Seed: 5, DataSeed: 9,
+			CkptDir: t.TempDir(), CkptEvery: 0,
+			Opts: core.DefaultOptions(),
+		}
+	}
+	var ref []float64
+	for i, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		res, err := RunElastic(cfg(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.Losses
+			continue
+		}
+		if len(res.Losses) != len(ref) {
+			t.Fatalf("GOMAXPROCS=%d: %d steps, want %d", procs, len(res.Losses), len(ref))
+		}
+		for s := range ref {
+			if res.Losses[s] != ref[s] {
+				t.Fatalf("GOMAXPROCS=%d: loss diverges at step %d: %v != %v", procs, s, res.Losses[s], ref[s])
+			}
+		}
+	}
+}

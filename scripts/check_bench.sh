@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Bench-report hygiene gate: every scripts/bench_prN.sh must have a
+# committed BENCH_PRN.json next to the Makefile. PRs 3 and 5 shipped
+# measurement scripts without recording their reports (ROADMAP hygiene
+# gap); this fails `make ci` before that can happen again.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for script in scripts/bench_pr*.sh; do
+	[ -e "$script" ] || continue
+	n=$(basename "$script" .sh)
+	n=${n#bench_pr}
+	report="BENCH_PR${n}.json"
+	if [ ! -s "$report" ]; then
+		echo "check_bench: $script has no committed $report (run 'make bench-pr${n}' and commit the report)" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "check_bench: every bench script has a committed report"
