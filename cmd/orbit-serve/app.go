@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -25,6 +28,7 @@ type options struct {
 	maxBatch     int
 	maxWait      time.Duration
 	tp           int
+	quantize     string
 	stepsCap     int
 	replicas     int
 	queueCap     int
@@ -45,6 +49,8 @@ type app struct {
 	srv   *http.Server
 	ln    net.Listener
 	done  chan struct{}
+	drain drainEstimator
+	stop  sync.Once
 }
 
 // newApp builds the model (checkpoint or fine-tuned demo), the replica
@@ -55,11 +61,32 @@ func newApp(opts options) (*app, error) {
 	chans := []int{4, 7, 1, 2} // z500, t850, t2m, u10
 	lead := 1 * 4              // one day at 6-hourly steps
 
+	var quantKind orbit.QuantKind
+	if opts.quantize != "" {
+		var err error
+		if quantKind, err = orbit.ParseQuantKind(opts.quantize); err != nil {
+			return nil, err
+		}
+	}
+
 	var model *orbit.Model
+	var quantW map[string]*orbit.QuantizedWeight
 	var err error
 	if opts.ckptPath != "" {
-		log.Printf("loading checkpoint %s", opts.ckptPath)
-		model, err = orbit.LoadInferenceModel(opts.ckptPath)
+		if opts.quantize != "" {
+			// An already-quantized checkpoint serves its own containers;
+			// a float32 one is quantized at load.
+			log.Printf("loading checkpoint %s (quantized %s serving)", opts.ckptPath, quantKind)
+			model, quantW, err = orbit.LoadQuantizedModel(opts.ckptPath)
+			if errors.Is(err, orbit.ErrNotQuantized) {
+				if model, err = orbit.LoadInferenceModel(opts.ckptPath); err == nil {
+					quantW, err = orbit.QuantizeModel(model, quantKind)
+				}
+			}
+		} else {
+			log.Printf("loading checkpoint %s", opts.ckptPath)
+			model, err = orbit.LoadInferenceModel(opts.ckptPath)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -82,6 +109,12 @@ func newApp(opts options) (*app, error) {
 		return nil, fmt.Errorf("served model predicts %d channels; this server's residual wiring expects %d",
 			model.Config.OutChannels, len(chans))
 	}
+	if opts.quantize != "" && quantW == nil {
+		// Demo path: quantize the freshly fine-tuned weights in memory.
+		if quantW, err = orbit.QuantizeModel(model, quantKind); err != nil {
+			return nil, err
+		}
+	}
 
 	// Held-out evaluation year: initial conditions and verifying truth.
 	// One score cache serves the whole pool — the truth tensors are
@@ -99,6 +132,7 @@ func newApp(opts options) (*app, error) {
 			ResidualChans: chans,
 			MaxBatch:      opts.maxBatch,
 			TP:            opts.tp,
+			Quant:         quantW,
 		})
 		if err != nil {
 			return nil, err
@@ -137,6 +171,78 @@ type forecastRequest struct {
 	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
+// drainEstimator tracks the serving pipeline's completion rate from
+// successive Stats().Completed observations, so an overload response
+// can tell the client when the queue will plausibly have drained
+// instead of a fixed guess. Samples closer together than minSampleGap
+// only refresh the rate when work actually completed, keeping the
+// estimate stable under request bursts.
+type drainEstimator struct {
+	mu        sync.Mutex
+	lastT     time.Time
+	lastDone  int64
+	perSecond float64
+}
+
+const minSampleGap = 50 * time.Millisecond
+
+// observe folds a (time, completed-counter) sample into the rate
+// estimate with an exponential moving average — recent throughput
+// dominates, but one anomalous gap cannot zero the estimate.
+func (d *drainEstimator) observe(now time.Time, completed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastT.IsZero() {
+		d.lastT, d.lastDone = now, completed
+		return
+	}
+	dt := now.Sub(d.lastT)
+	done := completed - d.lastDone
+	if dt < minSampleGap || done <= 0 {
+		return
+	}
+	inst := float64(done) / dt.Seconds()
+	if d.perSecond == 0 {
+		d.perSecond = inst
+	} else {
+		d.perSecond = 0.7*d.perSecond + 0.3*inst
+	}
+	d.lastT, d.lastDone = now, completed
+}
+
+// rate returns the smoothed completions-per-second (0 = unknown).
+func (d *drainEstimator) rate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.perSecond
+}
+
+// retryAfterSeconds converts a queue depth and drain rate into the
+// Retry-After a 429 carries: the whole seconds one queue drain takes,
+// rounded up, clamped to [1, 60]. An unknown rate (the server sheds
+// before completing anything) falls back to 1 second.
+func retryAfterSeconds(depth int, perSecond float64) int {
+	if perSecond <= 0 || depth <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(depth) / perSecond))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// retryAfter prices a shed response from the live queue depth and the
+// estimated drain rate.
+func (a *app) retryAfter(now time.Time) int {
+	st := a.fs.Stats()
+	a.drain.observe(now, st.Completed)
+	return retryAfterSeconds(st.QueueDepth, a.drain.rate())
+}
+
 // statusFor maps a serving error to its HTTP status: 400 for invalid
 // requests, 429 for admission sheds (with Retry-After), 504 for
 // deadline expiry, 503 for closed/exhausted backends.
@@ -169,6 +275,7 @@ func (a *app) handler() http.Handler {
 			"queue_cap":  a.fs.Config().QueueCap,
 			"replicas":   a.opts.replicas,
 			"tp":         a.opts.tp,
+			"quantize":   a.opts.quantize,
 		})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
@@ -200,12 +307,12 @@ func (a *app) handler() http.Handler {
 		if err != nil {
 			code := statusFor(err)
 			if code == http.StatusTooManyRequests {
-				// Retry after roughly one queue drain.
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(a.retryAfter(time.Now())))
 			}
 			writeJSON(w, code, map[string]any{"error": err.Error()})
 			return
 		}
+		a.drain.observe(time.Now(), a.fs.Stats().Completed)
 		writeJSON(w, http.StatusOK, map[string]any{
 			"start":      resp.Start,
 			"steps":      resp.Steps,
@@ -265,13 +372,17 @@ func (a *app) run() error {
 // server shut down, which waits for those handlers to write their
 // responses. The reverse order would stall Shutdown on parked batches.
 func (a *app) shutdown() {
-	a.fs.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := a.srv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
-	}
-	close(a.done)
+	// Idempotent: a direct shutdown call and the signal handler may
+	// both fire (and a second signal must not re-drain).
+	a.stop.Do(func() {
+		a.fs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := a.srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(a.done)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -39,6 +39,67 @@ func TestStatusFor(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSeconds pins the 429 Retry-After derivation: one
+// queue drain rounded up to whole seconds, clamped to [1, 60], with a
+// 1-second fallback when the drain rate is unknown.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		depth   int
+		perSec  float64
+		want    int
+		comment string
+	}{
+		{0, 10, 1, "empty queue still answers at least 1"},
+		{5, 0, 1, "unknown rate falls back to 1"},
+		{5, -3, 1, "negative rate falls back to 1"},
+		{10, 10, 1, "exactly one second"},
+		{11, 10, 2, "partial seconds round up"},
+		{100, 10, 10, "ten-second drain"},
+		{100000, 10, 60, "clamped at 60"},
+		{3, 1000, 1, "sub-second drains clamp up to 1"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.depth, c.perSec); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %g) = %d, want %d (%s)", c.depth, c.perSec, got, c.want, c.comment)
+		}
+	}
+}
+
+// TestDrainEstimator drives the app's drain-rate tracker with
+// synthetic completion samples: the first sample only anchors, steady
+// throughput converges to the true rate, too-close or no-progress
+// samples are ignored, and a throughput change moves the EWMA toward
+// the new rate without snapping.
+func TestDrainEstimator(t *testing.T) {
+	a := &app{} // the estimator is exercised exactly as the handler holds it
+	t0 := time.Now()
+	a.drain.observe(t0, 0)
+	if r := a.drain.rate(); r != 0 {
+		t.Fatalf("rate known after a single anchor sample: %g", r)
+	}
+	// 100 completions over 1s → 100/s.
+	a.drain.observe(t0.Add(1*time.Second), 100)
+	if r := a.drain.rate(); r != 100 {
+		t.Fatalf("first measured rate %g, want 100", r)
+	}
+	// A sample inside the minimum gap must not perturb the estimate.
+	a.drain.observe(t0.Add(1*time.Second+time.Millisecond), 101)
+	if r := a.drain.rate(); r != 100 {
+		t.Fatalf("sub-gap sample moved the rate to %g", r)
+	}
+	// No progress (overload, nothing completing) must not zero it.
+	a.drain.observe(t0.Add(1500*time.Millisecond), 100)
+	if r := a.drain.rate(); r != 100 {
+		t.Fatalf("zero-progress sample moved the rate to %g", r)
+	}
+	// Throughput halves: the EWMA moves toward 50 but remembers 100.
+	a.drain.observe(t0.Add(2*time.Second), 150)
+	r := a.drain.rate()
+	if !(r > 50 && r < 100) {
+		t.Fatalf("EWMA after slowdown = %g, want between 50 and 100", r)
+	}
+}
+
 // postForecast sends one forecast request and decodes the reply.
 func postForecast(t *testing.T, base string, body string) (int, map[string]any, http.Header) {
 	t.Helper()
@@ -52,6 +113,61 @@ func postForecast(t *testing.T, base string, body string) (int, map[string]any, 
 		t.Fatalf("decode reply: %v", err)
 	}
 	return resp.StatusCode, m, resp.Header
+}
+
+// TestServeQuantized boots the server with -quantize q4: the demo
+// model is block-quantized in memory, /v1/model reports the format,
+// and forecasts serve through the dequant-fused kernels end to end.
+func TestServeQuantized(t *testing.T) {
+	a, err := newApp(options{
+		addr:       "127.0.0.1:0",
+		trainSteps: 1,
+		maxBatch:   2,
+		maxWait:    time.Millisecond,
+		stepsCap:   4,
+		replicas:   1,
+		quantize:   "q4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.listen(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + a.ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- a.run() }()
+
+	resp, err := http.Get(base + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info["quantize"] != "q4" {
+		t.Fatalf("/v1/model reports quantize=%v, want q4", info["quantize"])
+	}
+
+	code, m, _ := postForecast(t, base, `{"start": 0, "steps": 2}`)
+	if code != http.StatusOK {
+		t.Fatalf("quantized forecast: got %d (%v), want 200", code, m)
+	}
+	if _, ok := m["scores"]; !ok {
+		t.Fatalf("quantized forecast reply lacks scores: %v", m)
+	}
+
+	a.shutdown()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not exit after shutdown")
+	}
 }
 
 // TestServeDrainAndOverload boots the full server on a loopback port

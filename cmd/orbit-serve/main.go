@@ -9,6 +9,7 @@
 //
 //	orbit-serve                          # fine-tune a demo model, serve on :8090
 //	orbit-serve -ckpt model.orbt         # serve a checkpoint (any file kind)
+//	orbit-serve -ckpt m.orbt -quantize q4  # block-quantized serving (Q4_0)
 //	orbit-serve -tp 2 -replicas 2        # two TP-sharded replicas with failover
 //	orbit-serve -queue-cap 64 -deadline 2s -degrade-depth 48
 //
@@ -42,6 +43,7 @@ func main() {
 	flag.IntVar(&opts.maxBatch, "max-batch", 8, "dynamic batching: max coalesced requests per forward batch")
 	flag.DurationVar(&opts.maxWait, "max-wait", 2*time.Millisecond, "dynamic batching: max time a request waits for its batch to fill")
 	flag.IntVar(&opts.tp, "tp", 0, "tensor-parallel trunk width per replica over the simulated cluster (0 = single device)")
+	flag.StringVar(&opts.quantize, "quantize", "", "serve block-quantized weights: int8 or q4 (empty = float32)")
 	flag.IntVar(&opts.stepsCap, "steps-cap", 40, "largest rollout horizon a request may ask for")
 	flag.IntVar(&opts.replicas, "replicas", 1, "inference replicas in the failover pool")
 	flag.IntVar(&opts.queueCap, "queue-cap", 0, "admission queue capacity; beyond it requests shed with 429 (0 = 4x max-batch)")

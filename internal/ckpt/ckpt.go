@@ -35,6 +35,7 @@ import (
 
 	"orbit/internal/bf16"
 	"orbit/internal/nn"
+	"orbit/internal/quant"
 	"orbit/internal/vit"
 )
 
@@ -44,16 +45,22 @@ const magic = "ORBT"
 // SaveTrainState. Readers accept versions 1 through 3.
 const Version = uint32(3)
 
-// kind bytes distinguishing version-2 payloads.
+// kind bytes distinguishing version-2+ payloads. kindQuantWeights
+// (version 3) stores the large matmul weights block-quantized (int8 or
+// Q4_0, see internal/quant) with norms, biases, and embeddings kept in
+// float32.
 const (
-	kindWeights = uint8(0)
-	kindTrain   = uint8(1)
+	kindWeights      = uint8(0)
+	kindTrain        = uint8(1)
+	kindQuantWeights = uint8(2)
 )
 
 // dtype flags for stored tensors.
 const (
 	dtypeF32  = uint8(0)
 	dtypeBF16 = uint8(1)
+	dtypeI8   = uint8(2)
+	dtypeQ4   = uint8(3)
 )
 
 // Save writes the model's configuration and parameters to path.
@@ -193,7 +200,7 @@ func Load(path string) (*vit.Model, error) {
 		return nil, err
 	}
 	defer f.Close()
-	m, _, err := read(newCRCReader(bufio.NewReader(f), path), fileBudget(f))
+	m, _, err := read(newCRCReader(bufio.NewReader(f), path), fileBudget(f), nil)
 	if err != nil {
 		return nil, corruptAt(path, err)
 	}
@@ -247,13 +254,30 @@ const maxConfigJSON = 1 << 20
 // the parameter-count plausibility arithmetic below cannot overflow.
 const maxConfigDim = 1 << 30
 
+// minBytesPerParam is the plausibility floor checkLoadable holds a
+// declared configuration to, per checkpoint kind: bfloat16 (2 bytes)
+// is the densest non-quantized dtype, while a Q4_0 quantized file
+// stores its matmul weights at 0.625 bytes/param (nibbles + block
+// scales). The quantized floor is 0.5 — below any legal mix of
+// quantized and float32 sections — so a legitimate quantized
+// checkpoint is never rejected while a header declaring a model the
+// file cannot possibly hold still is.
+func minBytesPerParam(kind uint8) float64 {
+	if kind == kindQuantWeights {
+		return 0.5
+	}
+	return 2
+}
+
 // checkLoadable rejects configurations a checkpoint file of `budget`
 // bytes cannot possibly back: every stored parameter occupies at least
-// two bytes (bfloat16), so a header declaring more parameters than
-// budget/2 is corrupt. Fuzzing found that without this guard a
-// crafted config section makes the loader allocate the full model
-// before noticing the file is empty.
-func checkLoadable(cfg vit.Config, budget int64) error {
+// minBytesPerParam(kind) bytes, so a header declaring more parameters
+// than the budget can cover is corrupt. Fuzzing found that without
+// this guard a crafted config section makes the loader allocate the
+// full model before noticing the file is empty. The floor is
+// kind-aware: a fixed bytes-per-param ≥ 2 assumption would reject
+// every legitimate sub-bf16 quantized checkpoint as corrupt.
+func checkLoadable(cfg vit.Config, budget int64, kind uint8) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -269,7 +293,7 @@ func checkLoadable(cfg vit.Config, budget int64) error {
 	ch := float64(cfg.Channels)
 	pp := float64(cfg.Patch * cfg.Patch)
 	approx := ch*pp*d + t*d + float64(cfg.Layers)*(12*d*d) + d*pp*float64(cfg.OutChannels)
-	if 2*approx > float64(budget)+float64(maxConfigJSON) {
+	if minBytesPerParam(kind)*approx > float64(budget)+float64(maxConfigJSON) {
 		return fmt.Errorf("ckpt: config declares ~%.0f parameters but the file holds only %d bytes", approx, budget)
 	}
 	return nil
@@ -279,8 +303,10 @@ func checkLoadable(cfg vit.Config, budget int64) error {
 // trailing training-state sections. budget is the total file size,
 // bounding what the declared configuration may allocate. For
 // version-3 files every section checksum is verified before the
-// section's bytes are deserialized.
-func read(cr *crcReader, budget int64) (*vit.Model, uint8, error) {
+// section's bytes are deserialized. Quantized parameters are always
+// dequantized into the model; a non-nil qout additionally collects
+// their containers by parameter name for the fused serving path.
+func read(cr *crcReader, budget int64, qout map[string]*quant.Quantized) (*vit.Model, uint8, error) {
 	ver, kind, err := readHeader(cr)
 	if err != nil {
 		return nil, 0, err
@@ -304,7 +330,7 @@ func read(cr *crcReader, budget int64) (*vit.Model, uint8, error) {
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
 		return nil, 0, err
 	}
-	if err := checkLoadable(cfg, budget); err != nil {
+	if err := checkLoadable(cfg, budget, kind); err != nil {
 		return nil, 0, err
 	}
 	m, err := vit.New(cfg, 0)
@@ -320,7 +346,7 @@ func read(cr *crcReader, budget int64) (*vit.Model, uint8, error) {
 		return nil, 0, fmt.Errorf("ckpt: %d stored params, model has %d", count, len(params))
 	}
 	for _, p := range params {
-		if err := readParam(cr, p); err != nil {
+		if err := readParam(cr, p, qout); err != nil {
 			return nil, 0, fmt.Errorf("ckpt: reading %s: %w", p.Name, err)
 		}
 		if err := cr.section(p.Name); err != nil {
@@ -330,7 +356,7 @@ func read(cr *crcReader, budget int64) (*vit.Model, uint8, error) {
 	return m, kind, nil
 }
 
-func readParam(r io.Reader, p *nn.Param) error {
+func readParam(r io.Reader, p *nn.Param, qout map[string]*quant.Quantized) error {
 	var nameLen uint16
 	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
 		return err
@@ -370,6 +396,10 @@ func readParam(r io.Reader, p *nn.Param) error {
 		}
 		for i := range data {
 			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case dtypeI8, dtypeQ4:
+		if err := readQuantParam(r, p, dt, qout); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("unknown dtype %d", dt)

@@ -1,14 +1,18 @@
 package ckpt
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"orbit/internal/nn"
+	"orbit/internal/quant"
 	"orbit/internal/tensor"
 	"orbit/internal/vit"
 )
@@ -57,6 +61,121 @@ func fuzzSeedTrainState(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	return b
+}
+
+// fuzzSeedQuant builds a valid kindQuantWeights checkpoint whose
+// EmbedDim spans a full quantization block, so the file carries real
+// nibble-packed sections.
+func fuzzSeedQuant(f *testing.F) []byte {
+	f.Helper()
+	m, err := vit.New(vit.Tiny(2, 8, 8), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.quant.ckpt")
+	if err := SaveQuantized(path, m, quant.Q4_0); err != nil {
+		f.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// quantEvilSeeds hand-writes kindQuantWeights files whose section
+// CRCs are VALID but whose quantized payloads are poisoned — NaN/Inf
+// block scales, a declared geometry that disagrees with the
+// parameter's tensor length, and scales truncated mid-section. These
+// pierce past the checksum layer and regression-pin the semantic
+// validation in readQuantParam/quant.FromParts: integrity checking
+// alone would accept every one of them.
+func quantEvilSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	cfg := vit.Config{Name: "fuzz", Channels: 1, OutChannels: 1,
+		Height: 2, Width: 2, Patch: 2, EmbedDim: 2, Layers: 1, Heads: 1}
+	m, err := vit.New(cfg, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	params := m.Params()
+	target := -1
+	for i, p := range params {
+		if p.W.Rank() == 2 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		f.Fatal("fuzz config has no 2-D parameter")
+	}
+	// evil writes the quantized section body for p (after the shared
+	// name/numel prefix) and reports whether to keep writing the rest of
+	// the file.
+	build := func(evil func(p *nn.Param, w io.Writer) bool) []byte {
+		var buf bytes.Buffer
+		cw := newCRCWriter(&buf)
+		cw.Write([]byte(magic))
+		binary.Write(cw, binary.LittleEndian, Version)
+		binary.Write(cw, binary.LittleEndian, kindQuantWeights)
+		cfgJSON, _ := json.Marshal(m.Config)
+		binary.Write(cw, binary.LittleEndian, uint32(len(cfgJSON)))
+		cw.Write(cfgJSON)
+		cw.section()
+		binary.Write(cw, binary.LittleEndian, uint32(len(params)))
+		for i, p := range params {
+			if i == target {
+				name := []byte(p.Name)
+				binary.Write(cw, binary.LittleEndian, uint16(len(name)))
+				cw.Write(name)
+				binary.Write(cw, binary.LittleEndian, uint32(p.W.Len()))
+				binary.Write(cw, binary.LittleEndian, dtypeI8)
+				if !evil(p, cw) {
+					return buf.Bytes()
+				}
+			} else {
+				writeParam(cw, p, false)
+			}
+			cw.section()
+		}
+		return buf.Bytes()
+	}
+	geometry := func(w io.Writer, rows, cols int) {
+		binary.Write(w, binary.LittleEndian, uint32(rows))
+		binary.Write(w, binary.LittleEndian, uint32(cols))
+	}
+	poisonScale := func(bits uint32) []byte {
+		return build(func(p *nn.Param, w io.Writer) bool {
+			rows, cols := p.W.Dim(0), p.W.Dim(1)
+			geometry(w, rows, cols)
+			sb := make([]byte, 4*quant.ScalesLen(rows, cols))
+			binary.LittleEndian.PutUint32(sb, bits)
+			w.Write(sb)
+			w.Write(make([]byte, quant.DataLen(quant.Int8, rows, cols)))
+			return true
+		})
+	}
+	return [][]byte{
+		// Block scale NaN / +Inf with a valid section CRC.
+		poisonScale(0x7fc00000),
+		poisonScale(0x7f800000),
+		// Declared geometry disagrees with the parameter's own shape
+		// (block count vs tensor length mismatch).
+		build(func(p *nn.Param, w io.Writer) bool {
+			geometry(w, p.W.Dim(0)+1, p.W.Dim(1))
+			rows, cols := p.W.Dim(0)+1, p.W.Dim(1)
+			w.Write(make([]byte, 4*quant.ScalesLen(rows, cols)))
+			w.Write(make([]byte, quant.DataLen(quant.Int8, rows, cols)))
+			return true
+		}),
+		// File ends mid-way through the block scales.
+		build(func(p *nn.Param, w io.Writer) bool {
+			rows, cols := p.W.Dim(0), p.W.Dim(1)
+			geometry(w, rows, cols)
+			w.Write(make([]byte, 2*quant.ScalesLen(rows, cols)))
+			return false
+		}),
+	}
 }
 
 // v3SectionSeeds derives the PR-7 integrity corpus from a valid v3
@@ -152,6 +271,30 @@ func FuzzLoadModel(f *testing.F) {
 	kindFlip := append([]byte(nil), state...)
 	kindFlip[8] ^= 0x01
 	f.Add(kindFlip)
+
+	// Quantized-kind corpus: a valid Q4_0 checkpoint with the same
+	// section-boundary truncations and CRC flips as the other kinds, a
+	// bit-flip sweep across its scale/data sections, a train-state file
+	// whose kind byte is flipped to kindQuantWeights (CRC-covered, so it
+	// must read as corruption), and the CRC-valid poisoned payloads from
+	// quantEvilSeeds.
+	qseed := fuzzSeedQuant(f)
+	f.Add(qseed)
+	for _, s := range v3SectionSeeds(f, qseed) {
+		f.Add(s)
+	}
+	for off := 0; off < len(qseed); off += 53 {
+		mut := append([]byte(nil), qseed...)
+		mut[off] ^= 0x80
+		f.Add(mut)
+	}
+	f.Add(qseed[:len(qseed)*3/4])
+	quantKindFlip := append([]byte(nil), state...)
+	quantKindFlip[8] ^= kindTrain ^ kindQuantWeights
+	f.Add(quantKindFlip)
+	for _, s := range quantEvilSeeds(f) {
+		f.Add(s)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.ckpt")

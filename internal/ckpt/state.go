@@ -101,7 +101,7 @@ func LoadTrainState(path string) (*TrainState, error) {
 	}
 	defer f.Close()
 	cr := newCRCReader(bufio.NewReader(f), path)
-	m, kind, err := read(cr, fileBudget(f))
+	m, kind, err := read(cr, fileBudget(f), nil)
 	if err != nil {
 		return nil, corruptAt(path, err)
 	}

@@ -31,6 +31,13 @@ type Config struct {
 	// cluster group of this size (0 or 1 = single device). See
 	// NewTPForecaster for the serving rationale.
 	TP int
+	// Quant supplies block-quantized weight containers keyed by
+	// parameter name (as LoadQuantizedModel returns them). Worker plans
+	// route those matmuls through the dequant-fused kernel and never
+	// materialize a per-worker f32 copy of the quantized matrices; all
+	// workers share the read-only containers. Incompatible with TP,
+	// which shards float32 weights.
+	Quant map[string]*tensor.Quantized
 }
 
 // Engine executes batched autoregressive rollouts with a forward-only
@@ -91,6 +98,9 @@ func NewEngine(m *vit.Model, cfg Config) (*Engine, error) {
 		}
 	}
 	if cfg.TP > 1 {
+		if cfg.Quant != nil {
+			return nil, fmt.Errorf("infer: quantized serving is single-device; the TP trunk shards float32 weights")
+		}
 		tp, err := NewTPForecaster(m, cfg.TP)
 		if err != nil {
 			return nil, err
@@ -122,7 +132,7 @@ func (e *Engine) acquire() *worker {
 			// TP engines never touch the single-device plan; skipping
 			// it matters most exactly when TP is in play (models whose
 			// workspaces don't fit one device).
-			w.plan = NewPlan(e.Model, e.Cfg.MaxBatch)
+			w.plan = NewPlanQ(e.Model, e.Cfg.MaxBatch, e.Cfg.Quant)
 		}
 		for i := 0; i < e.Cfg.MaxBatch; i++ {
 			w.states = append(w.states, tensor.New(mc.Channels, mc.Height, mc.Width))

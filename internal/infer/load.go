@@ -31,6 +31,25 @@ func LoadModel(path string) (*vit.Model, error) {
 	return ckpt.Load(path)
 }
 
+// LoadModelQuantized loads a block-quantized (kindQuantWeights)
+// checkpoint for inference, returning both the dequantized model and
+// the quantized containers keyed by parameter name — pass the map as
+// Config.Quant to serve through the dequant-fused kernels without a
+// per-worker f32 copy of the matmul weights. Non-quantized checkpoints
+// come back as ckpt.ErrNotQuantized, so callers fall back to
+// LoadModel (which itself reads quantized files transparently when the
+// containers are not wanted).
+func LoadModelQuantized(path string) (*vit.Model, map[string]*tensor.Quantized, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.IsDir() {
+		return nil, nil, fmt.Errorf("infer: %s is a directory, not a quantized checkpoint", path)
+	}
+	return ckpt.LoadQuantized(path)
+}
+
 // LoadBlocks reconstructs the serial transformer-block stack of a
 // sharded distributed checkpoint (the PR 3 format): shards are
 // resharded to FSDP=1 through the exact reshard path elastic resume

@@ -48,9 +48,32 @@ func (p *packedW) of(w *tensor.Tensor) []float32 {
 	return p.buf
 }
 
-// blockPacked holds the packed weights of one transformer block.
+// siteW is one matmul site's weight operand. When the plan serves a
+// block-quantized checkpoint the site holds the weight's quantized
+// container and the dequant-fused kernel reads it directly — no f32
+// copy of the matrix exists in the plan at all, which is where the
+// quantized-serving memory win comes from (the packed transpose was a
+// per-worker full-precision copy of every weight). Otherwise the site
+// falls back to the lazily packed f32 transpose.
+type siteW struct {
+	pk packedW
+	q  *tensor.Quantized
+}
+
+// matmul runs dst = x·W + bias through whichever operand the site
+// holds. Both paths are bit-identical for the same underlying f32
+// weight values (the fused quantized kernel reproduces the packed
+// kernel's exact reduction order over the dequantized panels).
+func (s *siteW) matmul(dst, x *tensor.Tensor, w *tensor.Tensor, n int, bias *tensor.Tensor) *tensor.Tensor {
+	if s.q != nil {
+		return tensor.MatMulQuantInto(dst, x, s.q, bias)
+	}
+	return tensor.MatMulPackedBInto(dst, x, s.pk.of(w), n, bias)
+}
+
+// blockPacked holds the weight operands of one transformer block.
 type blockPacked struct {
-	wq, wk, wv, wo, fc1, fc2 packedW
+	wq, wk, wv, wo, fc1, fc2 siteW
 }
 
 // batchBufs are the tensor headers for one fused batch size n. The
@@ -94,12 +117,12 @@ type Plan struct {
 	// Geometry, resolved once.
 	c, h, w, p, t, d, heads, hd, outC int
 
-	patchW []packedW
-	aggK   packedW
-	aggV   packedW
-	leadW  packedW
+	patchW []siteW
+	aggK   siteW
+	aggV   siteW
+	leadW  siteW
 	blocks []blockPacked
-	headW  packedW
+	headW  siteW
 
 	// Backing arrays sized for MaxBatch, shared by every batchBufs.
 	patchesB, eB, kMatB, vMatB        []float32
@@ -118,6 +141,16 @@ type Plan struct {
 // allocating every workspace up front so steady-state Forward calls
 // perform no heap allocations.
 func NewPlan(m *vit.Model, maxBatch int) *Plan {
+	return NewPlanQ(m, maxBatch, nil)
+}
+
+// NewPlanQ builds a plan whose matmul sites read the given quantized
+// weight containers (keyed by parameter name, as LoadModelQuantized
+// returns them) through the dequant-fused kernel. Weights without a
+// container — norms, biases, embeddings, and any matrix the saver left
+// float32 — use the packed f32 path. A nil or empty map degenerates to
+// NewPlan.
+func NewPlanQ(m *vit.Model, maxBatch int, qs map[string]*tensor.Quantized) *Plan {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -134,9 +167,36 @@ func NewPlan(m *vit.Model, maxBatch int) *Plan {
 		heads:    cfg.Heads,
 		hd:       cfg.EmbedDim / cfg.Heads,
 		outC:     cfg.OutChannels,
-		patchW:   make([]packedW, cfg.Channels),
+		patchW:   make([]siteW, cfg.Channels),
 		blocks:   make([]blockPacked, len(m.Blocks)),
 		sized:    make(map[int]*batchBufs),
+	}
+	if len(qs) > 0 {
+		// Resolve containers by the weight tensor they quantize: the
+		// checkpoint keys them by parameter name, and matching through
+		// Params() keeps the plan free of name-pattern coupling.
+		byTensor := make(map[*tensor.Tensor]*tensor.Quantized, len(qs))
+		for _, par := range m.Params() {
+			if q, ok := qs[par.Name]; ok {
+				byTensor[par.W] = q
+			}
+		}
+		for c := range p.patchW {
+			p.patchW[c].q = byTensor[m.Patch.Weights[c].W]
+		}
+		p.aggK.q = byTensor[m.Agg.WK.Weight.W]
+		p.aggV.q = byTensor[m.Agg.WV.Weight.W]
+		p.leadW.q = byTensor[m.Lead.Proj.Weight.W]
+		for li, blk := range m.Blocks {
+			pk := &p.blocks[li]
+			pk.wq.q = byTensor[blk.Attn.WQ.Weight.W]
+			pk.wk.q = byTensor[blk.Attn.WK.Weight.W]
+			pk.wv.q = byTensor[blk.Attn.WV.Weight.W]
+			pk.wo.q = byTensor[blk.Attn.WO.Weight.W]
+			pk.fc1.q = byTensor[blk.MLP.FC1.Weight.W]
+			pk.fc2.q = byTensor[blk.MLP.FC2.Weight.W]
+		}
+		p.headW.q = byTensor[m.Head.Proj.Weight.W]
 	}
 	B, T, D, C := maxBatch, p.t, p.d, p.c
 	pp := p.p * p.p
@@ -249,8 +309,7 @@ func (p *Plan) Forward(xs []*tensor.Tensor, leads []float64) []*tensor.Tensor {
 		for b, x := range xs {
 			p.extractPatches(x.Data()[c*hw:(c+1)*hw], bb.patches.Data()[b*p.t*p.p*p.p:])
 		}
-		wt := p.patchW[c].of(m.Patch.Weights[c].W)
-		tensor.MatMulPackedBInto(bb.eC[c], bb.patches, wt, p.d, m.Patch.Biases[c].W)
+		p.patchW[c].matmul(bb.eC[c], bb.patches, m.Patch.Weights[c].W, p.d, m.Patch.Biases[c].W)
 	}
 
 	// Variable aggregation over t' = n·T fused token positions.
@@ -277,9 +336,9 @@ func (p *Plan) Forward(xs []*tensor.Tensor, leads []float64) []*tensor.Tensor {
 	for li, blk := range m.Blocks {
 		pk := &p.blocks[li]
 		lnInto(bb.lnBuf, bb.x, blk.LN1)
-		tensor.MatMulPackedBInto(bb.q, bb.lnBuf, pk.wq.of(blk.Attn.WQ.Weight.W), p.d, blk.Attn.WQ.Bias.W)
-		tensor.MatMulPackedBInto(bb.k, bb.lnBuf, pk.wk.of(blk.Attn.WK.Weight.W), p.d, blk.Attn.WK.Bias.W)
-		tensor.MatMulPackedBInto(bb.v, bb.lnBuf, pk.wv.of(blk.Attn.WV.Weight.W), p.d, blk.Attn.WV.Bias.W)
+		pk.wq.matmul(bb.q, bb.lnBuf, blk.Attn.WQ.Weight.W, p.d, blk.Attn.WQ.Bias.W)
+		pk.wk.matmul(bb.k, bb.lnBuf, blk.Attn.WK.Weight.W, p.d, blk.Attn.WK.Bias.W)
+		pk.wv.matmul(bb.v, bb.lnBuf, blk.Attn.WV.Weight.W, p.d, blk.Attn.WV.Bias.W)
 		for b := 0; b < n; b++ {
 			tensor.SplitHeadsInto(bb.qhB[b], bb.qRows[b], p.heads)
 			tensor.SplitHeadsInto(bb.khB[b], bb.kRows[b], p.heads)
@@ -295,19 +354,19 @@ func (p *Plan) Forward(xs []*tensor.Tensor, leads []float64) []*tensor.Tensor {
 		for b := 0; b < n; b++ {
 			tensor.MergeHeadsInto(bb.concatRows[b], bb.outHB[b], p.heads)
 		}
-		tensor.MatMulPackedBInto(bb.attnOut, bb.concat, pk.wo.of(blk.Attn.WO.Weight.W), p.d, blk.Attn.WO.Bias.W)
+		pk.wo.matmul(bb.attnOut, bb.concat, blk.Attn.WO.Weight.W, p.d, blk.Attn.WO.Bias.W)
 		tensor.AddInto(bb.h, bb.x, bb.attnOut)
 
 		lnInto(bb.lnBuf, bb.h, blk.LN2)
-		tensor.MatMulPackedBInto(bb.fc1, bb.lnBuf, pk.fc1.of(blk.MLP.FC1.Weight.W), 4*p.d, blk.MLP.FC1.Bias.W)
+		pk.fc1.matmul(bb.fc1, bb.lnBuf, blk.MLP.FC1.Weight.W, 4*p.d, blk.MLP.FC1.Bias.W)
 		tensor.GELUCachedInto(bb.g, bb.th, bb.fc1)
-		tensor.MatMulPackedBInto(bb.mlpOut, bb.g, pk.fc2.of(blk.MLP.FC2.Weight.W), p.d, blk.MLP.FC2.Bias.W)
+		pk.fc2.matmul(bb.mlpOut, bb.g, blk.MLP.FC2.Weight.W, p.d, blk.MLP.FC2.Bias.W)
 		tensor.AddInto(bb.x, bb.h, bb.mlpOut)
 	}
 
 	// Prediction head: fused norm + projection, per-sample unpatchify.
 	lnInto(bb.lnBuf, bb.x, m.Head.Norm)
-	tensor.MatMulPackedBInto(bb.headTok, bb.lnBuf, p.headW.of(m.Head.Proj.Weight.W), p.p*p.p*p.outC, m.Head.Proj.Bias.W)
+	p.headW.matmul(bb.headTok, bb.lnBuf, m.Head.Proj.Weight.W, p.p*p.p*p.outC, m.Head.Proj.Bias.W)
 	for b := 0; b < n; b++ {
 		p.unpatchify(bb.headTok.Data()[b*p.t*p.p*p.p*p.outC:], bb.outs[b].Data())
 	}
@@ -369,8 +428,8 @@ func (p *Plan) aggregate(bb *batchBufs, n int) {
 			}
 		}
 	}
-	tensor.MatMulPackedBInto(bb.kMat, bb.e, p.aggK.of(agg.WK.Weight.W), d, nil)
-	tensor.MatMulPackedBInto(bb.vMat, bb.e, p.aggV.of(agg.WV.Weight.W), d, nil)
+	p.aggK.matmul(bb.kMat, bb.e, agg.WK.Weight.W, d, nil)
+	p.aggV.matmul(bb.vMat, bb.e, agg.WV.Weight.W, d, nil)
 
 	scale := float32(1 / math.Sqrt(float64(d)))
 	q := agg.Query.W.Data()
@@ -434,7 +493,7 @@ func (p *Plan) leadInto(rows []float32, leadHours float64) {
 		fd[2*i+1] = float32(math.Cos(leadHours * freq))
 	}
 	proj := p.Model.Lead.Proj
-	tensor.MatMulPackedBInto(p.leadOff, p.leadFeat, p.leadW.of(proj.Weight.W), d, proj.Bias.W)
+	p.leadW.matmul(p.leadOff, p.leadFeat, proj.Weight.W, d, proj.Bias.W)
 	off := p.leadOff.Data()
 	for t := 0; t < p.t; t++ {
 		base := t * d

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"math"
+
+	"orbit/internal/quant"
+)
+
+// Dtype names a weight/gradient storage precision the memory model
+// prices. The zero value prices as float32, so existing workloads (and
+// the byte-exact f32 calibration) are unchanged.
+type Dtype string
+
+const (
+	DtypeF32  Dtype = "f32"
+	DtypeBF16 Dtype = "bf16"
+	// DtypeInt8 and DtypeQ4 are the block-quantized serving formats of
+	// internal/quant: one float32 scale per 32-element block, so their
+	// effective rates are 1.125 and 0.625 bytes per parameter.
+	DtypeInt8 Dtype = "int8"
+	DtypeQ4   Dtype = "q4_0"
+	// DtypeNone prices an absent tensor class — gradients and optimizer
+	// moments of a forward-only serving replica.
+	DtypeNone Dtype = "none"
+)
+
+// BytesPerParam is the average storage cost of one parameter at this
+// precision, including the block-scale overhead of the quantized
+// formats.
+func (d Dtype) BytesPerParam() float64 {
+	switch d {
+	case DtypeBF16:
+		return 2
+	case DtypeInt8:
+		return quant.BytesPerParam(quant.Int8)
+	case DtypeQ4:
+		return quant.BytesPerParam(quant.Q4_0)
+	case DtypeNone:
+		return 0
+	default: // "", "f32", unknown: price conservatively at full precision
+		return 4
+	}
+}
+
+// quantKind maps a quantized Dtype onto its internal/quant format.
+func (d Dtype) quantKind() (quant.Kind, bool) {
+	switch d {
+	case DtypeInt8:
+		return quant.Int8, true
+	case DtypeQ4:
+		return quant.Q4_0, true
+	}
+	return 0, false
+}
+
+// bytesFor prices n parameters at dtype d, rounding partial-block
+// overhead up.
+func bytesFor(n int64, d Dtype) int64 {
+	return int64(math.Ceil(float64(n) * d.BytesPerParam()))
+}
+
+// matrixBytes is the exact storage of one [rows, cols] weight matrix
+// at dtype d: for the quantized formats this is the container's true
+// byte count (per-panel block padding included), not the average rate
+// — pinned against real quant.Quantized.Bytes() sums by test.
+func matrixBytes(rows, cols int, d Dtype) int64 {
+	if kind, ok := d.quantKind(); ok {
+		return int64(quant.DataLen(kind, rows, cols) + 4*quant.ScalesLen(rows, cols))
+	}
+	return bytesFor(int64(rows)*int64(cols), d)
+}

@@ -68,14 +68,53 @@ func analyticMemory(w Workload, layout core.Layout, opts core.Options) MemBreakd
 		}
 	}
 	m := MemBreakdown{
-		ParamBytes:  owned * 4,
-		GradBytes:   owned * 4,
+		ParamBytes:  bytesFor(owned, w.ParamDtype),
+		GradBytes:   bytesFor(owned, w.GradDtype),
 		MomentBytes: owned * 8,
 		GatherBytes: live * int64(flat) * paramBytesFor(opts.MixedPrecision),
+	}
+	if w.GradDtype == DtypeNone {
+		// Forward-only workloads carry no AdamW state either.
+		m.MomentBytes = 0
 	}
 	if !opts.ActivationCheckpoint {
 		m.ActivationBytes = int64(w.Layers) * actBytesFor(w.Dim, w.Heads, layout.TP)
 	}
 	m.TotalBytes = m.ParamBytes + m.GradBytes + m.MomentBytes + m.ActivationBytes + m.GatherBytes
 	return m
+}
+
+// ServingMemory prices one forward-only inference replica of the
+// workload's block stack with its matmul weights stored at dt. The
+// six per-block matmul matrices (QKV, WO, FC1, FC2) are priced at the
+// exact container cost — for the quantized dtypes that is the true
+// scales+data byte count of internal/quant, pinned against real
+// Quantized.Bytes() sums by test — while norms and biases stay
+// float32, mirroring what ckpt.SaveQuantized stores and what a serving
+// replica actually holds. Activations charge one live block's
+// workspace: a forward plan reuses its buffers layer to layer.
+func ServingMemory(w Workload, dt Dtype) MemBreakdown {
+	d := w.Dim
+	matmul := 4*matrixBytes(d, d, dt) + // WQ, WK, WV, WO
+		matrixBytes(d, 4*d, dt) + // FC1
+		matrixBytes(4*d, d, dt) // FC2
+	total := int64(blockShardNumel(w.Dim, w.Heads, 1, 0, w.QKNorm))
+	residue := (total - 12*int64(d)*int64(d)) * 4 // norms + biases, always f32
+	m := MemBreakdown{
+		ParamBytes:      int64(w.Layers) * (matmul + residue),
+		ActivationBytes: actBytesFor(w.Dim, w.Heads, 1),
+	}
+	m.TotalBytes = m.ParamBytes + m.ActivationBytes
+	return m
+}
+
+// ServingReplicasPerDevice is the capacity answer quantized serving
+// exists for: how many forward-only replicas of the block stack fit in
+// memBudget bytes at the given weight dtype.
+func ServingReplicasPerDevice(w Workload, dt Dtype, memBudget int64) int {
+	per := ServingMemory(w, dt).TotalBytes
+	if per <= 0 || memBudget <= 0 {
+		return 0
+	}
+	return int(memBudget / per)
 }

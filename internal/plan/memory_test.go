@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"testing"
+
+	"orbit/internal/core"
+	"orbit/internal/quant"
+)
+
+func memWorkload(layers int) Workload {
+	return Workload{Dim: 64, Heads: 4, Layers: layers, Tokens: 64, GlobalBatch: 8}
+}
+
+// TestAnalyticMemoryDtypeDefault: the zero-value dtypes price exactly
+// like explicit float32 — the old hard-coded `owned * 4` — so every
+// existing workload (and the byte-exact calibration) is unchanged.
+func TestAnalyticMemoryDtypeDefault(t *testing.T) {
+	w := memWorkload(4)
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 1}
+	def := analyticMemory(w, layout, w.Opts)
+	wf := w
+	wf.ParamDtype, wf.GradDtype = DtypeF32, DtypeF32
+	if exp := analyticMemory(wf, layout, wf.Opts); def != exp {
+		t.Fatalf("zero-value dtypes price %+v, explicit f32 prices %+v", def, exp)
+	}
+	owned := def.ParamBytes / 4
+	if def.ParamBytes != owned*4 || def.GradBytes != owned*4 || def.MomentBytes != owned*8 {
+		t.Fatalf("f32 breakdown lost the 4/4/8 bytes-per-param structure: %+v", def)
+	}
+}
+
+// TestAnalyticMemoryQuantized: quantized parameter dtypes shrink the
+// parameter bytes by the block-format rate, and DtypeNone gradients
+// (a forward-only replica) drop gradient and optimizer-moment bytes
+// entirely.
+func TestAnalyticMemoryQuantized(t *testing.T) {
+	w := memWorkload(4)
+	layout := core.Layout{TP: 1, FSDP: 1, DDP: 1}
+	f32 := analyticMemory(w, layout, w.Opts)
+
+	for _, tc := range []struct {
+		dt   Dtype
+		rate float64
+	}{{DtypeInt8, 1.125}, {DtypeQ4, 0.625}, {DtypeBF16, 2}} {
+		wq := w
+		wq.ParamDtype = tc.dt
+		got := analyticMemory(wq, layout, wq.Opts)
+		want := int64(float64(f32.ParamBytes) / 4 * tc.rate)
+		if got.ParamBytes != want {
+			t.Errorf("%s: param bytes %d, want %d (%.3f B/param)", tc.dt, got.ParamBytes, want, tc.rate)
+		}
+		if got.GradBytes != f32.GradBytes {
+			t.Errorf("%s: parameter dtype changed gradient bytes", tc.dt)
+		}
+	}
+
+	serve := w
+	serve.ParamDtype, serve.GradDtype = DtypeQ4, DtypeNone
+	got := analyticMemory(serve, layout, serve.Opts)
+	if got.GradBytes != 0 || got.MomentBytes != 0 {
+		t.Errorf("forward-only workload still charges grads %d / moments %d", got.GradBytes, got.MomentBytes)
+	}
+	if got.ParamBytes >= f32.ParamBytes {
+		t.Errorf("q4 params %d not below f32's %d", got.ParamBytes, f32.ParamBytes)
+	}
+}
+
+// TestServingMemoryExactBytes pins the quantized serving model
+// against reality: the per-block matmul bytes the model prices must
+// equal the summed Bytes() of real quant.Quantized containers over
+// the same matrix geometry.
+func TestServingMemoryExactBytes(t *testing.T) {
+	w := memWorkload(3)
+	d := w.Dim
+	for _, tc := range []struct {
+		dt   Dtype
+		kind quant.Kind
+	}{{DtypeInt8, quant.Int8}, {DtypeQ4, quant.Q4_0}} {
+		var real int64
+		for _, geo := range [][2]int{{d, d}, {d, d}, {d, d}, {d, d}, {d, 4 * d}, {4 * d, d}} {
+			buf := make([]float32, geo[0]*geo[1])
+			for i := range buf {
+				buf[i] = float32(i%7) - 3
+			}
+			real += int64(quant.Quantize(buf, geo[0], geo[1], tc.kind).Bytes())
+		}
+		total := int64(blockShardNumel(w.Dim, w.Heads, 1, 0, w.QKNorm))
+		residue := (total - 12*int64(d)*int64(d)) * 4
+		wantParams := int64(w.Layers) * (real + residue)
+		got := ServingMemory(w, tc.dt)
+		if got.ParamBytes != wantParams {
+			t.Errorf("%s: ServingMemory prices %d param bytes, real containers sum to %d",
+				tc.dt, got.ParamBytes, wantParams)
+		}
+		if got.TotalBytes != got.ParamBytes+got.ActivationBytes {
+			t.Errorf("%s: total %d is not params+activations", tc.dt, got.TotalBytes)
+		}
+	}
+}
+
+// TestServingReplicasPerDevice: the capacity ordering quantization
+// buys — Q4_0 packs more replicas than int8, int8 more than f32 — on
+// a budget sized so the differences are visible.
+func TestServingReplicasPerDevice(t *testing.T) {
+	w := memWorkload(8)
+	budget := 24 * ServingMemory(w, DtypeF32).TotalBytes
+	f32 := ServingReplicasPerDevice(w, DtypeF32, budget)
+	i8 := ServingReplicasPerDevice(w, DtypeInt8, budget)
+	q4 := ServingReplicasPerDevice(w, DtypeQ4, budget)
+	if !(q4 > i8 && i8 > f32 && f32 > 0) {
+		t.Errorf("replica capacity ordering broken: f32=%d int8=%d q4=%d", f32, i8, q4)
+	}
+	if ServingReplicasPerDevice(w, DtypeF32, 0) != 0 {
+		t.Error("zero budget fits a replica")
+	}
+}

@@ -75,6 +75,13 @@ type Workload struct {
 	// trainer's divisibility requirement).
 	GlobalBatch int
 	Opts        core.Options
+	// ParamDtype / GradDtype price the persistent parameter and
+	// gradient storage in the analytic memory breakdown. The zero value
+	// is float32 — the training engine's master precision — so existing
+	// plans are byte-identical. DtypeNone gradients mark a forward-only
+	// workload: no gradient or optimizer-moment bytes are charged.
+	ParamDtype Dtype
+	GradDtype  Dtype
 }
 
 // Validate reports impossible workloads.

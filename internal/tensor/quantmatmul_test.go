@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMatMulQuantMatchesPackedF32 pins the fused kernel's core
+// contract: MatMulQuantInto is bit-identical to MatMulPackedBInto over
+// the dequantized weight — same micro-kernel, same 4-column grouping,
+// same scalar tails — across shapes that hit the partial-group and
+// partial-row paths, with and without bias, for both formats.
+func TestMatMulQuantMatchesPackedF32(t *testing.T) {
+	var seed uint64 = 1100
+	shapes := []struct{ m, k, n int }{
+		{1, 32, 32},   // single row
+		{8, 32, 32},   // block-sized
+		{5, 33, 7},    // odd everything: partial blocks, n%4 tail, odd rows
+		{16, 128, 96}, // over the parallel threshold with larger k
+		{3, 8, 4},     // minimal vector-eligible k
+		{2, 7, 5},     // scalar-only k
+	}
+	for _, kind := range []QuantKind{QuantInt8, QuantQ4} {
+		for _, sh := range shapes {
+			seed++
+			x := randMat(seed, sh.m, sh.k)
+			w := randMat(seed+500, sh.k, sh.n)
+			bias := randMat(seed+900, 1, sh.n)
+			q := QuantizeTensor(w, kind)
+			deq := DequantizeTensor(q)
+			packed := make([]float32, sh.k*sh.n)
+			PackTransposedInto(packed, deq)
+			for _, withBias := range []bool{false, true} {
+				var b *Tensor
+				if withBias {
+					b = bias
+				}
+				got := New(sh.m, sh.n)
+				want := New(sh.m, sh.n)
+				MatMulQuantInto(got, x, q, b)
+				MatMulPackedBInto(want, x, packed, sh.n, b)
+				for i := range got.Data() {
+					if got.Data()[i] != want.Data()[i] {
+						t.Fatalf("%s m=%d k=%d n=%d bias=%v: element %d quant=%g f32=%g (must be bit-identical)",
+							kind, sh.m, sh.k, sh.n, withBias, i, got.Data()[i], want.Data()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulQuantDeterministic sweeps GOMAXPROCS over the values the
+// parallel runtime's determinism contract covers: the fused kernel's
+// tile decomposition is a pure function of n, so results are
+// bit-identical at any worker count.
+func TestMatMulQuantDeterministic(t *testing.T) {
+	const m, k, n = 24, 96, 64
+	x := randMat(1201, m, k)
+	q := QuantizeTensor(randMat(1202, k, n), QuantQ4)
+	bias := randMat(1203, 1, n)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var ref []float32
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		dst := New(m, n)
+		MatMulQuantInto(dst, x, q, bias)
+		if ref == nil {
+			ref = append([]float32(nil), dst.Data()...)
+			continue
+		}
+		for i, v := range dst.Data() {
+			if v != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: element %d = %g, GOMAXPROCS=1 got %g", procs, i, v, ref[i])
+			}
+		}
+	}
+}
+
+// TestMatMulQuantAllocs asserts the 0 allocs/op steady state on both
+// the serial path and (via forkTiles-sized work) the pooled parallel
+// path. AllocsPerRun pins GOMAXPROCS to 1, so the large shape below
+// exercises the pooled scratch and task reuse serially — the parallel
+// handoff itself is already pinned allocation-free by
+// TestParallelForAllocs.
+func TestMatMulQuantAllocs(t *testing.T) {
+	var seed uint64 = 1300
+	for _, sh := range []struct{ m, k, n int }{{4, 32, 32}, {32, 128, 128}} {
+		seed++
+		x := randMat(seed, sh.m, sh.k)
+		q := QuantizeTensor(randMat(seed+500, sh.k, sh.n), QuantInt8)
+		bias := randMat(seed+900, 1, sh.n)
+		dst := New(sh.m, sh.n)
+		MatMulQuantInto(dst, x, q, bias) // warm the pools
+		if allocs := testing.AllocsPerRun(20, func() {
+			MatMulQuantInto(dst, x, q, bias)
+		}); allocs != 0 {
+			t.Errorf("m=%d k=%d n=%d: %v allocs/op in steady state, want 0", sh.m, sh.k, sh.n, allocs)
+		}
+	}
+}
+
+// TestMatMulQuantPanics pins the shape guards.
+func TestMatMulQuantPanics(t *testing.T) {
+	x := randMat(1401, 4, 32)
+	q := QuantizeTensor(randMat(1402, 32, 8), QuantInt8)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("non-2D input", func() { MatMulQuantInto(New(4, 8), New(4, 8, 1), q, nil) })
+	expectPanic("inner mismatch", func() { MatMulQuantInto(New(4, 8), randMat(1403, 4, 16), q, nil) })
+	expectPanic("bad dst", func() { MatMulQuantInto(New(4, 9), x, q, nil) })
+	expectPanic("bad bias", func() { MatMulQuantInto(New(4, 8), x, q, New(1, 3)) })
+	expectPanic("QuantizeTensor rank", func() { QuantizeTensor(New(2, 2, 2), QuantInt8) })
+}

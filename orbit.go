@@ -69,6 +69,7 @@ import (
 	"orbit/internal/infer"
 	"orbit/internal/perf"
 	"orbit/internal/plan"
+	"orbit/internal/quant"
 	"orbit/internal/serve"
 	"orbit/internal/train"
 	"orbit/internal/vit"
@@ -309,6 +310,52 @@ func LoadInferenceModel(path string) (*Model, error) { return infer.LoadModel(pa
 func LoadInferenceTrunk(dir string, cfg ModelConfig, seed uint64) (*Model, error) {
 	m, _, err := infer.LoadModelWithTrunk(dir, cfg, seed)
 	return m, err
+}
+
+// QuantKind selects a block-quantized weight format: int8 or Q4_0,
+// one float32 scale per 32 weights.
+type QuantKind = quant.Kind
+
+// QuantizedWeight is one matmul weight in block-quantized form; the
+// inference engine reads it through dequant-fused kernels.
+type QuantizedWeight = quant.Quantized
+
+// Quantized weight formats: QuantInt8 stores 1.125 bytes/param,
+// QuantQ4 0.625 (6.4x smaller than float32).
+const (
+	QuantInt8 = quant.Int8
+	QuantQ4   = quant.Q4_0
+)
+
+// ParseQuantKind maps CLI spellings ("int8", "i8", "q4", "q4_0") to a
+// QuantKind.
+func ParseQuantKind(s string) (QuantKind, error) { return quant.ParseKind(s) }
+
+// ErrNotQuantized reports that LoadQuantizedModel was given a
+// structurally valid checkpoint of a non-quantized kind.
+var ErrNotQuantized = ckpt.ErrNotQuantized
+
+// SaveQuantizedCheckpoint writes the model with its matmul weights
+// block-quantized at kind — 3.5–6.4x smaller than a float32
+// checkpoint, CRC-protected like every ORBT v3 file.
+func SaveQuantizedCheckpoint(path string, m *Model, kind QuantKind) error {
+	return ckpt.SaveQuantized(path, m, kind)
+}
+
+// LoadQuantizedModel reads a quantized checkpoint, returning the
+// dequantized model and the quantized containers (pass them as
+// InferConfig.Quant to serve through the dequant-fused kernels).
+// Non-quantized checkpoints return ErrNotQuantized.
+func LoadQuantizedModel(path string) (*Model, map[string]*QuantizedWeight, error) {
+	return infer.LoadModelQuantized(path)
+}
+
+// QuantizeModel block-quantizes a model's matmul weights in place (the
+// weights become their dequantized reconstruction, exactly as a
+// quantized-checkpoint round trip would leave them) and returns the
+// containers for quantized serving.
+func QuantizeModel(m *Model, kind QuantKind) (map[string]*QuantizedWeight, error) {
+	return ckpt.QuantizeModel(m, kind)
 }
 
 // NewScoreCache builds a per-model scoring cache over a dataset; nil

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# PR 9 block-quantization measurement, recorded into BENCH_PR9.json.
+# Drives the env-gated TestBenchPR9 in internal/infer: f32 vs int8 vs
+# Q4_0 on the serving-shaped matmul (GFLOP/s and weight-stream GB/s,
+# 0 allocs/op asserted for the fused kernel), the frozen golden
+# rollout served end to end from each format, and checkpoint bytes on
+# disk with compression ratios. Arms interleave within each round and
+# medians are reported, so the ratios hold as host speed drifts.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-$PWD/BENCH_PR9.json}
+
+ORBIT_BENCH_PR9="$OUT" go test ./internal/infer/ -run '^TestBenchPR9$' -count=1 -v -timeout 900s \
+	| grep -E 'benchpr9|ok ' || true
+
+if [ ! -s "$OUT" ]; then
+	echo "bench_pr9: $OUT was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"
