@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 check-bench fuzz-smoke golden docs-check examples
+.PHONY: ci build vet fmt-check staticcheck test race bench-smoke cover bench bench-pr2 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 check-bench fuzz-smoke golden docs-check examples
 
 ci: build vet fmt-check staticcheck docs-check check-bench test race bench-smoke cover
 
@@ -51,7 +51,7 @@ test:
 # racing live rank goroutines (the stalled-TP-rank recovery test is
 # written for this stage) and the rollback/replay loop.
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/quant/... ./internal/nn/... ./internal/fft/... ./internal/afno/... ./internal/optim/... ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/train/... ./internal/guard/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
+	$(GO) test -race ./internal/tensor/... ./internal/quant/... ./internal/nn/... ./internal/fft/... ./internal/afno/... ./internal/optim/... ./internal/comm/... ./internal/parallel/... ./internal/core/... ./internal/pp/... ./internal/train/... ./internal/guard/... ./internal/infer/... ./internal/plan/... ./internal/serve/... ./cmd/orbit-serve/...
 
 # Documentation gates: every package must carry a package comment
 # (scripts/check_pkgdoc.sh), and the checker proves it can fail via
@@ -122,6 +122,13 @@ bench-pr8:
 # checkpoint compression, recorded into BENCH_PR9.json.
 bench-pr9:
 	sh scripts/bench_pr9.sh
+
+# Pipeline-parallelism measurement: step time vs stages and
+# micro-batches (predicted vs engine-simulated, bubble fraction from
+# the 1F1B replay) and the memory-bound 4D-beats-3D shape, recorded
+# into BENCH_PR10.json.
+bench-pr10:
+	sh scripts/bench_pr10.sh
 
 # Runs the checkpoint fuzz targets over their committed seed corpus
 # (no new fuzzing): regressions in the hardened parsers fail fast.

@@ -42,7 +42,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	orbit "orbit"
@@ -58,7 +57,7 @@ func main() {
 	statePath := flag.String("state", "orbit-pretrain.state.orbt", "training-state checkpoint path (single-model mode)")
 	resume := flag.String("resume", "", "resume from a training-state checkpoint (single-model mode)")
 	killStep := flag.Int("kill-step", 0, "simulate a fault: exit(1) after completing this step (single-model mode)")
-	layoutFlag := flag.String("layout", "", "distributed mode over the simulated cluster: TPxFSDPxDDP (e.g. 2x4x2) or 'auto' to let the parallelism planner choose")
+	layoutFlag := flag.String("layout", "", "distributed mode over the simulated cluster: TPxFSDPxDDP, TPxPPxFSDPxDDP with pipeline stages (e.g. 2x4x2 or 2x2x4x1), or 'auto' to let the 4D parallelism planner choose")
 	nodes := flag.Int("nodes", 2, "simulated cluster size in nodes (-layout mode; 8 GPUs per node)")
 	heads := flag.Int("heads", 4, "attention heads of the distributed transformer stack (-layout mode)")
 	layers := flag.Int("layers", 3, "transformer blocks of the distributed stack (-layout mode)")
@@ -198,21 +197,26 @@ func runGuarded(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatc
 			GlobalBatch: globalBatch, Opts: cfg.Opts,
 		}
 		// Plan against the same (scaled) machine the elastic job will
-		// simulate on — see ElasticConfig.ComputeScale.
-		best, err := orbit.BestPlan(w, orbit.ScaledPlanShape(nodes, computeScale), orbit.PlanConstraints{})
+		// simulate on — see ElasticConfig.ComputeScale. The 4D planner
+		// searches a strict superset of the 3D space, so it picks a
+		// pipelined layout only when the replayed schedule (bubbles
+		// included) wins or when only pipelining fits device memory.
+		best, err := orbit.BestPlan4(w, orbit.ScaledPlanShape(nodes, computeScale), orbit.PlanConstraints{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("auto-planner chose %s\n", best)
-		cfg.Layout = best.Layout
+		cfg.Layout = best.Layout.Inner()
+		cfg.PP = best.Layout.PP
 		cfg.Opts = best.Options(cfg.Opts)
 		cfg.AutoPlan = true // replan on every post-fault rebuild too
 	} else {
-		var tp, fsdp, ddp int
-		if n, err := fmt.Sscanf(strings.ToLower(layoutSpec), "%dx%dx%d", &tp, &fsdp, &ddp); n != 3 || err != nil {
-			log.Fatalf("bad -layout %q: want TPxFSDPxDDP (e.g. 2x4x2) or 'auto'", layoutSpec)
+		l4, err := orbit.ParseLayout(layoutSpec)
+		if err != nil {
+			log.Fatalf("bad -layout %q: want TPxFSDPxDDP, TPxPPxFSDPxDDP (e.g. 2x2x4x1) or 'auto'", layoutSpec)
 		}
-		cfg.Layout = orbit.Layout{TP: tp, FSDP: fsdp, DDP: ddp}
+		cfg.Layout = l4.Inner()
+		cfg.PP = l4.PP
 	}
 	var inj *orbit.FaultInjector
 	if killNodeStep > 0 || stallNodeStep > 0 {
@@ -247,8 +251,8 @@ func runGuarded(layoutSpec string, nodes, dim, heads, layers, tokens, globalBatc
 		log.Fatal(err)
 	}
 	el := res.Elastic
-	fmt.Printf("trained %d steps at final layout TP=%d FSDP=%d DDP=%d on %d nodes (%d rebuilds, %d rollbacks, %d watchdog kills)\n",
-		steps, el.FinalLayout.TP, el.FinalLayout.FSDP, el.FinalLayout.DDP, el.FinalNodes, el.Rebuilds,
+	fmt.Printf("trained %d steps at final layout TP=%d PP=%d FSDP=%d DDP=%d on %d nodes (%d rebuilds, %d rollbacks, %d watchdog kills)\n",
+		steps, el.FinalLayout.TP, el.FinalPP, el.FinalLayout.FSDP, el.FinalLayout.DDP, el.FinalNodes, el.Rebuilds,
 		res.Rollbacks, res.WatchdogKills)
 	fmt.Printf("loss: %.4f -> %.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
 }

@@ -144,4 +144,26 @@ func runAuto(nodes, globalBatch int, computeScale float64, cores int) {
 		fmt.Printf("planner choice simulated at %.3f ms: %+.2f%% vs grid optimum\n", 1e3*chosen.StepTime, gap)
 	}
 	fmt.Printf("\nexplanation of the chosen plan:\n%s\n", best.Explain())
+
+	// 4D: repeat the search with the pipeline axis open. PP=1
+	// candidates are priced by the identical 3D replay, so the 4D
+	// choice differs only when the replayed 1F1B schedule (bubbles
+	// included) beats every 3D layout or when only pipelining fits
+	// the device memory.
+	best4, err := orbit.BestPlan4(w, shape, orbit.PlanConstraints{})
+	if err != nil {
+		fmt.Printf("4D planner failed: %v\n", err)
+		return
+	}
+	fmt.Printf("4D planner choice (TPxPPxFSDPxDDP search): %s\n", best4)
+	if best4.Layout.PP > 1 {
+		m4 := orbit.SimulatePlan4(w, shape, best4.Candidate4, 2)
+		if m4.Err == nil {
+			gap := 100 * (m4.StepTime/optTime - 1)
+			fmt.Printf("4D choice simulated at %.3f ms: %+.2f%% vs 3D grid optimum (predicted pipeline wait %.3f ms)\n",
+				1e3*m4.StepTime, gap, 1e3*best4.Pred.PPWait)
+		}
+	} else {
+		fmt.Printf("pipelining buys nothing on this shape: the 4D search kept PP=1\n")
+	}
 }

@@ -353,6 +353,16 @@ func FuzzLoadManifest(f *testing.F) {
 	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":["shard-s1-t0-f0.bin"],"shard_crcs":[3735928559]}`))
 	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":2,"ddp":1},"flat_lens":[8,8],"shards":["shard-s1-t0-f0.bin","shard-s1-t0-f1.bin"],"shard_crcs":[1]}`))
 	f.Add([]byte(`{"version":3,"layout":{"tp":1,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":["shard-s1-t0-f0.bin"],"shard_crcs":[4294967295,0,1]}`))
+	// PR-10 stage-coordinate seeds: manifests whose stage_blocks ranges
+	// cannot address the block list (out of range, overlapping, gapped,
+	// empty stage, wrong count, implausible stage extent).
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":2,"fsdp":1,"ddp":1},"flat_lens":[8,8],"stage_blocks":[[0,1],[1,5]],"shards":["shard-s1-p0-t0-f0.bin","shard-s1-p1-t0-f0.bin"]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":2,"fsdp":1,"ddp":1},"flat_lens":[8,8,8],"stage_blocks":[[0,2],[1,3]],"shards":["shard-s1-p0-t0-f0.bin","shard-s1-p1-t0-f0.bin"]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":2,"fsdp":1,"ddp":1},"flat_lens":[8,8,8],"stage_blocks":[[0,1],[2,3]],"shards":["shard-s1-p0-t0-f0.bin","shard-s1-p1-t0-f0.bin"]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":2,"fsdp":1,"ddp":1},"flat_lens":[8,8],"stage_blocks":[[0,2],[2,2]],"shards":["shard-s1-p0-t0-f0.bin","shard-s1-p1-t0-f0.bin"]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":2,"fsdp":1,"ddp":1},"flat_lens":[8,8],"stage_blocks":[[0,2]],"shards":["shard-s1-p0-t0-f0.bin","shard-s1-p1-t0-f0.bin"]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":70000,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":[]}`))
+	f.Add([]byte(`{"version":3,"layout":{"tp":1,"pp":-1,"fsdp":1,"ddp":1},"flat_lens":[8],"shards":["shard-s1-t0-f0.bin"]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Scenario 1: the bytes are the manifest.
@@ -364,8 +374,8 @@ func FuzzLoadManifest(f *testing.F) {
 		if err == nil {
 			// A manifest only loads when every declared shard resolved
 			// inside the directory.
-			if len(shards) != man.Layout.TP*man.Layout.FSDP {
-				t.Fatalf("loaded %d shards for %dx%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+			if len(shards) != man.Layout.Stages()*man.Layout.TP*man.Layout.FSDP {
+				t.Fatalf("loaded %d shards for %dx%dx%d grid", len(shards), man.Layout.Stages(), man.Layout.TP, man.Layout.FSDP)
 			}
 		}
 

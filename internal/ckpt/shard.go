@@ -50,11 +50,23 @@ const shardMagic = "ORBS"
 const ManifestName = "manifest.json"
 
 // ShardLayout names the parallelism extents a sharded checkpoint was
-// saved under (mirrors core.Layout without importing it).
+// saved under (mirrors core.Layout without importing it). PP is the
+// pipeline-stage count; zero means 1 (checkpoints written before the
+// pipeline axis existed omit the field).
 type ShardLayout struct {
 	TP   int `json:"tp"`
+	PP   int `json:"pp,omitempty"`
 	FSDP int `json:"fsdp"`
 	DDP  int `json:"ddp"`
+}
+
+// Stages returns the pipeline-stage count, treating the omitted
+// legacy field as 1.
+func (l ShardLayout) Stages() int {
+	if l.PP < 1 {
+		return 1
+	}
+	return l.PP
 }
 
 // BlockSpec records the transformer-block geometry a sharded
@@ -93,7 +105,15 @@ type Manifest struct {
 	GlobalBatch int `json:"global_batch"`
 	// RNG is the data-stream RNG state after Step steps.
 	RNG tensor.RNGState `json:"rng"`
-	// Shards lists the shard file names (one per (T,F) position).
+	// StageBlocks records, per pipeline stage, the [start,end) range of
+	// global block indices (rows of FlatLens) that stage's shards hold —
+	// the stage coordinate of the manifest. The ranges must tile
+	// [0,len(FlatLens)) in order. Omitted when the checkpoint was saved
+	// with a single stage.
+	StageBlocks [][2]int `json:"stage_blocks,omitempty"`
+	// Shards lists the shard file names, one per (P,T,F) position with
+	// P slowest (PP=1 checkpoints keep the historical (T,F) order and
+	// file names byte-identically).
 	Shards []string `json:"shards"`
 	// ShardCRCs carries the whole-file CRC32C digest of each shard,
 	// aligned with Shards. Written since format version 3; loads of
@@ -109,6 +129,16 @@ func (m *Manifest) FlatLensFor(t int) []int {
 	return m.FlatLens
 }
 
+// StageRange returns the [start,end) global block range stage p's
+// shards hold. Single-stage manifests (or those without the optional
+// StageBlocks field) own the whole stack.
+func (m *Manifest) StageRange(p int) [2]int {
+	if p < len(m.StageBlocks) {
+		return m.StageBlocks[p]
+	}
+	return [2]int{0, len(m.FlatLens)}
+}
+
 // maxShardExtent bounds the layout extents a manifest may declare; a
 // larger value is a corrupt manifest, not a cluster.
 const maxShardExtent = 1 << 16
@@ -122,6 +152,12 @@ func (m *Manifest) Validate() error {
 	l := m.Layout
 	if l.TP < 1 || l.FSDP < 1 || l.DDP < 1 || l.TP > maxShardExtent || l.FSDP > maxShardExtent || l.DDP > maxShardExtent {
 		return fmt.Errorf("ckpt: implausible layout %d×%d×%d", l.TP, l.FSDP, l.DDP)
+	}
+	if l.PP < 0 || l.PP > maxShardExtent {
+		return fmt.Errorf("ckpt: implausible stage count %d", l.PP)
+	}
+	if err := m.validateStageBlocks(); err != nil {
+		return err
 	}
 	if m.Step < 0 || m.OptStep < 0 {
 		return fmt.Errorf("ckpt: negative step counters %d/%d", m.Step, m.OptStep)
@@ -151,16 +187,53 @@ func (m *Manifest) Validate() error {
 	return nil
 }
 
+// validateStageBlocks rejects stage coordinates that could misdirect
+// the loader: a multi-stage manifest must carry exactly one block
+// range per stage, and the ranges must tile the block list in order —
+// no out-of-range end, no overlap, no gap, no empty stage.
+func (m *Manifest) validateStageBlocks() error {
+	stages := m.Layout.Stages()
+	if len(m.StageBlocks) == 0 {
+		if stages > 1 {
+			return fmt.Errorf("ckpt: %d stages but no stage_blocks", stages)
+		}
+		return nil
+	}
+	if len(m.StageBlocks) != stages {
+		return fmt.Errorf("ckpt: %d stage_blocks for %d stages", len(m.StageBlocks), stages)
+	}
+	next := 0
+	for p, rng := range m.StageBlocks {
+		if rng[0] != next {
+			return fmt.Errorf("ckpt: stage %d blocks start at %d, want %d (ranges must tile the block list)", p, rng[0], next)
+		}
+		if rng[1] <= rng[0] {
+			return fmt.Errorf("ckpt: stage %d owns no blocks (range %v)", p, rng)
+		}
+		if rng[1] > len(m.FlatLens) {
+			return fmt.Errorf("ckpt: stage %d blocks end at %d, manifest has %d blocks", p, rng[1], len(m.FlatLens))
+		}
+		next = rng[1]
+	}
+	if next != len(m.FlatLens) {
+		return fmt.Errorf("ckpt: stage ranges cover %d of %d blocks", next, len(m.FlatLens))
+	}
+	return nil
+}
+
 // BlockShard is one rank's slice of one block: chunk weights and the
 // matching AdamW moment chunks, all padded-chunk length.
 type BlockShard struct {
 	W, M, V []float32
 }
 
-// RankShard is everything one (T,F) grid position owns.
+// RankShard is everything one (P,T,F) grid position owns. P is the
+// pipeline-stage coordinate; its identity is carried by the manifest
+// (shard order, file name, and digest), not the shard binary — the
+// on-disk shard format is unchanged from single-stage checkpoints.
 type RankShard struct {
-	T, F   int
-	Blocks []BlockShard
+	P, T, F int
+	Blocks  []BlockShard
 }
 
 // ShardFileName returns the canonical shard file name for a grid
@@ -168,6 +241,13 @@ type RankShard struct {
 // crash-safe: the old manifest's files are never touched.
 func ShardFileName(step, t, f int) string {
 	return fmt.Sprintf("shard-s%d-t%d-f%d.bin", step, t, f)
+}
+
+// StageShardFileName is ShardFileName with the pipeline-stage
+// coordinate; used when the checkpoint has more than one stage
+// (single-stage saves keep the historical names byte-identically).
+func StageShardFileName(step, p, t, f int) string {
+	return fmt.Sprintf("shard-s%d-p%d-t%d-f%d.bin", step, p, t, f)
 }
 
 // PaddedLen returns the flat length after padding logical length l to
@@ -199,8 +279,9 @@ func SaveSharded(dir string, man *Manifest, shards []*RankShard) error {
 // expired generations pruned. A crash anywhere leaves a loadable
 // checkpoint.
 func SaveShardedKeep(dir string, man *Manifest, shards []*RankShard, keep int) error {
-	if len(shards) != man.Layout.TP*man.Layout.FSDP {
-		return fmt.Errorf("ckpt: %d shards for a %d×%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+	stages := man.Layout.Stages()
+	if len(shards) != stages*man.Layout.TP*man.Layout.FSDP {
+		return fmt.Errorf("ckpt: %d shards for a %d×%d×%d grid", len(shards), stages, man.Layout.TP, man.Layout.FSDP)
 	}
 	if keep < 1 {
 		keep = 1
@@ -213,6 +294,9 @@ func SaveShardedKeep(dir string, man *Manifest, shards []*RankShard, keep int) e
 	man.ShardCRCs = man.ShardCRCs[:0]
 	ordered := append([]*RankShard(nil), shards...)
 	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].P != ordered[j].P {
+			return ordered[i].P < ordered[j].P
+		}
 		if ordered[i].T != ordered[j].T {
 			return ordered[i].T < ordered[j].T
 		}
@@ -220,6 +304,9 @@ func SaveShardedKeep(dir string, man *Manifest, shards []*RankShard, keep int) e
 	})
 	for _, sh := range ordered {
 		name := ShardFileName(man.Step, sh.T, sh.F)
+		if stages > 1 {
+			name = StageShardFileName(man.Step, sh.P, sh.T, sh.F)
+		}
 		crc, err := writeShardFile(filepath.Join(dir, name), sh)
 		if err != nil {
 			return err
@@ -332,9 +419,9 @@ func readManifest(path string) (*Manifest, error) {
 	if err := man.Validate(); err != nil {
 		return nil, &CorruptError{Path: path, Section: "manifest", Err: err}
 	}
-	if len(man.Shards) != man.Layout.TP*man.Layout.FSDP {
+	if want := man.Layout.Stages() * man.Layout.TP * man.Layout.FSDP; len(man.Shards) != want {
 		return nil, &CorruptError{Path: path, Section: "manifest",
-			Err: fmt.Errorf("manifest lists %d shards for a %d×%d grid", len(man.Shards), man.Layout.TP, man.Layout.FSDP)}
+			Err: fmt.Errorf("manifest lists %d shards for a %d×%d×%d grid", len(man.Shards), man.Layout.Stages(), man.Layout.TP, man.Layout.FSDP)}
 	}
 	return &man, nil
 }
@@ -354,37 +441,44 @@ func loadShardedFrom(dir, manifestFile string) (*Manifest, []*RankShard, error) 
 		return nil, nil, err
 	}
 	var shards []*RankShard
-	for t := 0; t < man.Layout.TP; t++ {
-		for f := 0; f < man.Layout.FSDP; f++ {
-			i := t*man.Layout.FSDP + f
-			name := man.Shards[i]
-			path := filepath.Join(dir, name)
-			data, err := os.ReadFile(path)
-			if err != nil {
-				// A shard the manifest references but the directory lacks
-				// means the generation is incomplete — corruption, not
-				// environment.
-				return nil, nil, &CorruptError{Path: path, Section: "shard file", Err: err}
-			}
-			if len(man.ShardCRCs) > 0 {
-				if got := crc32.Checksum(data, castagnoli); got != man.ShardCRCs[i] {
-					return nil, nil, &CorruptError{Path: path, Section: "shard digest",
-						Err: fmt.Errorf("crc32c mismatch: manifest %08x, file %08x", man.ShardCRCs[i], got)}
+	for p := 0; p < man.Layout.Stages(); p++ {
+		rng := man.StageRange(p)
+		for t := 0; t < man.Layout.TP; t++ {
+			for f := 0; f < man.Layout.FSDP; f++ {
+				i := (p*man.Layout.TP+t)*man.Layout.FSDP + f
+				name := man.Shards[i]
+				path := filepath.Join(dir, name)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					// A shard the manifest references but the directory lacks
+					// means the generation is incomplete — corruption, not
+					// environment.
+					return nil, nil, &CorruptError{Path: path, Section: "shard file", Err: err}
 				}
+				if len(man.ShardCRCs) > 0 {
+					if got := crc32.Checksum(data, castagnoli); got != man.ShardCRCs[i] {
+						return nil, nil, &CorruptError{Path: path, Section: "shard digest",
+							Err: fmt.Errorf("crc32c mismatch: manifest %08x, file %08x", man.ShardCRCs[i], got)}
+					}
+				}
+				sh, err := readShard(bytes.NewReader(data), path)
+				if err != nil {
+					return nil, nil, corruptAt(path, err)
+				}
+				if sh.T != t || sh.F != f {
+					return nil, nil, &CorruptError{Path: path,
+						Err: fmt.Errorf("shard file claims position (%d,%d), manifest says (%d,%d)", sh.T, sh.F, t, f)}
+				}
+				// The stage coordinate is manifest-positional: the shard
+				// binary doesn't carry it, but the per-stage block count
+				// pins a shard listed under the wrong stage.
+				sh.P = p
+				if len(sh.Blocks) != rng[1]-rng[0] {
+					return nil, nil, &CorruptError{Path: path,
+						Err: fmt.Errorf("shard (%d,%d,%d) has %d blocks, stage owns %d", p, t, f, len(sh.Blocks), rng[1]-rng[0])}
+				}
+				shards = append(shards, sh)
 			}
-			sh, err := readShard(bytes.NewReader(data), path)
-			if err != nil {
-				return nil, nil, corruptAt(path, err)
-			}
-			if sh.T != t || sh.F != f {
-				return nil, nil, &CorruptError{Path: path,
-					Err: fmt.Errorf("shard file claims position (%d,%d), manifest says (%d,%d)", sh.T, sh.F, t, f)}
-			}
-			if len(sh.Blocks) != len(man.FlatLens) {
-				return nil, nil, &CorruptError{Path: path,
-					Err: fmt.Errorf("shard (%d,%d) has %d blocks, manifest has %d", t, f, len(sh.Blocks), len(man.FlatLens))}
-			}
-			shards = append(shards, sh)
 		}
 	}
 	return man, shards, nil
@@ -459,8 +553,9 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 	if newFSDP < 1 {
 		return nil, fmt.Errorf("ckpt: reshard to FSDP=%d", newFSDP)
 	}
-	if len(shards) != man.Layout.TP*man.Layout.FSDP {
-		return nil, fmt.Errorf("ckpt: %d shards for a %d×%d grid", len(shards), man.Layout.TP, man.Layout.FSDP)
+	stages := man.Layout.Stages()
+	if len(shards) != stages*man.Layout.TP*man.Layout.FSDP {
+		return nil, fmt.Errorf("ckpt: %d shards for a %d×%d×%d grid", len(shards), stages, man.Layout.TP, man.Layout.FSDP)
 	}
 	if newFSDP == man.Layout.FSDP {
 		return shards, nil
@@ -473,16 +568,19 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 		return nil, fmt.Errorf("ckpt: TP=%d manifest lacks per-TP flat lengths (flat_lens_tp); re-save the checkpoint before resharding", man.Layout.TP)
 	}
 	oldF := man.Layout.FSDP
-	out := make([]*RankShard, 0, man.Layout.TP*newFSDP)
-	for t := 0; t < man.Layout.TP; t++ {
-		row := shards[t*oldF : (t+1)*oldF]
+	out := make([]*RankShard, 0, stages*man.Layout.TP*newFSDP)
+	for pt := 0; pt < stages*man.Layout.TP; pt++ {
+		p, t := pt/man.Layout.TP, pt%man.Layout.TP
+		rng := man.StageRange(p)
+		row := shards[pt*oldF : (pt+1)*oldF]
 		newRow := make([]*RankShard, newFSDP)
 		for f := range newRow {
-			newRow[f] = &RankShard{T: t, F: f, Blocks: make([]BlockShard, len(man.FlatLens))}
+			newRow[f] = &RankShard{P: p, T: t, F: f, Blocks: make([]BlockShard, rng[1]-rng[0])}
 		}
 		// Logical lengths are per TP row: T>0 shards are shorter than
-		// T=0 (the unsharded output biases live only on rank 0).
-		for b, logical := range man.FlatLensFor(t) {
+		// T=0 (the unsharded output biases live only on rank 0). A
+		// stage's shards hold its block range's rows of that column.
+		for b, logical := range man.FlatLensFor(t)[rng[0]:rng[1]] {
 			for field := 0; field < 3; field++ {
 				pick := func(bs *BlockShard) []float32 {
 					switch field {
@@ -528,6 +626,60 @@ func Reshard(man *Manifest, shards []*RankShard, newFSDP int) ([]*RankShard, err
 			}
 		}
 		out = append(out, newRow...)
+	}
+	return out, nil
+}
+
+// ReshardPP regroups a loaded checkpoint onto a different pipeline
+// partition — newStages block ranges (which must tile the manifest's
+// block list) replacing the saved ones — keeping TP and FSDP fixed.
+// A block's FSDP chunks depend only on (T, F, logical length), never
+// on which stage held it, so repartitioning moves whole BlockShards
+// between shards without touching a single value: the rebuild is
+// bit-identical. Shards return in (P',T,F) order; pass the result to
+// Reshard to change the FSDP extent afterwards (elastic rebuilds that
+// lose a stage do exactly that).
+func ReshardPP(man *Manifest, shards []*RankShard, newStages [][2]int) ([]*RankShard, error) {
+	oldStages := man.Layout.Stages()
+	if len(shards) != oldStages*man.Layout.TP*man.Layout.FSDP {
+		return nil, fmt.Errorf("ckpt: %d shards for a %d×%d×%d grid", len(shards), oldStages, man.Layout.TP, man.Layout.FSDP)
+	}
+	if len(newStages) == 0 {
+		newStages = [][2]int{{0, len(man.FlatLens)}}
+	}
+	next := 0
+	for p, rng := range newStages {
+		if rng[0] != next || rng[1] <= rng[0] || rng[1] > len(man.FlatLens) {
+			return nil, fmt.Errorf("ckpt: new stage %d range %v does not tile %d blocks", p, rng, len(man.FlatLens))
+		}
+		next = rng[1]
+	}
+	if next != len(man.FlatLens) {
+		return nil, fmt.Errorf("ckpt: new stage ranges cover %d of %d blocks", next, len(man.FlatLens))
+	}
+	// blockHome[b] locates block b in the saved partition: which stage
+	// holds it and at which stage-local index.
+	type home struct{ p, local int }
+	blockHome := make([]home, len(man.FlatLens))
+	for p := 0; p < oldStages; p++ {
+		rng := man.StageRange(p)
+		for b := rng[0]; b < rng[1]; b++ {
+			blockHome[b] = home{p: p, local: b - rng[0]}
+		}
+	}
+	out := make([]*RankShard, 0, len(newStages)*man.Layout.TP*man.Layout.FSDP)
+	for p, rng := range newStages {
+		for t := 0; t < man.Layout.TP; t++ {
+			for f := 0; f < man.Layout.FSDP; f++ {
+				sh := &RankShard{P: p, T: t, F: f, Blocks: make([]BlockShard, rng[1]-rng[0])}
+				for b := rng[0]; b < rng[1]; b++ {
+					h := blockHome[b]
+					src := shards[(h.p*man.Layout.TP+t)*man.Layout.FSDP+f]
+					sh.Blocks[b-rng[0]] = src.Blocks[h.local]
+				}
+				out = append(out, sh)
+			}
+		}
 	}
 	return out, nil
 }

@@ -70,6 +70,7 @@ const (
 	opReduceScatter // reduce-scatter; scale distinguishes sum from mean
 	opBroadcast
 	opBarrier
+	opSend // point-to-point send/recv rendezvous (p2p.go)
 )
 
 func (o opKind) String() string {
@@ -84,6 +85,8 @@ func (o opKind) String() string {
 		return "broadcast"
 	case opBarrier:
 		return "barrier"
+	case opSend:
+		return "send"
 	}
 	return "none"
 }
@@ -455,6 +458,29 @@ func (g *Group) complete(p *pending) {
 		}
 	case opBarrier:
 		// No data movement.
+	case opSend:
+		// Exactly one rank posted with a source buffer (ISend); every
+		// rank that posted a destination (IRecv) receives a copy.
+		var src []float32
+		senders := 0
+		for _, b := range p.ins {
+			if b != nil {
+				src = b
+				senders++
+			}
+		}
+		if senders != 1 {
+			panic(fmt.Sprintf("comm: send at seq %d has %d senders, want exactly 1", p.seq, senders))
+		}
+		for r, dst := range p.dsts {
+			if dst == nil {
+				continue
+			}
+			if len(dst) != len(src) {
+				panic(fmt.Sprintf("comm: send buffer at rank %d has %d elements, sender has %d", r, len(dst), len(src)))
+			}
+			copy(dst, src)
+		}
 	}
 	p.done = true
 	g.cond.Broadcast()

@@ -98,6 +98,13 @@ type Engine struct {
 	// rank's chunk version tracks the whole group's — and the unflatten
 	// copy is skipped. The collective itself still runs and is charged.
 	chunkSeen []uint64
+	// recomputed marks that the caller just re-ran Forward to restore
+	// the module caches (pipeline schedules stream several micro-batches
+	// through one engine, clobbering them); the next Backward then
+	// charges two forward-equivalents instead of three, because the
+	// recompute already paid its own compute and communication. Cleared
+	// when that Backward returns. See NoteRecomputed.
+	recomputed bool
 }
 
 // paramBytes is the functional engine's per-element staging cost:
@@ -434,8 +441,10 @@ func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 		// forward that activation checkpointing re-executes (the
 		// functional engine reuses its resident caches — see above —
 		// but the clock pays for the recompute the real system runs).
+		// When the caller already re-ran Forward for real (pipeline
+		// stages, NoteRecomputed), that recompute charged itself.
 		mult := int64(2)
-		if e.Opts.ActivationCheckpoint {
+		if e.Opts.ActivationCheckpoint && !e.recomputed {
 			mult = 3
 		}
 		e.chargeCompute(b, dy, mult)
@@ -468,8 +477,18 @@ func (e *Engine) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	}
+	e.recomputed = false
 	return dy, nil
 }
+
+// NoteRecomputed marks that the caller re-ran Forward immediately
+// before the next Backward to restore clobbered module caches — the
+// real recompute a pipeline stage performs when later micro-batches
+// have streamed through the engine since this one's forward. The next
+// Backward charges two forward-equivalents (the gradient math) instead
+// of three; the recompute Forward already charged its own compute,
+// gathers, and TP reductions.
+func (e *Engine) NoteRecomputed() { e.recomputed = true }
 
 // ddpBucketedReduce packs consecutive chunk gradients into pooled
 // flat buckets, averages each bucket across the DDP group in place,

@@ -72,14 +72,22 @@ type Groups struct {
 // returns a per-rank view backed by common communicators, exactly one
 // per grid line.
 func BuildGroups(l Layout, m *cluster.Machine) ([]*Groups, error) {
+	return BuildGroupsOver(l, m.Devices)
+}
+
+// BuildGroupsOver is BuildGroups over an explicit device window: the
+// grid occupies window[0:Ranks()] in rank order. Pipeline layouts use
+// it to stand up one inner TP×FSDP×DDP grid per stage, each over its
+// stage's contiguous slice of the machine.
+func BuildGroupsOver(l Layout, window []*cluster.Device) ([]*Groups, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	n := l.Ranks()
-	if len(m.Devices) < n {
-		return nil, fmt.Errorf("core: layout needs %d devices, machine has %d", n, len(m.Devices))
+	if len(window) < n {
+		return nil, fmt.Errorf("core: layout needs %d devices, window has %d", n, len(window))
 	}
-	devs := m.Devices[:n]
+	devs := window[:n]
 
 	tpGroups := make(map[[2]int]*comm.Group)
 	fsdpGroups := make(map[[2]int]*comm.Group)

@@ -32,7 +32,7 @@ import (
 	"time"
 
 	"orbit/internal/cluster"
-	"orbit/internal/core"
+	"orbit/internal/pp"
 	"orbit/internal/train"
 )
 
@@ -224,7 +224,7 @@ func Run(cfg Config) (*Result, error) {
 // honored after the sentinel's).
 func composeHooks(user *train.Hooks, sent *sentinel, wd *watchdog) *train.Hooks {
 	h := &train.Hooks{}
-	h.OnBuild = func(m *cluster.Machine, layout core.Layout) {
+	h.OnBuild = func(m *cluster.Machine, layout pp.Layout) {
 		if wd != nil {
 			wd.watch(m, layout.Ranks())
 		}

@@ -10,6 +10,7 @@ import (
 	"orbit/internal/ckpt"
 	"orbit/internal/cluster"
 	"orbit/internal/core"
+	"orbit/internal/pp"
 	"orbit/internal/train"
 )
 
@@ -341,7 +342,7 @@ func TestCorruptCheckpointQuarantineFallback(t *testing.T) {
 	sup.CkptEvery = 2
 	sup.Keep = 2
 	builds := 0
-	sup.Hooks = &train.Hooks{OnBuild: func(_ *cluster.Machine, _ core.Layout) {
+	sup.Hooks = &train.Hooks{OnBuild: func(_ *cluster.Machine, _ pp.Layout) {
 		builds++
 		if builds == 2 {
 			corruptNewestShard(t, sup.CkptDir, 8)
@@ -397,7 +398,7 @@ func TestGuardianEndToEnd(t *testing.T) {
 	builds := 0
 	attempt := 0
 	sup.Hooks = &train.Hooks{
-		OnBuild: func(_ *cluster.Machine, _ core.Layout) {
+		OnBuild: func(_ *cluster.Machine, _ pp.Layout) {
 			builds++
 			if builds == 2 {
 				// The post-kill rebuild is about to load generation s4:

@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"testing"
+
+	"orbit/internal/core"
+	"orbit/internal/pp"
+)
+
+// 4D calibration: the bubble-aware predictor replays the same 1F1B
+// instruction stream the pipelined engines execute, so its step-time
+// estimate must track the measured clocks within the same 15%
+// envelope the 3D planner is held to.
+
+// calibrate4 checks predicted-vs-simulated agreement for every 4D
+// grid candidate and returns the measurements.
+func calibrate4(t *testing.T, w Workload, c ClusterShape, cands []Candidate4) []Measured4 {
+	t.Helper()
+	meas := Sweep4(w, c, cands, 2)
+	for i, m := range meas {
+		if m.Err != nil {
+			t.Fatalf("simulation of %+v failed: %v", m.Candidate4.Layout, m.Err)
+		}
+		pred := Predict4(w, c, cands[i])
+		if pred.OOM {
+			t.Fatalf("predictor declared %+v infeasible: %s", cands[i].Layout, pred.Note)
+		}
+		if e := relErr(pred.StepTime, m.StepTime); e > calibTolerance {
+			t.Errorf("layout %+v knobs %+v: predicted %.6gs, simulated %.6gs (%.1f%% error, tolerance %.0f%%)",
+				cands[i].Layout, cands[i].Knobs, pred.StepTime, m.StepTime, 100*e, 100*calibTolerance)
+		}
+	}
+	return meas
+}
+
+func cand4(l pp.Layout, batch int) Candidate4 {
+	return Candidate4{
+		Layout: l,
+		Knobs:  Knobs{PrefetchDepth: 1, MicroBatches: batch / (l.FSDP * l.DDP)},
+	}
+}
+
+// TestPlanner4DCalibration16 is the 16-device acceptance gate for the
+// pipeline axis: PP ∈ {2, 3} stages composed with every inner axis,
+// including a PP=1 point that must delegate to the 3D predictor.
+func TestPlanner4DCalibration16(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full calibration grid is minutes under -race; the 3D knob calibration still runs")
+	}
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	var cands []Candidate4
+	for _, l := range []pp.Layout{
+		{TP: 1, PP: 1, FSDP: 4, DDP: 2},
+		{TP: 1, PP: 2, FSDP: 1, DDP: 8}, {TP: 1, PP: 2, FSDP: 2, DDP: 2},
+		{TP: 1, PP: 2, FSDP: 4, DDP: 2}, {TP: 1, PP: 2, FSDP: 8, DDP: 1},
+		{TP: 2, PP: 2, FSDP: 2, DDP: 2}, {TP: 2, PP: 2, FSDP: 4, DDP: 1},
+		{TP: 4, PP: 2, FSDP: 2, DDP: 1},
+		{TP: 1, PP: 3, FSDP: 2, DDP: 2}, {TP: 1, PP: 3, FSDP: 4, DDP: 1},
+		{TP: 2, PP: 3, FSDP: 2, DDP: 1},
+	} {
+		cands = append(cands, cand4(l, w.GlobalBatch))
+	}
+	calibrate4(t, w, c, cands)
+}
+
+// TestPlanner4DCalibration64 repeats the gate on a 64-device (8-node)
+// cluster, where stage links cross node boundaries.
+func TestPlanner4DCalibration64(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("64-device sweep is the long calibration gate; skipped under -short and -race")
+	}
+	w := testWorkload()
+	c := ScaledShape(8, 1e-3)
+	var cands []Candidate4
+	for _, l := range []pp.Layout{
+		{TP: 1, PP: 2, FSDP: 16, DDP: 2}, {TP: 1, PP: 2, FSDP: 8, DDP: 4},
+		{TP: 2, PP: 2, FSDP: 8, DDP: 2}, {TP: 2, PP: 2, FSDP: 16, DDP: 1},
+		{TP: 4, PP: 2, FSDP: 4, DDP: 2},
+		{TP: 1, PP: 3, FSDP: 16, DDP: 1}, {TP: 2, PP: 3, FSDP: 4, DDP: 2},
+	} {
+		cands = append(cands, cand4(l, w.GlobalBatch))
+	}
+	calibrate4(t, w, c, cands)
+}
+
+// TestPredict4DelegatesAtPP1 pins the superset property: a PP=1
+// 4D candidate is priced by exactly the 3D replay, field for field.
+func TestPredict4DelegatesAtPP1(t *testing.T) {
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	inner := core.Layout{TP: 2, FSDP: 2, DDP: 4}
+	knobs := Knobs{PrefetchDepth: 1, MicroBatches: w.GlobalBatch / 8}
+	p3 := Predict(w, c, Candidate{Layout: inner, Knobs: knobs})
+	p4 := Predict4(w, c, Candidate4{Layout: pp.Layout{TP: 2, PP: 1, FSDP: 2, DDP: 4}, Knobs: knobs})
+	if p3 != p4 {
+		t.Fatalf("PP=1 prediction diverged from 3D:\n3D: %+v\n4D: %+v", p3, p4)
+	}
+}
+
+// TestPredict4ReportsBubbles: a deep pipeline with few micro-batches
+// must surface a non-zero PPWait — the bubbles fall out of the replay,
+// not an analytic formula — and the wait must shrink when micro-batch
+// count grows at a fixed stage count.
+func TestPredict4ReportsBubbles(t *testing.T) {
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	shallow := Predict4(w, c, cand4(pp.Layout{TP: 1, PP: 3, FSDP: 4, DDP: 1}, w.GlobalBatch))
+	if shallow.PPWait <= 0 {
+		t.Fatalf("PP=3 pipeline reported no bubble wait: %+v", shallow)
+	}
+	few := w
+	few.GlobalBatch = 8 // 2 micro-batches per data rank: mostly bubble
+	deep := Predict4(few, c, cand4(pp.Layout{TP: 1, PP: 3, FSDP: 4, DDP: 1}, few.GlobalBatch))
+	if frac, shallowFrac := deep.PPWait/deep.StepTime, shallow.PPWait/shallow.StepTime; frac <= shallowFrac {
+		t.Errorf("bubble fraction should grow as micro-batches shrink: %d micros %.3f vs %d micros %.3f",
+			few.GlobalBatch/4, frac, w.GlobalBatch/4, shallowFrac)
+	}
+}
+
+// TestMemoryBound4DBeats3D is the acceptance workload where only
+// pipelining fits: GlobalBatch=1 pins FSDP=DDP=1, so 3D layouts can
+// shard parameters only across TP ≤ Heads, while PP=2 additionally
+// halves the per-rank block count. With device memory set between the
+// two footprints, every 3D layout OOMs and Best4 must find a PP>1
+// plan that fits.
+func TestMemoryBound4DBeats3D(t *testing.T) {
+	w := Workload{
+		Dim: 32, Heads: 4, Layers: 4, Tokens: 16, QKNorm: true,
+		GlobalBatch: 1,
+		Opts:        core.DefaultOptions(),
+	}
+	c := ScaledShape(1, 1e-3)
+	knobs := Knobs{PrefetchDepth: 1, MicroBatches: 1}
+	mem3 := Predict(w, c, Candidate{Layout: core.Layout{TP: 4, FSDP: 1, DDP: 1}, Knobs: knobs}).DeviceBytes
+	mem4 := Predict4(w, c, Candidate4{Layout: pp.Layout{TP: 4, PP: 2, FSDP: 1, DDP: 1}, Knobs: knobs}).DeviceBytes
+	if mem4 >= mem3 {
+		t.Fatalf("PP=2 footprint %d not below the best 3D footprint %d; shape is not memory-bound", mem4, mem3)
+	}
+	c.Spec.MemPerGPU = (mem3 + mem4) / 2
+
+	if best, err := Best(w, c, Constraints{}); err == nil {
+		t.Fatalf("3D planner found a fitting layout %+v on a device only pipelining fits", best.Layout)
+	}
+	best4, err := Best4(w, c, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best4.Layout.PP <= 1 {
+		t.Fatalf("Best4 chose %+v; only PP>1 fits the %d-byte device", best4.Layout, c.Spec.MemPerGPU)
+	}
+	if best4.Pred.OOM {
+		t.Fatalf("Best4 plan predicted OOM: %+v", best4.Pred)
+	}
+	// Ground-truth the memory claim on the real engines.
+	m := Simulate4(w, c, best4.Candidate4, 1)
+	if m.Err != nil {
+		t.Fatalf("simulating Best4 choice %+v: %v", best4.Layout, m.Err)
+	}
+	if m.MemPeak > c.Spec.MemPerGPU {
+		t.Fatalf("Best4 choice peaked at %d bytes on a %d-byte device", m.MemPeak, c.Spec.MemPerGPU)
+	}
+}
+
+// TestPredictedMemoryExact4 pins the 4D memory prediction
+// byte-for-byte against the pipelined engines' device accounting.
+func TestPredictedMemoryExact4(t *testing.T) {
+	w := testWorkload()
+	c := ScaledShape(2, 1e-3)
+	for _, cand := range []Candidate4{
+		cand4(pp.Layout{TP: 1, PP: 3, FSDP: 4, DDP: 1}, w.GlobalBatch),
+		cand4(pp.Layout{TP: 2, PP: 2, FSDP: 2, DDP: 2}, w.GlobalBatch),
+	} {
+		pred := Predict4(w, c, cand)
+		meas := Simulate4(w, c, cand, 1)
+		if meas.Err != nil {
+			t.Fatalf("%+v: %v", cand.Layout, meas.Err)
+		}
+		if pred.DeviceBytes != meas.MemPeak {
+			t.Errorf("layout %+v: predicted %d bytes, simulated peak %d",
+				cand.Layout, pred.DeviceBytes, meas.MemPeak)
+		}
+	}
+}

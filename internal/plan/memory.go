@@ -22,6 +22,12 @@ type Prediction struct {
 	TPWait     float64 `json:"tp_allreduce_wait_s"`
 	RSWait     float64 `json:"reduce_scatter_wait_s"`
 	DDPWait    float64 `json:"ddp_allreduce_wait_s"`
+	// PPWait is the critical rank's un-hidden pipeline stall: time
+	// spent blocked on cross-stage activation/gradient transfers and
+	// schedule bubbles (warmup/cooldown idling surfaces as waiting on
+	// the first transfer a stage consumes). It falls out of replaying
+	// the 1F1B instruction stream, not an analytic bubble formula.
+	PPWait float64 `json:"pp_wait_s,omitempty"`
 	// DeviceBytes is the predicted cluster.Device.MemPeak — the exact
 	// simulated accounting (chunk weights+grads, live gather staging,
 	// checkpoint-dependent activations), pinned byte-for-byte against

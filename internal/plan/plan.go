@@ -173,6 +173,11 @@ type Constraints struct {
 	// uses this on rebuild: TP shards partition individual weight
 	// matrices, so a checkpoint cannot reshard across a TP change.
 	FixTP int
+	// FixPP pins the pipeline-stage count in the 4D enumeration
+	// (> 0; ignored by the 3D Enumerate). PP is normally left free
+	// even on rebuild — ckpt.ReshardPP regroups stage shards
+	// losslessly, so a checkpoint survives any PP change.
+	FixPP int
 	// MaxRanks caps the device count a plan may occupy (0 = the whole
 	// cluster).
 	MaxRanks int

@@ -68,12 +68,17 @@ func (g *simGroup) allGatherCost(shardLen int) float64 { return g.ring(4 * shard
 func (g *simGroup) allReduceCost(n int) float64        { return 2 * g.ring(4*n) }
 func (g *simGroup) reduceScatterCost(n int) float64    { return g.ring(4 * n) }
 
+// p2pCost mirrors comm.Group.p2pCost: the store-and-forward price of
+// one point-to-point message over the group's link class.
+func (g *simGroup) p2pCost(n int) float64 { return g.lat + float64(4*n)/g.bw }
+
 // Wait-phase attribution labels.
 const (
 	phGather = iota
 	phTP
 	phRS
 	phDDP
+	phPP
 	phCount
 )
 
@@ -253,102 +258,122 @@ func (rc *rankCtx) release(b int) {
 	rc.bufLive[b] = false
 }
 
+// prefetchDepth derives the in-flight gather depth the options imply.
+func prefetchDepth(opts core.Options) int {
+	if !opts.Prefetch {
+		return 0
+	}
+	if opts.PrefetchDepth > 1 {
+		return opts.PrefetchDepth
+	}
+	return 1
+}
+
+// stageForward emits one Engine.Forward pass over the rank's L-block
+// stack slice, mirroring core.Engine instruction for instruction. The
+// 3D predictor calls it with the whole stack; the 4D predictor with
+// one pipeline stage's slice (also as the real recompute the 1F1B
+// schedule performs on stale-cache backwards).
+func stageForward(rc *rankCtx, w Workload, opts core.Options, L, depth int, arCost float64) {
+	bld := rc.builder
+	if !opts.LayerWrapping {
+		for b := 0; b < L; b++ {
+			rc.postGather(b)
+		}
+		for b := 0; b < L; b++ {
+			bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+		}
+	}
+	for b := 0; b < L; b++ {
+		if opts.LayerWrapping {
+			if !rc.bufLive[b] {
+				rc.postGather(b)
+			}
+			for k := 1; k <= depth && b+k < L; k++ {
+				if !rc.bufLive[b+k] {
+					rc.postGather(b + k)
+				}
+			}
+			bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+		}
+		if !opts.ActivationCheckpoint {
+			bld.alloc(rc.actBytes)
+		}
+		bld.compute(rc.fwdSec)
+		bld.sync(rc.tpG, arCost, phTP) // attention partial sum
+		bld.sync(rc.tpG, arCost, phTP) // MLP partial sum
+		if opts.LayerWrapping {
+			rc.release(b)
+		}
+	}
+}
+
+// stageBackward emits one Engine.Backward pass (per-block compute at
+// bwdSec, TP reductions, the reduce-scatter drain, and the per-call
+// outer DDP reduction) over the rank's L-block stack slice.
+func stageBackward(rc *rankCtx, w Workload, opts core.Options, L, depth int, arCost, qkCost, bwdSec float64) {
+	bld := rc.builder
+	for b := L - 1; b >= 0; b-- {
+		if opts.LayerWrapping {
+			if !rc.bufLive[b] {
+				rc.postGather(b)
+			}
+			for k := 1; k <= depth && b-k >= 0; k++ {
+				if !rc.bufLive[b-k] {
+					rc.postGather(b - k)
+				}
+			}
+			bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
+		}
+		if !opts.ActivationCheckpoint {
+			bld.free(rc.actBytes)
+		}
+		bld.compute(bwdSec)
+		bld.sync(rc.tpG, arCost, phTP) // MLP input-gradient sum
+		if w.QKNorm && rc.tpG.size > 1 {
+			bld.sync(rc.tpG, qkCost, phTP) // packed QK-norm grads
+		}
+		bld.sync(rc.tpG, arCost, phTP) // attention input-gradient sum
+		rc.rsSeq[b] = bld.post(rc.fsdpG, rc.fsdpG.reduceScatterCost(rc.flatLen))
+		rc.release(b)
+	}
+	for b := 0; b < L; b++ {
+		bld.wait(rc.fsdpG, rc.rsSeq[b], phRS)
+	}
+	// --- outer DDP gradient reduction ---
+	if rc.ddpG.size > 1 {
+		lens := make([]int, L)
+		for i := range lens {
+			lens[i] = rc.chunkLen
+		}
+		if opts.DDPBucketBytes > 0 {
+			var bucketLens []int
+			for _, r := range core.BucketRanges(lens, opts.DDPBucketBytes) {
+				bucketLens = append(bucketLens, (r[1]-r[0])*rc.chunkLen)
+			}
+			lens = bucketLens
+		}
+		seqs := make([]int, len(lens))
+		for i, n := range lens {
+			seqs[i] = bld.post(rc.ddpG, rc.ddpG.allReduceCost(n))
+		}
+		for _, s := range seqs {
+			bld.wait(rc.ddpG, s, phDDP)
+		}
+	}
+}
+
 // buildStep emits one optimizer step (micros micro-batches of
 // forward+backward) for the rank, mirroring core.Engine and
 // train.RunElastic's per-rank step, instruction for instruction.
 func buildStep(rc *rankCtx, w Workload, opts core.Options, micros int) {
-	bld := rc.builder
 	L := w.Layers
-	depth := 0
-	if opts.Prefetch {
-		depth = 1
-		if opts.PrefetchDepth > 1 {
-			depth = opts.PrefetchDepth
-		}
-	}
+	depth := prefetchDepth(opts)
 	arCost := rc.tpG.allReduceCost(w.Tokens * w.Dim)
 	qkCost := rc.tpG.allReduceCost(4 * (w.Dim / w.Heads))
 	for mu := 0; mu < micros; mu++ {
-		// --- forward (Engine.Forward) ---
-		if !opts.LayerWrapping {
-			for b := 0; b < L; b++ {
-				rc.postGather(b)
-			}
-			for b := 0; b < L; b++ {
-				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
-			}
-		}
-		for b := 0; b < L; b++ {
-			if opts.LayerWrapping {
-				if !rc.bufLive[b] {
-					rc.postGather(b)
-				}
-				for k := 1; k <= depth && b+k < L; k++ {
-					if !rc.bufLive[b+k] {
-						rc.postGather(b + k)
-					}
-				}
-				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
-			}
-			if !opts.ActivationCheckpoint {
-				bld.alloc(rc.actBytes)
-			}
-			bld.compute(rc.fwdSec)
-			bld.sync(rc.tpG, arCost, phTP) // attention partial sum
-			bld.sync(rc.tpG, arCost, phTP) // MLP partial sum
-			if opts.LayerWrapping {
-				rc.release(b)
-			}
-		}
-		// --- backward (Engine.Backward) ---
-		for b := L - 1; b >= 0; b-- {
-			if opts.LayerWrapping {
-				if !rc.bufLive[b] {
-					rc.postGather(b)
-				}
-				for k := 1; k <= depth && b-k >= 0; k++ {
-					if !rc.bufLive[b-k] {
-						rc.postGather(b - k)
-					}
-				}
-				bld.wait(rc.fsdpG, rc.gatherSeq[b], phGather)
-			}
-			if !opts.ActivationCheckpoint {
-				bld.free(rc.actBytes)
-			}
-			bld.compute(rc.bwdSec)
-			bld.sync(rc.tpG, arCost, phTP) // MLP input-gradient sum
-			if w.QKNorm && rc.tpG.size > 1 {
-				bld.sync(rc.tpG, qkCost, phTP) // packed QK-norm grads
-			}
-			bld.sync(rc.tpG, arCost, phTP) // attention input-gradient sum
-			rc.rsSeq[b] = bld.post(rc.fsdpG, rc.fsdpG.reduceScatterCost(rc.flatLen))
-			rc.release(b)
-		}
-		for b := 0; b < L; b++ {
-			bld.wait(rc.fsdpG, rc.rsSeq[b], phRS)
-		}
-		// --- outer DDP gradient reduction ---
-		if rc.ddpG.size > 1 {
-			lens := make([]int, L)
-			for i := range lens {
-				lens[i] = rc.chunkLen
-			}
-			if opts.DDPBucketBytes > 0 {
-				var bucketLens []int
-				for _, r := range core.BucketRanges(lens, opts.DDPBucketBytes) {
-					bucketLens = append(bucketLens, (r[1]-r[0])*rc.chunkLen)
-				}
-				lens = bucketLens
-			}
-			seqs := make([]int, len(lens))
-			for i, n := range lens {
-				seqs[i] = bld.post(rc.ddpG, rc.ddpG.allReduceCost(n))
-			}
-			for _, s := range seqs {
-				bld.wait(rc.ddpG, s, phDDP)
-			}
-		}
+		stageForward(rc, w, opts, L, depth, arCost)
+		stageBackward(rc, w, opts, L, depth, arCost, qkCost, rc.bwdSec)
 	}
 }
 

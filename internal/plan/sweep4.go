@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"orbit/internal/nn"
+	"orbit/internal/pp"
+	"orbit/internal/tensor"
+)
+
+// Ground truth for the 4D planner: run the real pipelined engines
+// over the simulated cluster and measure what the clocks actually do.
+
+// Measured4 is one grid point of a 4D brute-force sweep.
+type Measured4 struct {
+	Candidate4
+	StepTime float64 `json:"step_time_s"`
+	MemPeak  int64   `json:"mem_peak_bytes"`
+	Err      error   `json:"-"`
+}
+
+// Simulate4 runs `measured` real engine steps of the 4D candidate
+// (after one warm-up step) through the 1F1B schedule and returns the
+// observed step time and memory peak. PP=1 delegates to the 3D
+// Simulate — the engines are bit-identical there, clocks included.
+func Simulate4(w Workload, c ClusterShape, cand Candidate4, measured int) Measured4 {
+	out := Measured4{Candidate4: cand}
+	if cand.Layout.PP <= 1 {
+		m := Simulate(w, c, Candidate{Layout: cand.Layout.Inner(), Knobs: cand.Knobs}, measured)
+		out.StepTime, out.MemPeak, out.Err = m.StepTime, m.MemPeak, m.Err
+		return out
+	}
+	if err := w.Validate(); err != nil {
+		out.Err = err
+		return out
+	}
+	if measured < 1 {
+		measured = 2
+	}
+	layout := cand.Layout
+	if layout.Ranks() > c.Devices() {
+		out.Err = fmt.Errorf("plan: layout needs %d devices, cluster has %d", layout.Ranks(), c.Devices())
+		return out
+	}
+	stages, err := pp.UniformPartition(w.Layers, layout.PP)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	m := c.Machine()
+	opts := cand.Options(w.Opts)
+	rng := tensor.NewRNG(1007)
+	ref := make([]*nn.TransformerBlock, w.Layers)
+	for i := range ref {
+		ref[i] = nn.NewTransformerBlock(fmt.Sprintf("plan%d", i), w.Dim, w.Heads, w.QKNorm, rng)
+	}
+	engines, err := pp.Build(layout, 1, stages, m, ref, opts)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	inner := layout.Inner()
+	dataRanks := inner.FSDP * inner.DDP
+	micros, err := microBatches(w, inner)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	drng := tensor.NewRNG(1009)
+	xs := make([]*tensor.Tensor, dataRanks)
+	gs := make([]*tensor.Tensor, dataRanks)
+	for i := range xs {
+		xs[i] = tensor.Randn(drng, 1, w.Tokens, w.Dim)
+		gs[i] = tensor.Randn(drng, 1, w.Tokens, w.Dim)
+	}
+	step := func() error {
+		errs := make([]error, len(engines))
+		var wg sync.WaitGroup
+		for r := range engines {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				e := engines[rank]
+				d := e.Coord.D*inner.FSDP + e.Coord.F
+				_, err := e.RunStep(pp.Schedule1F1B, micros, pp.StepIO{
+					Shape:    []int{w.Tokens, w.Dim},
+					Input:    func(mu int) *tensor.Tensor { return xs[d] },
+					LossGrad: func(mu int, y *tensor.Tensor) (float64, *tensor.Tensor) { return 0, gs[d] },
+				})
+				errs[rank] = err
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := step(); err != nil { // warm-up
+		out.Err = err
+		return out
+	}
+	warm := m.MaxClock()
+	for i := 0; i < measured; i++ {
+		if err := step(); err != nil {
+			out.Err = err
+			return out
+		}
+	}
+	out.StepTime = (m.MaxClock() - warm) / float64(measured)
+	out.MemPeak = m.MaxMemPeak()
+	return out
+}
+
+// Sweep4 measures every 4D candidate (sequentially — each simulation
+// already fans out one goroutine per rank).
+func Sweep4(w Workload, c ClusterShape, cands []Candidate4, measured int) []Measured4 {
+	out := make([]Measured4, len(cands))
+	for i, cand := range cands {
+		out[i] = Simulate4(w, c, cand, measured)
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+package pp
+
+import (
+	"reflect"
+	"testing"
+
+	"orbit/internal/cluster"
+	"orbit/internal/comm"
+	"orbit/internal/core"
+	"orbit/internal/tensor"
+)
+
+func TestParseLayout(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Layout
+	}{
+		{"2x4x8", Layout{TP: 2, PP: 1, FSDP: 4, DDP: 8}},
+		{"2x2x4x8", Layout{TP: 2, PP: 2, FSDP: 4, DDP: 8}},
+		{" 1X2X1X1 ", Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseLayout(c.spec)
+		if err != nil {
+			t.Fatalf("ParseLayout(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseLayout(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "2", "2x4", "2x4x8x16x32", "axbxc", "2x0x4x8", "-1x1x1x1"} {
+		if _, err := ParseLayout(bad); err == nil {
+			t.Fatalf("ParseLayout(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l := Layout{TP: 2, PP: 3, FSDP: 4, DDP: 5}
+	if l.String() != "2x3x4x5" {
+		t.Fatalf("String() = %q", l.String())
+	}
+	if l.Ranks() != 120 {
+		t.Fatalf("Ranks() = %d", l.Ranks())
+	}
+}
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	l := Layout{TP: 2, PP: 3, FSDP: 2, DDP: 2}
+	seen := make(map[int]bool)
+	for p := 0; p < l.PP; p++ {
+		for d := 0; d < l.DDP; d++ {
+			for f := 0; f < l.FSDP; f++ {
+				for tp := 0; tp < l.TP; tp++ {
+					c := Coord{T: tp, P: p, F: f, D: d}
+					r := l.RankOf(c)
+					if r < 0 || r >= l.Ranks() || seen[r] {
+						t.Fatalf("RankOf(%+v) = %d invalid or duplicate", c, r)
+					}
+					seen[r] = true
+					if got := l.CoordOf(r); got != c {
+						t.Fatalf("CoordOf(%d) = %+v, want %+v", r, got, c)
+					}
+				}
+			}
+		}
+	}
+	// PP is the slowest axis: stage p owns the contiguous rank window
+	// [p·inner, (p+1)·inner) and the interior ordering is core's.
+	inner := l.Inner()
+	for p := 0; p < l.PP; p++ {
+		for r3 := 0; r3 < inner.Ranks(); r3++ {
+			c3 := inner.CoordOf(r3)
+			r4 := l.RankOf(Coord{T: c3.T, P: p, F: c3.F, D: c3.D})
+			if r4 != p*inner.Ranks()+r3 {
+				t.Fatalf("stage %d inner rank %d maps to %d, want %d", p, r3, r4, p*inner.Ranks()+r3)
+			}
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	cases := []struct {
+		cost   []int64
+		stages int
+		want   [][2]int
+	}{
+		// Uniform costs: smaller stages first (earliest-cut tie-break).
+		{[]int64{1, 1, 1, 1, 1}, 2, [][2]int{{0, 2}, {2, 5}}},
+		// Earliest feasible cut: stage 0 keeps only what optimality
+		// forces on it (the suffix still splits under the bottleneck).
+		{[]int64{1, 1, 1, 1, 1, 1, 1}, 3, [][2]int{{0, 1}, {1, 4}, {4, 7}}},
+		// Skewed: the heavy block gets its own stage.
+		{[]int64{10, 1, 1, 1}, 2, [][2]int{{0, 1}, {1, 4}}},
+		{[]int64{1, 1, 1, 10}, 2, [][2]int{{0, 3}, {3, 4}}},
+		// One stage = whole stack.
+		{[]int64{3, 1, 4}, 1, [][2]int{{0, 3}}},
+		// Stages = blocks: singletons.
+		{[]int64{2, 2, 2}, 3, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		// Zero-cost blocks are legal.
+		{[]int64{0, 0, 5, 0}, 2, [][2]int{{0, 1}, {1, 4}}},
+	}
+	for _, c := range cases {
+		got, err := Partition(c.cost, c.stages)
+		if err != nil {
+			t.Fatalf("Partition(%v, %d): %v", c.cost, c.stages, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("Partition(%v, %d) = %v, want %v", c.cost, c.stages, got, c.want)
+		}
+	}
+}
+
+func TestPartitionOptimalBottleneck(t *testing.T) {
+	cost := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	for stages := 1; stages <= len(cost); stages++ {
+		cuts, err := Partition(cost, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cuts) != stages {
+			t.Fatalf("stages=%d: %d ranges", stages, len(cuts))
+		}
+		// Contiguous non-empty cover.
+		prev := 0
+		var bottleneck int64
+		for _, rng := range cuts {
+			if rng[0] != prev || rng[1] <= rng[0] {
+				t.Fatalf("stages=%d: bad range %v in %v", stages, rng, cuts)
+			}
+			prev = rng[1]
+			var s int64
+			for _, v := range cost[rng[0]:rng[1]] {
+				s += v
+			}
+			if s > bottleneck {
+				bottleneck = s
+			}
+		}
+		if prev != len(cost) {
+			t.Fatalf("stages=%d: cover ends at %d", stages, prev)
+		}
+		// Optimality: no brute-force partition does better.
+		if best := bruteBottleneck(cost, stages); bottleneck != best {
+			t.Fatalf("stages=%d: bottleneck %d, optimum %d", stages, bottleneck, best)
+		}
+	}
+}
+
+// bruteBottleneck exhaustively minimizes the max stage cost.
+func bruteBottleneck(cost []int64, stages int) int64 {
+	if stages == 1 {
+		var s int64
+		for _, v := range cost {
+			s += v
+		}
+		return s
+	}
+	best := int64(1) << 62
+	for cut := 1; cut <= len(cost)-stages+1; cut++ {
+		var head int64
+		for _, v := range cost[:cut] {
+			head += v
+		}
+		rest := bruteBottleneck(cost[cut:], stages-1)
+		if rest > head {
+			head = rest
+		}
+		if head < best {
+			best = head
+		}
+	}
+	return best
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition([]int64{1, 2}, 0); err == nil {
+		t.Fatal("stages=0 accepted")
+	}
+	if _, err := Partition([]int64{1}, 2); err == nil {
+		t.Fatal("more stages than blocks accepted")
+	}
+	if _, err := Partition([]int64{1, -1}, 1); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestUniformPartition(t *testing.T) {
+	got, err := UniformPartition(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {1, 4}, {4, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UniformPartition(7,3) = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleFor1F1B(t *testing.T) {
+	scheds, err := ScheduleFor(Schedule1F1B, 3, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 (w=2): F0 F1 (F2,B0) (F3,B1) B2 B3.
+	want0 := []Op{{Fwd, 0, 0}, {Fwd, 0, 1}, {Fwd, 0, 2}, {Bwd, 0, 0}, {Fwd, 0, 3}, {Bwd, 0, 1}, {Bwd, 0, 2}, {Bwd, 0, 3}}
+	if !reflect.DeepEqual(scheds[0], want0) {
+		t.Fatalf("stage 0: %v", scheds[0])
+	}
+	// Last stage (w=0): strict (F_i, B_i) pairs.
+	wantLast := []Op{{Fwd, 0, 0}, {Bwd, 0, 0}, {Fwd, 0, 1}, {Bwd, 0, 1}, {Fwd, 0, 2}, {Bwd, 0, 2}, {Fwd, 0, 3}, {Bwd, 0, 3}}
+	if !reflect.DeepEqual(scheds[2], wantLast) {
+		t.Fatalf("stage 2: %v", scheds[2])
+	}
+	for s, ops := range scheds {
+		checkScheduleComplete(t, s, ops, 1, 4)
+	}
+}
+
+func TestScheduleForInterleaved(t *testing.T) {
+	scheds, err := ScheduleFor(ScheduleInterleaved, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Fwd, 0, 0}, {Fwd, 0, 1}, {Fwd, 1, 0}, {Fwd, 1, 1},
+		{Bwd, 1, 0}, {Bwd, 1, 1}, {Bwd, 0, 0}, {Bwd, 0, 1},
+	}
+	for s := range scheds {
+		if !reflect.DeepEqual(scheds[s], want) {
+			t.Fatalf("stage %d: %v, want %v", s, scheds[s], want)
+		}
+		checkScheduleComplete(t, s, scheds[s], 2, 2)
+	}
+}
+
+// checkScheduleComplete asserts every (chunk, micro) appears exactly
+// once per kind, and each backward follows its forward.
+func checkScheduleComplete(t *testing.T, stage int, ops []Op, chunks, micros int) {
+	t.Helper()
+	fwdAt := make(map[[2]int]int)
+	bwdAt := make(map[[2]int]int)
+	for i, op := range ops {
+		k := [2]int{op.Chunk, op.Micro}
+		m := fwdAt
+		if op.Kind == Bwd {
+			m = bwdAt
+		}
+		if _, dup := m[k]; dup {
+			t.Fatalf("stage %d: duplicate %v%v", stage, op.Kind, k)
+		}
+		m[k] = i
+	}
+	if len(fwdAt) != chunks*micros || len(bwdAt) != chunks*micros {
+		t.Fatalf("stage %d: %d forwards, %d backwards, want %d each", stage, len(fwdAt), len(bwdAt), chunks*micros)
+	}
+	for k, bi := range bwdAt {
+		if fi, ok := fwdAt[k]; !ok || fi > bi {
+			t.Fatalf("stage %d: backward %v before its forward", stage, k)
+		}
+	}
+}
+
+func TestScheduleForErrors(t *testing.T) {
+	if _, err := ScheduleFor(Schedule1F1B, 0, 1, 1); err == nil {
+		t.Fatal("stages=0 accepted")
+	}
+	if _, err := ScheduleFor(Schedule1F1B, 2, 2, 1); err == nil {
+		t.Fatal("1F1B with chunks=2 accepted")
+	}
+	if _, err := ScheduleFor(ScheduleKind(99), 2, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Fwd.String() != "F" || Bwd.String() != "B" {
+		t.Fatal("OpKind strings")
+	}
+	if Schedule1F1B.String() != "1f1b" || ScheduleInterleaved.String() != "interleaved" {
+		t.Fatal("ScheduleKind strings")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ref := confStack(4, false)
+	opts := confOpts(1)
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+
+	// Bad layout.
+	if _, err := Build(Layout{TP: 0, PP: 1, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 4}}, m, ref, opts); err == nil {
+		t.Fatal("zero TP accepted")
+	}
+	// PP>1 without wrapping/checkpointing.
+	bare := opts
+	bare.LayerWrapping = false
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 2}, {2, 4}}, m, ref, bare); err == nil {
+		t.Fatal("PP=2 without layer wrapping accepted")
+	}
+	noCkpt := opts
+	noCkpt.ActivationCheckpoint = false
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 2}, {2, 4}}, m, ref, noCkpt); err == nil {
+		t.Fatal("PP=2 without activation checkpointing accepted")
+	}
+	// Wrong range count.
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 4}}, m, ref, opts); err == nil {
+		t.Fatal("1 range for 2 stages accepted")
+	}
+	// Non-contiguous / gapped cover.
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 2}, {3, 4}}, m, ref, opts); err == nil {
+		t.Fatal("gapped ranges accepted")
+	}
+	// Empty stage.
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 4}, {4, 4}}, m, ref, opts); err == nil {
+		t.Fatal("empty stage accepted")
+	}
+	// Incomplete cover.
+	if _, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 2}, {2, 3}}, m, ref, opts); err == nil {
+		t.Fatal("incomplete cover accepted")
+	}
+	// Not enough devices: 4 stages × 8 ranks needs 32, machine has 8.
+	if _, err := Build(Layout{TP: 2, PP: 4, FSDP: 2, DDP: 2}, 1, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, m, ref, opts); err == nil {
+		t.Fatal("oversubscribed machine accepted")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	ref := confStack(4, false)
+	opts := confOpts(1)
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	l := Layout{TP: 1, PP: 2, FSDP: 2, DDP: 1}
+	stages, err := UniformPartition(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines, err := Build(l, 1, stages, m, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != l.Ranks() {
+		t.Fatalf("%d engines, want %d", len(engines), l.Ranks())
+	}
+	e := engines[0]
+	if got := len(e.Chunks()); got != 2 {
+		t.Fatalf("stage 0 owns %d chunks, want 2", got)
+	}
+	if got := len(e.LogicalFlatLens()); got != 2 {
+		t.Fatalf("stage 0 has %d flat lens, want 2", got)
+	}
+	// A 3D engine over the full stack must agree with the two stages'
+	// concatenated logical lengths.
+	g3, err := core.BuildGroups(l.Inner(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := core.NewEngine(0, l.Inner(), g3[0], ref, opts, m.Devices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]int{}, engines[0].LogicalFlatLens()...), engines[l.Inner().Ranks()].LogicalFlatLens()...)
+	if !reflect.DeepEqual(all, e3.LogicalFlatLens()) {
+		t.Fatalf("stage flat lens %v != 3D %v", all, e3.LogicalFlatLens())
+	}
+}
+
+func TestPoisonCommUnblocksLinks(t *testing.T) {
+	ref := confStack(2, false)
+	opts := confOpts(1)
+	m := cluster.NewMachine(cluster.Frontier(), 1, 0)
+	engines, err := Build(Layout{TP: 1, PP: 2, FSDP: 1, DDP: 1}, 1, [][2]int{{0, 1}, {1, 2}}, m, ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines[1].PoisonComm()
+	defer func() {
+		if _, ok := recover().(comm.Poisoned); !ok {
+			t.Fatal("RunStep on a poisoned engine did not panic with comm.Poisoned")
+		}
+	}()
+	engines[1].RunStep(Schedule1F1B, 1, StepIO{
+		Shape:    []int{confTokens, confDim},
+		Input:    func(mu int) *tensor.Tensor { return sampleX(0, mu) },
+		LossGrad: func(mu int, y *tensor.Tensor) (float64, *tensor.Tensor) { return lossGrad(y) },
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"orbit/internal/nn"
 	"orbit/internal/optim"
 	"orbit/internal/plan"
+	"orbit/internal/pp"
 	"orbit/internal/tensor"
 )
 
@@ -43,6 +44,16 @@ type ElasticConfig struct {
 	// changing TP would need a different checkpoint transform); DDP and
 	// FSDP shrink as nodes are lost.
 	Layout core.Layout
+	// PP is the pipeline-parallel stage count (0 or 1 = no
+	// pipelining). With PP > 1 the job runs the full TP×PP×FSDP×DDP
+	// composition: the transformer stack is cut into PP contiguous
+	// stages (uniform cut — the elastic stack's blocks are equal-cost)
+	// and micro-batches stream through the 1F1B schedule. Requires
+	// Opts.LayerWrapping and Opts.ActivationCheckpoint. PP shrinks on
+	// node loss after DDP and before FSDP (ShrinkLayout4), and
+	// checkpoints reshard across PP changes bit-identically
+	// (ckpt.ReshardPP regroups whole blocks; no chunk is re-split).
+	PP int
 	// Nodes is the simulated machine size; 0 fits the layout exactly.
 	Nodes int
 	// GPUsPerNode overrides the spec's node width (0 = spec default).
@@ -133,6 +144,9 @@ type ElasticResult struct {
 	Events      []ElasticEvent
 	Rebuilds    int
 	FinalLayout core.Layout
+	// FinalPP is the surviving pipeline stage count (1 = none left /
+	// never configured); FinalLayout is the per-stage inner grid.
+	FinalPP int
 	// FinalNodes is the surviving machine size.
 	FinalNodes int
 }
@@ -157,21 +171,55 @@ func ShrinkLayout(l core.Layout, ranks int) (core.Layout, error) {
 	return l, nil
 }
 
+// ShrinkLayout4 reduces a 4D layout to at most `ranks` ranks,
+// preserving TP and dropping DDP first, then pipeline stages, then
+// FSDP: DDP replicas are free to drop, collapsing stages only
+// regroups whole blocks in the checkpoint (ckpt.ReshardPP is
+// bit-identical), while an FSDP change re-chunks every parameter.
+func ShrinkLayout4(l pp.Layout, ranks int) (pp.Layout, error) {
+	for l.Ranks() > ranks {
+		switch {
+		case l.DDP > 1 && l.DDP%2 == 0:
+			l.DDP /= 2
+		case l.DDP > 1:
+			l.DDP = 1
+		case l.PP > 1 && l.PP%2 == 0:
+			l.PP /= 2
+		case l.PP > 1:
+			l.PP = 1
+		case l.FSDP > 1 && l.FSDP%2 == 0:
+			l.FSDP /= 2
+		case l.FSDP > 1:
+			l.FSDP = 1
+		default:
+			return l, fmt.Errorf("train: cannot shrink layout TP=%d below %d ranks", l.TP, l.Ranks())
+		}
+	}
+	return l, nil
+}
+
 // elasticJob is the mutable state of one RunElastic invocation.
 type elasticJob struct {
 	cfg     ElasticConfig
 	inj     *cluster.FaultInjector
 	res     *ElasticResult
-	layout  core.Layout
+	layout  core.Layout // per-stage inner grid
+	pp      int         // pipeline stage count (≥ 1)
+	stages  [][2]int    // per-stage block ranges of the current build
 	nodes   int
 	gpn     int
 	machine *cluster.Machine
-	engines []*core.Engine
+	engines []*pp.Engine
 	opts    []*optim.AdamW
 	accum   [][][]float32 // [rank][block] micro-batch gradient accumulators
 	sched   optim.CosineSchedule
 	dataRNG *tensor.RNG
 	step    int // next step to run
+}
+
+// layout4 is the full TP×PP×FSDP×DDP layout of the current build.
+func (j *elasticJob) layout4() pp.Layout {
+	return pp.Layout{TP: j.layout.TP, PP: j.pp, FSDP: j.layout.FSDP, DDP: j.layout.DDP}
 }
 
 // RunElastic executes an elastic fault-tolerant training run. inj may
@@ -189,6 +237,12 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 	if cfg.ScheduleSteps == 0 {
 		cfg.ScheduleSteps = cfg.TotalSteps
 	}
+	if cfg.PP < 1 {
+		cfg.PP = 1
+	}
+	if cfg.PP > cfg.Layers {
+		return nil, fmt.Errorf("train: PP=%d stages exceed %d layers", cfg.PP, cfg.Layers)
+	}
 	spec := cluster.Frontier()
 	gpn := cfg.GPUsPerNode
 	if gpn == 0 {
@@ -196,11 +250,11 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 	}
 	nodes := cfg.Nodes
 	if nodes == 0 {
-		nodes = (cfg.Layout.Ranks() + gpn - 1) / gpn
+		nodes = (cfg.Layout.Ranks()*cfg.PP + gpn - 1) / gpn
 	}
 	j := &elasticJob{
 		cfg: cfg, inj: inj,
-		layout: cfg.Layout, nodes: nodes, gpn: gpn,
+		layout: cfg.Layout, pp: cfg.PP, nodes: nodes, gpn: gpn,
 		res: &ElasticResult{Losses: make([]float64, cfg.TotalSteps)},
 		sched: optim.CosineSchedule{
 			BaseLR: cfg.LR, MinLR: cfg.MinLR,
@@ -218,8 +272,7 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 			return j.res, err
 		}
 		if resume {
-			j.event(j.step, "resume", fmt.Sprintf("layout TP=%d FSDP=%d DDP=%d on %d nodes",
-				j.layout.TP, j.layout.FSDP, j.layout.DDP, j.nodes))
+			j.event(j.step, "resume", fmt.Sprintf("layout %s on %d nodes", j.layoutStr(), j.nodes))
 		}
 		restart, err := j.trainUntilFaultOrDone()
 		if err != nil {
@@ -239,8 +292,19 @@ func RunElastic(cfg ElasticConfig, inj *cluster.FaultInjector) (*ElasticResult, 
 		}
 	}
 	j.res.FinalLayout = j.layout
+	j.res.FinalPP = j.pp
 	j.res.FinalNodes = j.nodes
 	return j.res, nil
+}
+
+// layoutStr renders the active layout for events: the classic 3D form
+// when no pipelining is active (so pre-PP logs are unchanged), the 4D
+// form otherwise.
+func (j *elasticJob) layoutStr() string {
+	if j.pp > 1 {
+		return fmt.Sprintf("TP=%d PP=%d FSDP=%d DDP=%d", j.layout.TP, j.pp, j.layout.FSDP, j.layout.DDP)
+	}
+	return fmt.Sprintf("TP=%d FSDP=%d DDP=%d", j.layout.TP, j.layout.FSDP, j.layout.DDP)
 }
 
 // trainUntilFaultOrDone runs steps until completion (false) or a fault
@@ -279,7 +343,7 @@ func (j *elasticJob) trainUntilFaultOrDone() (restart bool, err error) {
 			if err := j.save(); err != nil {
 				return false, err
 			}
-			j.event(j.step, "checkpoint", fmt.Sprintf("saved %d shards", j.layout.TP*j.layout.FSDP))
+			j.event(j.step, "checkpoint", fmt.Sprintf("saved %d shards", j.pp*j.layout.TP*j.layout.FSDP))
 		}
 	}
 	return false, nil
@@ -316,7 +380,7 @@ func (j *elasticJob) handleFault() error {
 	if j.nodes < 1 {
 		return fmt.Errorf("train: no healthy nodes left after fault at step %d", j.step)
 	}
-	newLayout, err := j.chooseLayout()
+	newLayout, newPP, err := j.chooseLayout()
 	if err != nil {
 		return err
 	}
@@ -325,37 +389,53 @@ func (j *elasticJob) handleFault() error {
 			j.cfg.GlobalBatch, newLayout.FSDP*newLayout.DDP)
 	}
 	j.res.Rebuilds++
-	j.event(j.step, "rebuild", fmt.Sprintf("%d nodes, layout TP=%d FSDP=%d DDP=%d",
-		j.nodes, newLayout.TP, newLayout.FSDP, newLayout.DDP))
-	j.layout = newLayout
+	j.layout, j.pp = newLayout, newPP
+	j.event(j.step, "rebuild", fmt.Sprintf("%d nodes, layout %s", j.nodes, j.layoutStr()))
 	return nil
 }
 
-// chooseLayout picks the post-fault layout for the surviving
+// chooseLayout picks the post-fault (layout, PP) for the surviving
 // machine: the auto-planner's fastest predicted plan when AutoPlan is
 // set (TP pinned, since the sharded checkpoint cannot reshard across
-// a TP change), the classic DDP-before-FSDP ShrinkLayout heuristic
-// otherwise — and as the fallback when the planner finds no feasible
-// layout at the surviving device count.
-func (j *elasticJob) chooseLayout() (core.Layout, error) {
+// a TP change; PP is free — ReshardPP regroups blocks losslessly),
+// the DDP-before-PP-before-FSDP shrink heuristic otherwise — and as
+// the fallback when the planner finds no feasible layout at the
+// surviving device count. A pipelined job consults the 4D planner so
+// the rebuilt layout may trade stages for data ranks (or vice versa);
+// a plain 3D job keeps consulting the 3D planner, whose choices are
+// unchanged.
+func (j *elasticJob) chooseLayout() (core.Layout, int, error) {
 	if j.cfg.AutoPlan {
-		best, err := plan.Best(
-			plan.Workload{
-				Dim: j.cfg.Dim, Heads: j.cfg.Heads, Layers: j.cfg.Layers,
-				Tokens: j.cfg.Tokens, QKNorm: true,
-				GlobalBatch: j.cfg.GlobalBatch, Opts: j.cfg.Opts,
-			},
-			plan.ClusterShape{Nodes: j.nodes, GPUsPerNode: j.gpn, Spec: j.spec()},
-			plan.Constraints{FixTP: j.layout.TP},
-		)
-		if err == nil {
-			j.cfg.Opts = best.Options(j.cfg.Opts)
-			j.event(j.step, "plan", best.String())
-			return best.Layout, nil
+		w := plan.Workload{
+			Dim: j.cfg.Dim, Heads: j.cfg.Heads, Layers: j.cfg.Layers,
+			Tokens: j.cfg.Tokens, QKNorm: true,
+			GlobalBatch: j.cfg.GlobalBatch, Opts: j.cfg.Opts,
 		}
-		j.event(j.step, "plan", fmt.Sprintf("planner found no feasible layout (%v), falling back to ShrinkLayout", err))
+		shape := plan.ClusterShape{Nodes: j.nodes, GPUsPerNode: j.gpn, Spec: j.spec()}
+		cons := plan.Constraints{FixTP: j.layout.TP}
+		if j.pp > 1 {
+			best, err := plan.Best4(w, shape, cons)
+			if err == nil {
+				j.cfg.Opts = best.Options(j.cfg.Opts)
+				j.event(j.step, "plan", best.String())
+				return best.Layout.Inner(), best.Layout.PP, nil
+			}
+			j.event(j.step, "plan", fmt.Sprintf("planner found no feasible layout (%v), falling back to ShrinkLayout4", err))
+		} else {
+			best, err := plan.Best(w, shape, cons)
+			if err == nil {
+				j.cfg.Opts = best.Options(j.cfg.Opts)
+				j.event(j.step, "plan", best.String())
+				return best.Layout, 1, nil
+			}
+			j.event(j.step, "plan", fmt.Sprintf("planner found no feasible layout (%v), falling back to ShrinkLayout", err))
+		}
 	}
-	return ShrinkLayout(j.layout, j.nodes*j.gpn)
+	l4, err := ShrinkLayout4(j.layout4(), j.nodes*j.gpn)
+	if err != nil {
+		return core.Layout{}, 0, err
+	}
+	return l4.Inner(), l4.PP, nil
 }
 
 // spec returns the machine specification of this job: Frontier, with
@@ -391,20 +471,20 @@ func (j *elasticJob) build(resume bool) error {
 	if j.inj != nil {
 		j.inj.Arm(j.machine)
 	}
-	groups, err := core.BuildGroups(j.layout, j.machine)
+	stages, err := pp.UniformPartition(j.cfg.Layers, j.pp)
 	if err != nil {
 		return err
 	}
-	ranks := j.layout.Ranks()
-	j.engines = make([]*core.Engine, ranks)
+	j.stages = stages
+	engines, err := pp.Build(j.layout4(), 1, stages, j.machine, j.refStack(), j.cfg.Opts)
+	if err != nil {
+		return err
+	}
+	j.engines = engines
+	ranks := len(engines)
 	j.opts = make([]*optim.AdamW, ranks)
 	j.accum = make([][][]float32, ranks)
-	for r := 0; r < ranks; r++ {
-		e, err := core.NewEngine(r, j.layout, groups[r], j.refStack(), j.cfg.Opts, j.machine.Devices[r])
-		if err != nil {
-			return err
-		}
-		j.engines[r] = e
+	for r, e := range engines {
 		j.opts[r] = optim.NewAdamW(e.Chunks(), j.cfg.WeightDecay)
 		j.accum[r] = make([][]float32, len(e.Chunks()))
 		for b, c := range e.Chunks() {
@@ -415,7 +495,7 @@ func (j *elasticJob) build(resume bool) error {
 		// Before load(): the supervisor must see the machine (and, in
 		// tests, get a chance to corrupt a checkpoint) before the load
 		// path runs.
-		h.OnBuild(j.machine, j.layout)
+		h.OnBuild(j.machine, j.layout4())
 	}
 	if resume {
 		return j.load()
@@ -423,27 +503,53 @@ func (j *elasticJob) build(resume bool) error {
 	return nil
 }
 
-// save writes a sharded checkpoint: each (T,F) position of the D=0
-// plane contributes exactly its own chunk weights and moments.
+// stageLens assembles the global checkpoint geometry of the current
+// build: the per-T flat-length rows concatenated across stages in
+// stage order, and each stage's [start, end) range over those global
+// chunk indices. With LayerWrapping every transformer block is one
+// flat chunk, so the chunk ranges coincide with the block ranges; the
+// geometry is nonetheless read off the engines so it is correct for
+// whatever chunking the options induce.
+func (j *elasticJob) stageLens() (lensTP [][]int, stageBlocks [][2]int) {
+	lensTP = make([][]int, j.layout.TP)
+	stageBlocks = make([][2]int, j.pp)
+	for p := 0; p < j.pp; p++ {
+		for t := 0; t < j.layout.TP; t++ {
+			rank := j.layout4().RankOf(pp.Coord{T: t, P: p})
+			lens := j.engines[rank].LogicalFlatLens()
+			if t == 0 {
+				stageBlocks[p] = [2]int{len(lensTP[0]), len(lensTP[0]) + len(lens)}
+			}
+			lensTP[t] = append(lensTP[t], lens...)
+		}
+	}
+	return lensTP, stageBlocks
+}
+
+// save writes a sharded checkpoint: each (P,T,F) position of the D=0
+// plane contributes exactly its own chunk weights and moments. A
+// pipelined job records the stage geometry in the manifest (stage
+// shard files are stage-scoped); a PP=1 checkpoint is byte-identical
+// to the pre-pipeline format.
 func (j *elasticJob) save() error {
+	lensTP, stageBlocks := j.stageLens()
 	man := &ckpt.Manifest{
 		Layout:      ckpt.ShardLayout{TP: j.layout.TP, FSDP: j.layout.FSDP, DDP: j.layout.DDP},
-		FlatLens:    j.engines[0].LogicalFlatLens(),
+		FlatLens:    lensTP[0],
 		Block:       &ckpt.BlockSpec{Dim: j.cfg.Dim, Heads: j.cfg.Heads, QKNorm: true},
 		Step:        j.step,
 		OptStep:     j.opts[0].StepCount(),
 		GlobalBatch: j.cfg.GlobalBatch,
 		RNG:         j.dataRNG.State(),
 	}
+	if j.pp > 1 {
+		man.Layout.PP = j.pp
+		man.StageBlocks = stageBlocks
+	}
 	if j.layout.TP > 1 {
 		// TP rows differ in flat length (output biases live on T=0
 		// only), so record each row for exact resharding on load.
-		man.FlatLensTP = make([][]int, j.layout.TP)
-		for _, e := range j.engines {
-			if c := e.Coord; c.F == 0 && c.D == 0 {
-				man.FlatLensTP[c.T] = e.LogicalFlatLens()
-			}
-		}
+		man.FlatLensTP = lensTP
 	}
 	var shards []*ckpt.RankShard
 	for r, e := range j.engines {
@@ -453,7 +559,7 @@ func (j *elasticJob) save() error {
 		}
 		chunks := e.ExportChunks()
 		m, v := j.opts[r].Moments()
-		sh := &ckpt.RankShard{T: c.T, F: c.F}
+		sh := &ckpt.RankShard{P: c.P, T: c.T, F: c.F}
 		for b := range chunks {
 			sh.Blocks = append(sh.Blocks, ckpt.BlockShard{
 				W: chunks[b],
@@ -489,7 +595,8 @@ func (j *elasticJob) load() error {
 	if man.GlobalBatch != j.cfg.GlobalBatch {
 		return fmt.Errorf("train: checkpoint global batch %d, config %d", man.GlobalBatch, j.cfg.GlobalBatch)
 	}
-	lens := j.engines[0].LogicalFlatLens()
+	lensTP, stageBlocks := j.stageLens()
+	lens := lensTP[0]
 	if len(man.FlatLens) != len(lens) {
 		return fmt.Errorf("train: checkpoint has %d blocks, model has %d", len(man.FlatLens), len(lens))
 	}
@@ -498,13 +605,32 @@ func (j *elasticJob) load() error {
 			return fmt.Errorf("train: block %d flat length %d in checkpoint, %d in model", b, man.FlatLens[b], l)
 		}
 	}
-	reshards, err := ckpt.Reshard(man, shards, j.layout.FSDP)
+	// Two-transform reload: ReshardPP regroups whole blocks from the
+	// checkpoint's stage partition to the current one (bit-identical —
+	// FSDP chunking of a block never depends on its stage), then
+	// Reshard re-chunks across any FSDP change within each stage row.
+	var newStages [][2]int
+	if j.pp > 1 {
+		newStages = stageBlocks
+	}
+	regrouped, err := ckpt.ReshardPP(man, shards, newStages)
+	if err != nil {
+		return err
+	}
+	man2 := *man
+	man2.Layout.PP = 0
+	man2.StageBlocks = nil
+	if j.pp > 1 {
+		man2.Layout.PP = j.pp
+		man2.StageBlocks = newStages
+	}
+	reshards, err := ckpt.Reshard(&man2, regrouped, j.layout.FSDP)
 	if err != nil {
 		return err
 	}
 	for r, e := range j.engines {
 		c := e.Coord
-		sh := reshards[c.T*j.layout.FSDP+c.F]
+		sh := reshards[(c.P*j.layout.TP+c.T)*j.layout.FSDP+c.F]
 		w := make([][]float32, len(sh.Blocks))
 		for b := range sh.Blocks {
 			w[b] = sh.Blocks[b].W
@@ -543,7 +669,7 @@ func (j *elasticJob) runStep() (float64, error) {
 	dataRanks := j.layout.FSDP * j.layout.DDP
 	micros := j.cfg.GlobalBatch / dataRanks
 	lr := j.sched.LR(j.step)
-	ranks := j.layout.Ranks()
+	ranks := len(j.engines) // inner grid × pipeline stages
 	losses := make([]float64, ranks)
 	errs := make([]error, ranks)
 	var wg sync.WaitGroup
@@ -644,14 +770,17 @@ func (j *elasticJob) gradNorm() float64 {
 	return math.Sqrt(sum)
 }
 
-// rankAccumulate is one rank's phase A: `micros` forward/backward
-// passes with gradient accumulation into j.accum. Weights and
-// optimizer state are untouched — phase C applies them.
+// rankAccumulate is one rank's phase A: the rank's slots of the 1F1B
+// schedule over `micros` micro-batches, with gradient accumulation
+// into j.accum. Weights and optimizer state are untouched — phase C
+// applies them. With PP=1 the schedule degenerates to the plain
+// forward/backward alternation, and the per-rank float operation
+// sequence is bit-identical to the pre-pipeline loop (pinned by the
+// conformance suite in internal/pp).
 func (j *elasticJob) rankAccumulate(rank int, stepSeed uint64, micros int, lossOut *float64) error {
 	e := j.engines[rank]
 	c := e.Coord
 	dataRank := c.D*j.layout.FSDP + c.F
-	chunks := e.Chunks()
 	accum := j.accum[rank]
 	for b := range accum {
 		for i := range accum[b] {
@@ -663,30 +792,45 @@ func (j *elasticJob) rankAccumulate(rank int, stepSeed uint64, micros int, lossO
 		beat = h.OnBeat
 	}
 	invMicros := float32(1) / float32(micros)
-	var lossSum float64
-	for mu := 0; mu < micros; mu++ {
-		beat(rank, j.step)
-		x, tgt := elasticSample(stepSeed, dataRank*micros+mu, j.cfg.Tokens, j.cfg.Dim)
-		y, err := e.Forward(x)
-		if err != nil {
-			return err
-		}
-		diff := tensor.Sub(y, tgt)
-		loss := tensor.Dot(diff, diff) / float64(y.Len())
-		lossSum += loss / float64(micros)
-		grad := tensor.Scale(diff, 2/float32(y.Len())*invMicros)
-		if _, err := e.Backward(grad); err != nil {
-			return err
-		}
-		for b, cp := range chunks {
-			g := cp.Grad.Data()
-			a := accum[b]
-			for i, v := range g {
-				a[i] += v
+	loss, err := e.RunStep(pp.Schedule1F1B, micros, pp.StepIO{
+		Shape: []int{j.cfg.Tokens, j.cfg.Dim},
+		Input: func(mu int) *tensor.Tensor {
+			beat(rank, j.step)
+			x, _ := elasticSample(stepSeed, dataRank*micros+mu, j.cfg.Tokens, j.cfg.Dim)
+			return x
+		},
+		LossGrad: func(mu int, y *tensor.Tensor) (float64, *tensor.Tensor) {
+			// The sample is a pure function of (stepSeed, index), so the
+			// last stage regenerates the target locally — no target ever
+			// crosses a stage link.
+			_, tgt := elasticSample(stepSeed, dataRank*micros+mu, j.cfg.Tokens, j.cfg.Dim)
+			diff := tensor.Sub(y, tgt)
+			loss := tensor.Dot(diff, diff) / float64(y.Len())
+			return loss / float64(micros), tensor.Scale(diff, 2/float32(y.Len())*invMicros)
+		},
+		OnMicroGrads: func(chunk, mu int) {
+			if c.P != 0 {
+				// Non-first stages never run Input; their per-micro
+				// heartbeat fires at each backward instead.
+				beat(rank, j.step)
 			}
-		}
+			off := 0
+			for i := 0; i < chunk; i++ {
+				off += len(e.Stage[i].Chunks())
+			}
+			for b, cp := range e.Stage[chunk].Chunks() {
+				g := cp.Grad.Data()
+				a := accum[off+b]
+				for i, v := range g {
+					a[i] += v
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
 	}
-	*lossOut = lossSum
+	*lossOut = loss
 	return nil
 }
 

@@ -16,10 +16,23 @@ import (
 // shapes are chosen so the attention and MLP matmuls cross the
 // parallel threshold and actually fork.
 func TestElasticStepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	testElasticGOMAXPROCS(t, 1)
+}
+
+// TestElasticPPStepDeterministicAcrossGOMAXPROCS repeats the sweep
+// with a 2-stage 1F1B pipeline on top of the same inner grid: the
+// cross-stage activation/gradient sends add another source of
+// goroutine interleaving that must not leak into the float sequence.
+func TestElasticPPStepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	testElasticGOMAXPROCS(t, 2)
+}
+
+func testElasticGOMAXPROCS(t *testing.T, stages int) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	cfg := func() ElasticConfig {
 		return ElasticConfig{
-			Layout: core.Layout{TP: 2, FSDP: 2, DDP: 1}, Nodes: 1, GPUsPerNode: 4,
+			Layout: core.Layout{TP: 2, FSDP: 2, DDP: 1}, PP: stages,
+			Nodes: 1, GPUsPerNode: 4 * stages,
 			Dim: 64, Heads: 4, Layers: 2, Tokens: 64,
 			GlobalBatch: 4, LR: 1e-2, MinLR: 1e-3, WarmupSteps: 2,
 			TotalSteps: 4, Seed: 5, DataSeed: 9,

@@ -4,7 +4,7 @@ import (
 	"errors"
 
 	"orbit/internal/cluster"
-	"orbit/internal/core"
+	"orbit/internal/pp"
 )
 
 // Hooks let a supervisor (internal/guard) observe and steer an elastic
@@ -15,9 +15,10 @@ import (
 type Hooks struct {
 	// OnBuild fires after the machine and engines are (re)built —
 	// including every post-fault rebuild — before any checkpoint load,
-	// handing the supervisor the machine to watch and the active
-	// layout (the first Ranks() devices are the participating ranks).
-	OnBuild func(m *cluster.Machine, layout core.Layout)
+	// handing the supervisor the machine to watch and the active 4D
+	// layout (the first Ranks() devices are the participating ranks;
+	// a job without pipelining reports PP=1).
+	OnBuild func(m *cluster.Machine, layout pp.Layout)
 	// OnBeat fires from each rank's goroutine at every micro-batch
 	// start: a per-rank step heartbeat. Must be cheap and safe to call
 	// concurrently.

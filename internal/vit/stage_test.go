@@ -1,0 +1,47 @@
+package vit
+
+import (
+	"testing"
+
+	"orbit/internal/pp"
+)
+
+// TestStageBlocks pins the pipeline cut of the paper configs: ORBIT
+// blocks are FLOPs-homogeneous, so the balanced partition must equal
+// the uniform one, with the deterministic earliest-cut tie-break.
+func TestStageBlocks(t *testing.T) {
+	for _, cfg := range PaperConfigs() {
+		for stages := 1; stages <= cfg.Layers && stages <= 4; stages++ {
+			got, err := cfg.StageBlocks(stages)
+			if err != nil {
+				t.Fatalf("%s stages=%d: %v", cfg.Name, stages, err)
+			}
+			want, err := pp.UniformPartition(cfg.Layers, stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s stages=%d: %d ranges, want %d", cfg.Name, stages, len(got), len(want))
+			}
+			for s := range got {
+				if got[s] != want[s] {
+					t.Errorf("%s stages=%d stage %d: %v, want uniform %v", cfg.Name, stages, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestStageBlocksErrors: over-deep pipelines and invalid configs are
+// rejected rather than producing empty stages.
+func TestStageBlocksErrors(t *testing.T) {
+	cfg := Tiny(2, 8, 8)
+	if _, err := cfg.StageBlocks(cfg.Layers + 1); err == nil {
+		t.Fatal("expected an error cutting more stages than layers")
+	}
+	bad := cfg
+	bad.Patch = 0
+	if _, err := bad.StageBlocks(1); err == nil {
+		t.Fatal("expected an error for an invalid config")
+	}
+}

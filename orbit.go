@@ -67,8 +67,10 @@ import (
 	"orbit/internal/experiments"
 	"orbit/internal/guard"
 	"orbit/internal/infer"
+	"orbit/internal/nn"
 	"orbit/internal/perf"
 	"orbit/internal/plan"
+	"orbit/internal/pp"
 	"orbit/internal/quant"
 	"orbit/internal/serve"
 	"orbit/internal/train"
@@ -460,6 +462,42 @@ func BuildGroups(l Layout, m *cluster.Machine) ([]*core.Groups, error) {
 	return core.BuildGroups(l, m)
 }
 
+// --- pipeline parallelism (the 4th axis) ---
+
+// Layout4 is the full 4D rank grid: TP × PP × FSDP × DDP. PP=1
+// degenerates to the classic Hybrid-STOP Layout.
+type Layout4 = pp.Layout
+
+// PipelineEngine is one rank's stage of a pipelined Hybrid-STOP run;
+// RunStep executes its slots of a 1F1B or interleaved micro-batch
+// schedule.
+type PipelineEngine = pp.Engine
+
+// ParseLayout parses "TPxFSDPxDDP" (PP=1 implied) or
+// "TPxPPxFSDPxDDP" into a 4D layout.
+func ParseLayout(spec string) (Layout4, error) { return pp.ParseLayout(spec) }
+
+// PartitionStages cuts per-block costs into contiguous, non-empty
+// pipeline stages minimizing the bottleneck stage cost, with a
+// deterministic earliest-cut tie-break.
+func PartitionStages(cost []int64, stages int) ([][2]int, error) {
+	return pp.Partition(cost, stages)
+}
+
+// BuildPipeline constructs one pp.Engine per rank of the 4D layout
+// over the simulated machine. PP>1 (or chunks>1) requires
+// Options.LayerWrapping and Options.ActivationCheckpoint.
+func BuildPipeline(l Layout4, chunks int, stageRanges [][2]int, m *cluster.Machine, ref []*nn.TransformerBlock, opts Options) ([]*PipelineEngine, error) {
+	return pp.Build(l, chunks, stageRanges, m, ref, opts)
+}
+
+// ShrinkLayout4 degrades a 4D layout onto fewer ranks, collapsing DDP
+// first (pure throughput), then PP (lossless to reshard), then FSDP;
+// TP is pinned by the sharded checkpoint format.
+func ShrinkLayout4(l Layout4, ranks int) (Layout4, error) {
+	return train.ShrinkLayout4(l, ranks)
+}
+
 // --- parallelism auto-planner ---
 
 // PlanWorkload describes a training job for the auto-planner: the
@@ -539,6 +577,41 @@ func SimulatePlan(w PlanWorkload, c ClusterShape, cand plan.Candidate, steps int
 // brute-force comparison (`orbit-scaling -auto`).
 func PlanGrid(w PlanWorkload, c ClusterShape, knobs plan.Knobs) []plan.Candidate {
 	return plan.GridCandidates(w, c, knobs)
+}
+
+// PlanCandidate4 is one point of the 4D planning space.
+type PlanCandidate4 = plan.Candidate4
+
+// ParallelPlan4 is a priced 4D candidate; its prediction includes the
+// un-hidden pipeline-bubble wait (PPWait).
+type ParallelPlan4 = plan.Plan4
+
+// BestPlan4 returns the 4D auto-planner's top-ranked feasible plan.
+// The search space is a strict superset of BestPlan's: PP=1
+// candidates are priced by the identical 3D replay, so a PP>1 layout
+// wins only when the replayed 1F1B schedule (bubbles included)
+// actually beats every 3D candidate, or when only pipelining fits the
+// device memory.
+func BestPlan4(w PlanWorkload, c ClusterShape, cons PlanConstraints) (ParallelPlan4, error) {
+	return plan.Best4(w, c, cons)
+}
+
+// RankPlans4 prices every valid 4D candidate, sorted by predicted
+// step time.
+func RankPlans4(w PlanWorkload, c ClusterShape, cons PlanConstraints) ([]ParallelPlan4, error) {
+	return plan.Rank4(w, c, cons)
+}
+
+// PredictPlan4 prices one 4D candidate by instruction-level replay of
+// its pipeline schedule.
+func PredictPlan4(w PlanWorkload, c ClusterShape, cand PlanCandidate4) plan.Prediction {
+	return plan.Predict4(w, c, cand)
+}
+
+// SimulatePlan4 measures a 4D candidate by running the real pipelined
+// engines over the simulated cluster.
+func SimulatePlan4(w PlanWorkload, c ClusterShape, cand PlanCandidate4, steps int) plan.Measured4 {
+	return plan.Simulate4(w, c, cand, steps)
 }
 
 // --- scaling analysis ---

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# PR 10 pipeline-parallelism measurement, recorded into
+# BENCH_PR10.json. Drives the env-gated TestBenchPR10 in
+# internal/plan: step time vs pipeline stage count and vs micro-batch
+# count (predicted by the bubble-aware 1F1B replay and simulated by
+# the real pipelined engines, with the relative error and bubble
+# fraction per point), plus the memory-bound shape where every 3D
+# layout OOMs and the 4D planner finds a fitting PP=2 plan. All
+# numbers come from the simulated comm clock, so the report is
+# deterministic and host-independent.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-$PWD/BENCH_PR10.json}
+
+ORBIT_BENCH_PR10="$OUT" go test ./internal/plan/ -run '^TestBenchPR10$' -count=1 -v -timeout 900s \
+	| grep -E 'benchpr10|ok ' || true
+
+if [ ! -s "$OUT" ]; then
+	echo "bench_pr10: $OUT was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"

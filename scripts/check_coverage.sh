@@ -26,5 +26,6 @@ check ./internal/ckpt/ 75
 check ./internal/quant/ 85
 check ./internal/cluster/ 90
 check ./internal/guard/ 85
+check ./internal/pp/ 85
 check ./internal/infer/ 85
 check ./internal/serve/ 85
